@@ -1,0 +1,48 @@
+// Ablation: adaptive penalty selection (extension implementing the paper's
+// Section V future-work direction via the residual balancing of the
+// adaptive ADMM [paper ref 3]). Starts from a deliberately mis-tuned
+// penalty (0.1x and 10x the Table I preset) and compares fixed vs adaptive
+// runs: adaptivity should recover most of the iteration count lost to the
+// bad preset.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "grid/solution.hpp"
+#include "opf/opf.hpp"
+
+int main() {
+  using namespace gridadmm;
+  bench::print_mode_banner("Ablation: fixed vs adaptive penalties");
+  const std::string case_name = "1354pegase";
+  const auto net = grid::make_synthetic_case(case_name);
+
+  Table table({"preset scale", "adaptive", "iterations", "time (s)", "rescales",
+               "||c(x)||inf", "objective ($/h)", "converged"});
+  for (const double scale : {0.1, 1.0, 10.0}) {
+    for (const bool adaptive : {false, true}) {
+      auto params = admm::params_for_case(case_name, net.num_buses());
+      params.rho_pq *= scale;
+      params.rho_va *= scale;
+      params.adaptive_rho = adaptive;
+      if (!bench::full_mode()) {
+        params.max_inner_iterations = 400;
+        params.max_outer_iterations = 12;
+      }
+      admm::AdmmSolver solver(net, params);
+      const auto stats = solver.solve();
+      const auto quality = grid::evaluate_solution(net, solver.solution());
+      table.add_row({Table::num(scale, 3), adaptive ? "yes" : "no",
+                     std::to_string(stats.inner_iterations),
+                     Table::fixed(stats.solve_seconds, 2), std::to_string(stats.rho_rescales),
+                     Table::sci(quality.max_violation, 2), Table::fixed(quality.objective, 1),
+                     stats.converged ? "yes" : "no"});
+    }
+  }
+  table.print();
+  std::printf("\nshape check: with the preset (scale 1.0) adaptive and fixed behave "
+              "similarly; with mis-tuned presets the adaptive runs should recover "
+              "part of the lost iterations (paper Section V motivates automatic "
+              "penalty selection).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: the paper's two-level (convergence-guaranteed) ADMM versus the
+// plain one-level component ADMM of Mhanna et al. [3] that it builds on
+// (paper Section II-B/II-C). Reports iterations, quality, and the final
+// z-residual trace that only the two-level variant drives to zero.
+#include <cstdio>
+
+#include "admm/one_level.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace gridadmm;
+  bench::print_mode_banner("Ablation: two-level vs one-level ADMM");
+  const std::string case_name = "1354pegase";
+  const auto net = grid::make_synthetic_case(case_name);
+  auto params = admm::params_for_case(case_name, net.num_buses());
+  if (!bench::full_mode()) {
+    params.max_inner_iterations = 600;
+    params.max_outer_iterations = 12;
+  }
+
+  const auto runs = admm::compare_variants(net, params);
+  Table table({"variant", "inner iters", "outer iters", "time (s)", "primal res", "dual res",
+               "||z||inf", "||c(x)||inf", "objective ($/h)"});
+  for (const auto& run : runs) {
+    table.add_row({run.variant, std::to_string(run.stats.inner_iterations),
+                   std::to_string(run.stats.outer_iterations),
+                   Table::fixed(run.stats.solve_seconds, 2),
+                   Table::sci(run.stats.primal_residual, 2),
+                   Table::sci(run.stats.dual_residual, 2),
+                   run.variant == "two-level" ? Table::sci(run.stats.z_norm, 2)
+                                              : std::string("n/a"),
+                   Table::sci(run.max_violation, 2), Table::fixed(run.objective, 1)});
+  }
+  table.print();
+  std::printf("\nshape check: both reach similar objectives; the two-level variant also "
+              "drives ||z|| to ~0, which is what certifies convergence (Section II-D).\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared tracking run for Figures 1-3: one 30-period warm-start horizon per
+// case; each figure harness prints a different column of the same records.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "opf/tracking.hpp"
+
+namespace gridadmm::bench {
+
+inline std::map<std::string, std::vector<opf::PeriodRecord>> run_tracking_suite(bool run_ipm) {
+  std::map<std::string, std::vector<opf::PeriodRecord>> results;
+  for (const auto& name : tracking_cases()) {
+    std::fprintf(stderr, "  tracking %s over %d periods...\n", name.c_str(), tracking_periods());
+    const auto net = grid::make_synthetic_case(name);
+    auto params = admm::params_for_case(name, net.num_buses());
+    if (!full_mode()) {
+      params.max_inner_iterations = 1000;
+      params.max_outer_iterations = 12;
+    }
+    opf::TrackingOptions options;
+    options.periods = tracking_periods();
+    options.run_ipm = run_ipm;
+    if (!full_mode()) options.ipm.max_iterations = 200;
+    opf::TrackingSimulator sim(net, params, options);
+    results[name] = sim.run();
+  }
+  return results;
+}
+
+}  // namespace gridadmm::bench

@@ -1,0 +1,41 @@
+// Side-by-side comparison of the ADMM solver and the interior-point
+// baseline on one case — a one-case slice of the paper's Table II.
+//
+//   ./compare_solvers [--case=case30]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "grid/solution.hpp"
+#include "opf/opf.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridadmm;
+  const Options opts(argc, argv);
+  const std::string case_name = opts.get("case", "case30");
+  const auto net = opf::load_case(case_name);
+
+  std::printf("Case %s: %d buses / %d branches / %d generators\n\n", net.name.c_str(),
+              net.num_buses(), net.num_branches(), net.num_generators());
+
+  const auto params = admm::params_for_case(case_name, net.num_buses());
+  const auto admm_report = opf::solve_with_admm(net, params);
+  const auto ipm_report = opf::solve_with_ipm(net);
+
+  Table table({"solver", "time (s)", "iterations", "objective ($/h)", "||c(x)||inf", "converged"});
+  auto row = [&](const opf::SolveReport& r) {
+    table.add_row({r.solver, Table::fixed(r.seconds, 3), std::to_string(r.iterations),
+                   Table::fixed(r.quality.objective, 2), Table::sci(r.quality.max_violation, 2),
+                   r.converged ? "yes" : "no"});
+  };
+  row(admm_report);
+  row(ipm_report);
+  table.print();
+
+  if (ipm_report.converged) {
+    std::printf("\nrelative objective gap: %.4f%%\n",
+                100.0 * grid::relative_gap(admm_report.quality.objective,
+                                           ipm_report.quality.objective));
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Branch component update: the bound-constrained nonconvex subproblem of
+// paper eq. (4).
+//
+// Variables are chi = (vi, vj, thi, thj) plus two line-limit slacks
+// (sij, sji) when the branch is rated. Flow variables pij/qij/pji/qji are
+// substituted by their closed forms (1i)-(1l), the consensus terms are
+// quadratic penalties, and the line limits p^2+q^2+s = 0 (s in [-rate^2, 0])
+// are handled by a LANCELOT-style augmented Lagrangian whose multipliers
+// persist across ADMM iterations (warm start). Each subproblem is solved by
+// TRON; the batch runs one device block per branch, exactly the ExaTron
+// execution model of paper Section III-B.
+#pragma once
+
+#include "admm/params.hpp"
+#include "admm/state.hpp"
+#include "device/device.hpp"
+#include "grid/flows.hpp"
+#include "tron/tron.hpp"
+
+namespace gridadmm::admm {
+
+/// Aggregate branch-solve statistics for one ADMM iteration.
+struct BranchUpdateStats {
+  int tron_iterations = 0;
+  int cg_iterations = 0;
+  int auglag_iterations = 0;
+  int failures = 0;  ///< subproblems ending in line-search failure
+};
+
+void update_branches(device::Device& dev, const ComponentModel& model, const AdmmParams& params,
+                     AdmmState& state, BranchUpdateStats* stats = nullptr);
+
+/// The TRON problem for one branch; exposed for unit testing.
+class BranchProblem final : public tron::TronProblem {
+ public:
+  /// Binds problem data for branch `l`. `d[k]`, `yk[k]`, `rhok[k]` are the
+  /// pair offsets (z_k - v_k), multipliers, and penalties for the branch's
+  /// 8 pairs; adm points to its 8 admittance coefficients.
+  void bind(const double* adm, const double* vbound, double rate2, const double* d,
+            const double* yk, const double* rhok);
+  void set_line_multipliers(double lam_ij, double lam_ji, double rho_t);
+
+  [[nodiscard]] int dim() const override { return rate2_ > 0.0 ? 6 : 4; }
+  void bounds(std::span<double> lower, std::span<double> upper) const override;
+  double eval_f(std::span<const double> x) override;
+  void eval_gradient(std::span<const double> x, std::span<double> grad) override;
+  void eval_hessian(std::span<const double> x, linalg::DenseMatrix& hess) override;
+
+  /// Line-limit constraint values c = p^2 + q^2 + s at x (rated only).
+  void constraint_values(std::span<const double> x, double& cij, double& cji) const;
+
+ private:
+  grid::BranchAdmittance adm_{};
+  double vbound_[4] = {0, 0, 0, 0};
+  double rate2_ = 0.0;
+  double d_[8] = {0};
+  double yk_[8] = {0};
+  double rhok_[8] = {0};
+  double lam_ij_ = 0.0, lam_ji_ = 0.0, rho_t_ = 0.0;
+  // Objective normalization: the consensus penalties scale like
+  // rho * admittance^2, which can reach 1e7-1e9; TRON's absolute gradient
+  // tolerance only makes sense at O(1), so every eval is multiplied by
+  // scale_ = 1 / max(1, max_k rho_k, rho_t). The minimizer is unchanged.
+  double scale_ = 1.0;
+};
+
+}  // namespace gridadmm::admm

@@ -1,0 +1,25 @@
+// Bus component update (paper eq. (7)).
+//
+// Per bus, the subproblem is a diagonal-Q equality-constrained QP over the
+// bus variables (w_i, theta_i) and the duplicate copies of adjacent
+// generator and flow variables, subject to the two power balance rows
+// (1b)-(1c). The multiplier is obtained from a 2x2 Schur complement
+//   mu = (A Q^-1 A^T)^-1 (A Q^-1 c - b),  v = Q^-1 (c - A^T mu),
+// which this kernel evaluates in closed form, one device block per bus.
+#pragma once
+
+#include <span>
+
+#include "admm/state.hpp"
+#include "device/device.hpp"
+
+namespace gridadmm::admm {
+
+/// Bus update. When `partial_dual` is non-empty (one slot per worker lane,
+/// stride 8), the kernel also accumulates the penalty-normalized ADMM dual
+/// residual max_k |v_k - v_k_prev| while overwriting v, so the solver loop
+/// needs neither a v snapshot nor a reduction pass.
+void update_buses(device::Device& dev, const ComponentModel& model, AdmmState& state,
+                  std::span<double> partial_dual = {});
+
+}  // namespace gridadmm::admm

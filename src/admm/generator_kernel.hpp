@@ -1,0 +1,18 @@
+// Generator component update (paper eq. (6)).
+//
+// Each generator subproblem
+//   min  c2 pg^2 + c1 pg + y_p (pg - v_p + z_p) + rho_p/2 (pg - v_p + z_p)^2
+//        + y_q (qg - v_q + z_q) + rho_q/2 (qg - v_q + z_q)^2
+//   s.t. bounds
+// separates into two box-clamped scalar quadratics with closed forms; the
+// kernel launches one device block per generator.
+#pragma once
+
+#include "admm/state.hpp"
+#include "device/device.hpp"
+
+namespace gridadmm::admm {
+
+void update_generators(device::Device& dev, const ComponentModel& model, AdmmState& state);
+
+}  // namespace gridadmm::admm

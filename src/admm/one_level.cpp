@@ -1,0 +1,37 @@
+#include "admm/one_level.hpp"
+
+#include "grid/solution.hpp"
+
+namespace gridadmm::admm {
+
+AdmmParams make_one_level(AdmmParams params) {
+  params.two_level = false;
+  params.max_inner_iterations *= params.max_outer_iterations;
+  params.max_outer_iterations = 1;
+  return params;
+}
+
+std::vector<VariantRun> compare_variants(const grid::Network& net, const AdmmParams& base,
+                                         device::Device* dev) {
+  std::vector<VariantRun> runs;
+  const AdmmParams one_level = make_one_level(base);
+  const struct {
+    const char* name;
+    const AdmmParams& params;
+  } variants[] = {{"two-level", base}, {"one-level", one_level}};
+  for (const auto& variant : variants) {
+    AdmmSolver solver(net, variant.params, dev);
+    solver.set_record_history(true);
+    VariantRun run;
+    run.variant = variant.name;
+    run.stats = solver.solve();
+    const auto sol = solver.solution();
+    const auto quality = grid::evaluate_solution(solver.network(), sol);
+    run.objective = quality.objective;
+    run.max_violation = quality.max_violation;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace gridadmm::admm

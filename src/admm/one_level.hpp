@@ -1,0 +1,35 @@
+// One-level (Mhanna-style [paper ref 3]) ADMM variant and the ablation
+// harness comparing it with the paper's convergent two-level scheme.
+//
+// The one-level variant is the same component decomposition with z frozen
+// at zero and no outer augmented-Lagrangian loop; the paper's Section II-B
+// points out it carries no convergence guarantee, which the ablation
+// benchmark (bench_ablation_twolevel) makes visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "admm/params.hpp"
+#include "admm/solver.hpp"
+
+namespace gridadmm::admm {
+
+/// Converts parameters to the one-level variant: a single "outer" iteration,
+/// no z-update, and an inner iteration budget equal to the two-level total.
+AdmmParams make_one_level(AdmmParams params);
+
+struct VariantRun {
+  std::string variant;
+  AdmmStats stats;
+  double objective = 0.0;
+  double max_violation = 0.0;
+};
+
+/// Runs the two-level and one-level variants on the same network (both cold
+/// started) and returns their stats and solution quality, with iteration
+/// histories recorded.
+std::vector<VariantRun> compare_variants(const grid::Network& net, const AdmmParams& base,
+                                         device::Device* dev = nullptr);
+
+}  // namespace gridadmm::admm

@@ -1,0 +1,239 @@
+#include "admm/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "admm/bus_kernel.hpp"
+#include "admm/generator_kernel.hpp"
+#include "admm/zy_kernel.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "grid/flows.hpp"
+
+namespace gridadmm::admm {
+
+AdmmSolver::AdmmSolver(grid::Network net, AdmmParams params, device::Device* dev)
+    : net_(std::move(net)),
+      params_(params),
+      dev_(dev != nullptr ? dev : &device::default_device()),
+      model_(build_component_model(net_, params_)),
+      state_(AdmmState::zeros(model_)) {
+  cold_start();
+}
+
+void AdmmSolver::cold_start() {
+  const int nb = net_.num_buses();
+  const int ng = net_.num_generators();
+  const int nl = net_.num_branches();
+
+  std::vector<double> u(static_cast<std::size_t>(model_.num_pairs), 0.0);
+  std::vector<double> pg(static_cast<std::size_t>(ng)), qg(static_cast<std::size_t>(ng));
+  for (int g = 0; g < ng; ++g) {
+    const auto& gen = net_.generators[g];
+    pg[g] = 0.5 * (gen.pmin + gen.pmax);
+    qg[g] = 0.5 * (gen.qmin + gen.qmax);
+    u[gen_pair_base(g)] = pg[g];
+    u[gen_pair_base(g) + 1] = qg[g];
+  }
+  std::vector<double> w(static_cast<std::size_t>(nb)), theta(static_cast<std::size_t>(nb), 0.0);
+  for (int i = 0; i < nb; ++i) {
+    const double vm = 0.5 * (net_.buses[i].vmin + net_.buses[i].vmax);
+    w[i] = vm * vm;
+  }
+  std::vector<double> bx(static_cast<std::size_t>(4 * nl));
+  std::vector<double> bs(static_cast<std::size_t>(2 * nl), 0.0);
+  const auto rate2 = model_.br_rate2.to_host();
+  for (int l = 0; l < nl; ++l) {
+    const auto& branch = net_.branches[l];
+    const double vi = std::sqrt(w[branch.from]);
+    const double vj = std::sqrt(w[branch.to]);
+    bx[4 * l + 0] = vi;
+    bx[4 * l + 1] = vj;
+    bx[4 * l + 2] = 0.0;
+    bx[4 * l + 3] = 0.0;
+    const auto f = grid::eval_flows(net_.admittances[l], vi, vj, 0.0, 0.0);
+    const int base = branch_pair_base(ng, l);
+    u[base + kPairPij] = f[grid::kPij];
+    u[base + kPairQij] = f[grid::kQij];
+    u[base + kPairPji] = f[grid::kPji];
+    u[base + kPairQji] = f[grid::kQji];
+    u[base + kPairWi] = vi * vi;
+    u[base + kPairThi] = 0.0;
+    u[base + kPairWj] = vj * vj;
+    u[base + kPairThj] = 0.0;
+    if (rate2[l] > 0.0) {
+      const double sij = f[grid::kPij] * f[grid::kPij] + f[grid::kQij] * f[grid::kQij];
+      const double sji = f[grid::kPji] * f[grid::kPji] + f[grid::kQji] * f[grid::kQji];
+      bs[2 * l] = std::clamp(-sij, -rate2[l], 0.0);
+      bs[2 * l + 1] = std::clamp(-sji, -rate2[l], 0.0);
+    }
+  }
+
+  state_.u.upload(u);
+  state_.v.upload(u);  // bus copies start consistent with the x side
+  state_.z.fill(0.0);
+  state_.y.fill(0.0);
+  state_.lz.fill(0.0);
+  state_.bus_w.upload(w);
+  state_.bus_theta.upload(theta);
+  state_.gen_pg.upload(pg);
+  state_.gen_qg.upload(qg);
+  state_.branch_x.upload(bx);
+  state_.branch_s.upload(bs);
+  state_.branch_lambda.fill(0.0);
+  state_.beta = params_.beta0;
+}
+
+void AdmmSolver::prepare_warm_start() {
+  // Keep the escalated outer penalty: the kept multiplier lz was accumulated
+  // against it, and re-shrinking beta would let the z-update throw the
+  // near-feasible iterate far from z = 0 (observed to roughly double the
+  // warm-start iteration count). Only ensure beta is at least beta0.
+  state_.beta = std::max(state_.beta, params_.beta0);
+}
+
+namespace {
+double collect_max(std::span<const double> partial, int lanes) {
+  double result = 0.0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    result = std::max(result, partial[static_cast<std::size_t>(lane) * kReduceStride]);
+  }
+  return result;
+}
+}  // namespace
+
+AdmmStats AdmmSolver::solve() {
+  WallTimer timer;
+  AdmmStats stats;
+  const bool two_level = params_.two_level;
+  double prev_znorm = std::numeric_limits<double>::infinity();
+
+  const int lanes = dev_->workers();
+  std::vector<double> partial_primal(static_cast<std::size_t>(lanes * kReduceStride), 0.0);
+  std::vector<double> partial_dual(static_cast<std::size_t>(lanes * kReduceStride), 0.0);
+  std::vector<double> partial_z(static_cast<std::size_t>(lanes * kReduceStride), 0.0);
+
+  for (int outer = 0; outer < params_.max_outer_iterations; ++outer) {
+    stats.outer_iterations = outer + 1;
+    // Inexact inner solves: proportional to the outer infeasibility, never
+    // looser than the initial tolerance, never tighter than the final one.
+    const double scheduled = std::isfinite(prev_znorm)
+                                 ? params_.inner_tolerance_factor * prev_znorm
+                                 : params_.inner_tolerance_initial;
+    const double eps_primal = std::clamp(scheduled, params_.primal_tolerance,
+                                         params_.inner_tolerance_initial);
+    const double eps_dual =
+        std::clamp(scheduled, params_.dual_tolerance, params_.inner_tolerance_initial);
+    bool inner_converged = false;
+    for (int inner = 0; inner < params_.max_inner_iterations; ++inner) {
+      ++stats.inner_iterations;
+      update_generators(*dev_, model_, state_);
+      update_branches(*dev_, model_, params_, state_, &stats.branch);
+      update_buses(*dev_, model_, state_, partial_dual);
+      update_zy_fused(*dev_, model_, state_, two_level, partial_primal, partial_z);
+
+      stats.primal_residual = collect_max(partial_primal, lanes);
+      stats.dual_residual = collect_max(partial_dual, lanes);
+      if (record_history_) {
+        stats.primal_history.push_back(stats.primal_residual);
+        stats.dual_history.push_back(stats.dual_residual);
+      }
+      if (stats.primal_residual <= eps_primal && stats.dual_residual <= eps_dual) {
+        inner_converged = true;
+        break;
+      }
+
+      // Adaptive penalty (residual balancing, extension per Section V).
+      // Restricted to the first outer iteration: rescaling rho later
+      // invalidates the equilibrium the accumulated outer multiplier lz
+      // encodes and measurably degrades the final consensus accuracy.
+      if (params_.adaptive_rho && outer == 0 && inner > 0 &&
+          inner % params_.adaptive_rho_interval == 0) {
+        double factor = 0.0;
+        if (stats.primal_residual > params_.adaptive_rho_mu * stats.dual_residual) {
+          factor = params_.adaptive_rho_tau;
+        } else if (stats.dual_residual > params_.adaptive_rho_mu * stats.primal_residual) {
+          factor = 1.0 / params_.adaptive_rho_tau;
+        }
+        if (factor != 0.0) {
+          const double proposed = rho_scale_ * factor;
+          if (proposed <= params_.adaptive_rho_max_scale &&
+              proposed >= 1.0 / params_.adaptive_rho_max_scale) {
+            rho_scale_ = proposed;
+            auto rho = model_.rho.span();
+            dev_->launch(model_.num_pairs, [=](int k) { rho[k] *= factor; });
+            ++stats.rho_rescales;
+          }
+        }
+      }
+    }
+
+    if (!two_level) {
+      stats.converged = inner_converged;
+      break;
+    }
+
+    stats.z_norm = collect_max(partial_z, lanes);
+    if (record_history_) stats.z_history.push_back(stats.z_norm);
+    update_outer_multiplier(*dev_, model_, state_, params_.lambda_bound);
+    log::debug("ADMM outer ", outer + 1, ": |z|=", stats.z_norm,
+               " primal=", stats.primal_residual, " dual=", stats.dual_residual,
+               " beta=", state_.beta, " inner_total=", stats.inner_iterations);
+    // Converged only when the *final* tolerances hold (the scheduled inner
+    // tolerance may have been looser during early outer iterations).
+    if (stats.z_norm <= params_.outer_tolerance &&
+        stats.primal_residual <= params_.primal_tolerance &&
+        stats.dual_residual <= params_.dual_tolerance) {
+      stats.converged = true;
+      break;
+    }
+    if (stats.z_norm > params_.z_shrink * prev_znorm) {
+      state_.beta = std::min(state_.beta * params_.beta_factor, params_.beta_max);
+    }
+    prev_znorm = stats.z_norm;
+  }
+
+  stats.solve_seconds = timer.seconds();
+  return stats;
+}
+
+grid::OpfSolution AdmmSolver::solution() const {
+  grid::OpfSolution sol = grid::OpfSolution::zeros(net_);
+  const auto w = state_.bus_w.to_host();
+  const auto theta = state_.bus_theta.to_host();
+  const auto pg = state_.gen_pg.to_host();
+  const auto qg = state_.gen_qg.to_host();
+  const double ref_angle = theta[net_.ref_bus];
+  for (int i = 0; i < net_.num_buses(); ++i) {
+    sol.vm[i] = std::sqrt(std::max(w[i], 1e-12));
+    sol.va[i] = theta[i] - ref_angle;
+  }
+  sol.pg = pg;
+  sol.qg = qg;
+  return sol;
+}
+
+void AdmmSolver::set_loads(std::span<const double> pd, std::span<const double> qd) {
+  require(static_cast<int>(pd.size()) == net_.num_buses() &&
+              static_cast<int>(qd.size()) == net_.num_buses(),
+          "AdmmSolver::set_loads: size mismatch");
+  model_.bus_pd.upload(pd);
+  model_.bus_qd.upload(qd);
+  for (int i = 0; i < net_.num_buses(); ++i) {
+    net_.buses[i].pd = pd[i];
+    net_.buses[i].qd = qd[i];
+  }
+}
+
+void AdmmSolver::set_generator_pg_bounds(std::span<const double> pmin,
+                                         std::span<const double> pmax) {
+  require(static_cast<int>(pmin.size()) == net_.num_generators() &&
+              static_cast<int>(pmax.size()) == net_.num_generators(),
+          "AdmmSolver::set_generator_pg_bounds: size mismatch");
+  model_.gen_pmin.upload(pmin);
+  model_.gen_pmax.upload(pmax);
+}
+
+}  // namespace gridadmm::admm

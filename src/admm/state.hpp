@@ -1,0 +1,57 @@
+// Mutable ADMM iterate state. Everything lives in device buffers; the
+// solver loop never copies to the host (the paper's "no data transfer"
+// property, asserted by tests/test_admm.cpp).
+#pragma once
+
+#include "admm/component_model.hpp"
+#include "device/buffer.hpp"
+
+namespace gridadmm::admm {
+
+struct AdmmState {
+  // Consensus pairs u_k - v_k + z_k = 0.
+  device::DeviceBuffer<double> u;       ///< x-side values (gens/branches)
+  device::DeviceBuffer<double> v;       ///< bus-side values
+  device::DeviceBuffer<double> z;       ///< artificial variable (two-level)
+  device::DeviceBuffer<double> y;       ///< inner ADMM multiplier
+  device::DeviceBuffer<double> lz;      ///< outer multiplier lambda on z = 0
+
+  // Bus variables.
+  device::DeviceBuffer<double> bus_w;      ///< squared voltage magnitude
+  device::DeviceBuffer<double> bus_theta;  ///< voltage angle
+
+  // Generator dispatch.
+  device::DeviceBuffer<double> gen_pg, gen_qg;
+
+  // Branch subproblem variables: x = (vi, vj, ti, tj) per branch, slacks
+  // (sij, sji), and the persistent line-limit augmented-Lagrangian
+  // multipliers.
+  device::DeviceBuffer<double> branch_x;       ///< 4 per branch
+  device::DeviceBuffer<double> branch_s;       ///< 2 per branch
+  device::DeviceBuffer<double> branch_lambda;  ///< 2 per branch
+
+  double beta = 0.0;  ///< outer penalty on z = 0
+
+  /// Allocates all buffers for the given model (zero-filled).
+  static AdmmState zeros(const ComponentModel& model);
+};
+
+inline AdmmState AdmmState::zeros(const ComponentModel& model) {
+  AdmmState s;
+  const std::size_t np = static_cast<std::size_t>(model.num_pairs);
+  s.u.resize(np);
+  s.v.resize(np);
+  s.z.resize(np);
+  s.y.resize(np);
+  s.lz.resize(np);
+  s.bus_w.resize(static_cast<std::size_t>(model.num_buses));
+  s.bus_theta.resize(static_cast<std::size_t>(model.num_buses));
+  s.gen_pg.resize(static_cast<std::size_t>(model.num_gens));
+  s.gen_qg.resize(static_cast<std::size_t>(model.num_gens));
+  s.branch_x.resize(static_cast<std::size_t>(4 * model.num_branches));
+  s.branch_s.resize(static_cast<std::size_t>(2 * model.num_branches));
+  s.branch_lambda.resize(static_cast<std::size_t>(2 * model.num_branches));
+  return s;
+}
+
+}  // namespace gridadmm::admm

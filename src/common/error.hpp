@@ -1,0 +1,39 @@
+// Error handling primitives shared by every gridadmm module.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridadmm {
+
+/// Base class for all errors raised by the library.
+class GridError : public std::runtime_error {
+ public:
+  explicit GridError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file or case description cannot be parsed.
+class ParseError : public GridError {
+ public:
+  explicit ParseError(const std::string& what) : GridError(what) {}
+};
+
+/// Raised when a network fails validation (disconnected, missing data, ...).
+class ModelError : public GridError {
+ public:
+  explicit ModelError(const std::string& what) : GridError(what) {}
+};
+
+/// Raised when a numerical routine cannot continue (singular system, ...).
+class NumericalError : public GridError {
+ public:
+  explicit NumericalError(const std::string& what) : GridError(what) {}
+};
+
+/// Throws GridError with `msg` if `cond` is false. Used for precondition
+/// checks that must stay active in release builds.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw GridError(msg);
+}
+
+}  // namespace gridadmm

@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace gridadmm::log {
+
+namespace {
+
+Level level_from_env() {
+  const char* env = std::getenv("GRIDADMM_LOG");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "trace") == 0) return Level::kTrace;
+  return Level::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(level_from_env())};
+  return storage;
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN ";
+    case Level::kInfo: return "INFO ";
+    case Level::kDebug: return "DEBUG";
+    case Level::kTrace: return "TRACE";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+Level level() { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) { level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[gridadmm %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace gridadmm::log

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Thread safe; level configurable via the
+// GRIDADMM_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gridadmm::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Returns the process-wide log level (initialized from GRIDADMM_LOG).
+Level level();
+
+/// Overrides the process-wide log level.
+void set_level(Level lvl);
+
+/// Emits one line to stderr if `lvl` is enabled.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Formats the arguments with operator<< and logs them at `lvl`.
+template <typename... Args>
+void emit(Level lvl, const Args&... args) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  write(lvl, os.str());
+}
+
+template <typename... Args> void error(const Args&... a) { emit(Level::kError, a...); }
+template <typename... Args> void warn(const Args&... a) { emit(Level::kWarn, a...); }
+template <typename... Args> void info(const Args&... a) { emit(Level::kInfo, a...); }
+template <typename... Args> void debug(const Args&... a) { emit(Level::kDebug, a...); }
+template <typename... Args> void trace(const Args&... a) { emit(Level::kTrace, a...); }
+
+}  // namespace gridadmm::log

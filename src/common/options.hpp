@@ -1,0 +1,33 @@
+// Tiny --key=value command-line / environment option reader used by the
+// examples and benchmark harnesses. Not a general-purpose CLI library.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gridadmm {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv entries of the form --key=value or --flag.
+  Options(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Reads an environment variable, returning nullopt when unset.
+  static std::optional<std::string> env(const std::string& name);
+  /// True when environment variable `name` is set to a truthy value (1/true/yes).
+  static bool env_flag(const std::string& name);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gridadmm

@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gridadmm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "Table: headers must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "Table: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+  return buf;
+}
+
+std::string Table::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", decimals, v);
+  return buf;
+}
+
+}  // namespace gridadmm

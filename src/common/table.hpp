@@ -1,0 +1,35 @@
+// ASCII table writer used by the benchmark harnesses to print paper-shaped
+// tables (Table I, Table II, figure series) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridadmm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, right-aligning numeric cells.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with `prec` significant digits (helper for rows).
+  static std::string num(double v, int prec = 4);
+  /// Formats a double in fixed notation with `decimals` digits.
+  static std::string fixed(double v, int decimals = 2);
+  /// Formats a double in scientific notation with `decimals` digits.
+  static std::string sci(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridadmm

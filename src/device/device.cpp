@@ -1,0 +1,134 @@
+#include "device/device.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace gridadmm::device {
+
+namespace {
+// Blocks are handed to workers in chunks to amortize the atomic fetch for
+// very small kernels (bus/generator updates are a few flops per block).
+int chunk_size(int nblocks, int workers) {
+  const int target_chunks = workers * 8;
+  int chunk = nblocks / (target_chunks > 0 ? target_chunks : 1);
+  if (chunk < 1) chunk = 1;
+  if (chunk > 1024) chunk = 1024;
+  return chunk;
+}
+}  // namespace
+
+Device::Device(int workers) {
+  int n = workers;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 4;
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int lane = 0; lane < n; ++lane) {
+    threads_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+Device::~Device() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Device::worker_main(int lane) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int, int)>* kernel = nullptr;
+    int nblocks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_job_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      kernel = job_.kernel;
+      nblocks = job_.nblocks;
+    }
+    const int chunk = chunk_size(nblocks, workers());
+    while (true) {
+      const int begin = job_.next_block.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= nblocks) break;
+      const int end = begin + chunk < nblocks ? begin + chunk : nblocks;
+      for (int block = begin; block < end; ++block) {
+        try {
+          (*kernel)(block, lane);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+      }
+    }
+    // Acknowledge completion. `remaining` counts workers, not blocks, so the
+    // launcher cannot recycle the job slot while any worker may still touch
+    // the shared block counter.
+    if (job_.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void Device::run_job(const std::function<void(int, int)>& kernel, int nblocks) {
+  if (nblocks < 0) throw GridError("Device::launch: negative block count");
+  const std::lock_guard<std::mutex> serialize(launch_mu_);
+  WallTimer timer;
+  if (nblocks > 0 && nblocks <= 8) {
+    // Tiny launches run inline on the calling thread (lane 0): waking the
+    // pool costs more than the work. Launches are serialized, so lane 0
+    // scratch cannot be in use by a worker.
+    for (int block = 0; block < nblocks; ++block) kernel(block, 0);
+    stats_.launches += 1;
+    stats_.blocks += static_cast<std::uint64_t>(nblocks);
+    stats_.busy_seconds += timer.seconds();
+    return;
+  }
+  if (nblocks > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      first_error_ = nullptr;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      job_.kernel = &kernel;
+      job_.nblocks = nblocks;
+      job_.next_block.store(0, std::memory_order_relaxed);
+      job_.remaining.store(workers(), std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_job_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return job_.remaining.load(std::memory_order_acquire) == 0; });
+    }
+    std::exception_ptr err;
+    {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      err = first_error_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+  stats_.launches += 1;
+  stats_.blocks += static_cast<std::uint64_t>(nblocks);
+  stats_.busy_seconds += timer.seconds();
+}
+
+void Device::launch(int nblocks, const std::function<void(int)>& kernel) {
+  const std::function<void(int, int)> wrapped = [&kernel](int block, int) { kernel(block); };
+  run_job(wrapped, nblocks);
+}
+
+void Device::launch_with_lane(int nblocks, const std::function<void(int, int)>& kernel) {
+  run_job(kernel, nblocks);
+}
+
+Device& default_device() {
+  static Device device;
+  return device;
+}
+
+}  // namespace gridadmm::device

@@ -1,0 +1,89 @@
+// Simulated-GPU execution layer.
+//
+// The paper runs every ADMM kernel on an Nvidia GV100 with a CUDA-style
+// programming model: a kernel is launched over a 1-D grid of thread blocks,
+// one block per independent subproblem, and all state lives in device memory
+// so no host<->device transfer happens inside the solver loop.
+//
+// This sandbox has no GPU, so this module reproduces the *programming model*
+// and the *execution semantics* on a persistent CPU worker pool:
+//   - Device::launch(nblocks, kernel) invokes kernel(block) for every block
+//     index, scheduling blocks dynamically over the workers;
+//   - DeviceBuffer<T> marks arrays as device-resident and counts every
+//     host<->device transfer, so tests can assert the solver loop performs
+//     zero transfers exactly as the paper claims;
+//   - LaunchStats records kernel launches for the scaling benchmarks.
+//
+// The substitution is documented in DESIGN.md section 2.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gridadmm::device {
+
+/// Aggregate statistics for one Device instance.
+struct LaunchStats {
+  std::uint64_t launches = 0;        ///< number of kernel launches
+  std::uint64_t blocks = 0;          ///< total blocks executed
+  double busy_seconds = 0.0;         ///< wall time spent inside launches
+};
+
+/// A persistent pool of workers exposing a CUDA-like bulk launch API.
+/// Thread-compatible: a Device may be shared, but launches are serialized.
+class Device {
+ public:
+  /// Creates a device with `workers` threads (0 = hardware concurrency).
+  explicit Device(int workers = 0);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+  ~Device();
+
+  /// Number of worker threads (the simulated SM count).
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs kernel(block) for block in [0, nblocks). Blocks until every
+  /// kernel instance finished (CUDA launch + synchronize). Exceptions thrown
+  /// by kernel instances are captured and the first one is rethrown here.
+  void launch(int nblocks, const std::function<void(int)>& kernel);
+
+  /// Like launch(), but hands the worker lane index [0, workers) to the
+  /// kernel so it can use per-lane scratch memory without synchronization.
+  void launch_with_lane(int nblocks, const std::function<void(int, int)>& kernel);
+
+  [[nodiscard]] const LaunchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LaunchStats{}; }
+
+ private:
+  struct Job {
+    const std::function<void(int, int)>* kernel = nullptr;
+    int nblocks = 0;
+    std::atomic<int> next_block{0};
+    std::atomic<int> remaining{0};
+  };
+
+  void worker_main(int lane);
+  void run_job(const std::function<void(int, int)>& kernel, int nblocks);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::mutex error_mu_;
+  LaunchStats stats_;
+  std::mutex launch_mu_;
+};
+
+/// Returns a process-wide default device (lazily constructed).
+Device& default_device();
+
+}  // namespace gridadmm::device

@@ -1,0 +1,26 @@
+// Embedded canonical test cases (MATPOWER text) plus a unified case loader.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+
+/// Returns the raw MATPOWER text of an embedded case ("case9", "case14",
+/// "case30"). Throws ParseError for unknown names.
+const std::string& embedded_case_text(const std::string& name);
+
+/// Names of all embedded cases.
+std::vector<std::string> embedded_case_names();
+
+/// Parses and finalizes an embedded case.
+Network load_embedded_case(const std::string& name);
+
+/// Unified loader: embedded case name, synthetic preset name (see
+/// synthetic.hpp, e.g. "1354pegase"), or a path to a MATPOWER file.
+/// The returned network is finalized.
+Network load_case(const std::string& name_or_path);
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,82 @@
+#include "grid/dcflow.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ldlt.hpp"
+
+namespace gridadmm::grid {
+
+DcFlowResult solve_dc_flow_raw(int num_buses, std::span<const Branch> branches,
+                               std::span<const double> injection, int ref) {
+  require(num_buses >= 2, "solve_dc_flow: need at least two buses");
+  require(static_cast<int>(injection.size()) == num_buses,
+          "solve_dc_flow: injection size mismatch");
+  require(ref >= 0 && ref < num_buses, "solve_dc_flow: reference bus out of range");
+
+  auto reduced_index = [&](int bus) { return bus < ref ? bus : bus - 1; };
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(branches.size() * 3);
+  std::vector<double> diag(static_cast<std::size_t>(num_buses), 0.0);
+  for (const auto& branch : branches) {
+    require(branch.x != 0.0, "solve_dc_flow: zero-reactance branch");
+    const double w = 1.0 / branch.x;
+    diag[branch.from] += w;
+    diag[branch.to] += w;
+    if (branch.from == ref || branch.to == ref) continue;
+    const int a = reduced_index(branch.from);
+    const int b = reduced_index(branch.to);
+    entries.push_back({std::max(a, b), std::min(a, b), -w});
+  }
+  for (int i = 0; i < num_buses; ++i) {
+    if (i != ref) entries.push_back({reduced_index(i), reduced_index(i), diag[i]});
+  }
+
+  linalg::SymmetricSolver solver;
+  solver.analyze(num_buses - 1, entries, linalg::OrderingMethod::kRcm);
+  std::vector<double> values;
+  values.reserve(entries.size());
+  for (const auto& t : entries) values.push_back(t.value);
+  if (!solver.factorize(values)) {
+    throw NumericalError("solve_dc_flow: singular susceptance matrix (island?)");
+  }
+
+  std::vector<double> rhs(static_cast<std::size_t>(num_buses - 1));
+  for (int i = 0; i < num_buses; ++i) {
+    if (i != ref) rhs[reduced_index(i)] = injection[i];
+  }
+  solver.solve(rhs);
+
+  DcFlowResult result;
+  result.theta.assign(static_cast<std::size_t>(num_buses), 0.0);
+  for (int i = 0; i < num_buses; ++i) {
+    if (i != ref) result.theta[i] = rhs[reduced_index(i)];
+  }
+  result.branch_flow.resize(branches.size());
+  for (std::size_t l = 0; l < branches.size(); ++l) {
+    const auto& branch = branches[l];
+    result.branch_flow[l] = (result.theta[branch.from] - result.theta[branch.to]) / branch.x;
+  }
+  return result;
+}
+
+DcFlowResult solve_dc_flow(const Network& net, std::span<const double> injection) {
+  require(net.finalized(), "solve_dc_flow: network must be finalized");
+  return solve_dc_flow_raw(net.num_buses(), net.branches, injection, net.ref_bus);
+}
+
+DcFlowResult solve_dc_flow_proportional(const Network& net) {
+  require(net.finalized(), "solve_dc_flow_proportional: network must be finalized");
+  double capacity = 0.0;
+  for (const auto& gen : net.generators) capacity += gen.pmax;
+  require(capacity > 0.0, "solve_dc_flow_proportional: no generation capacity");
+  const double load = net.total_load();
+  std::vector<double> injection(static_cast<std::size_t>(net.num_buses()), 0.0);
+  for (const auto& gen : net.generators) {
+    injection[gen.bus] += load * gen.pmax / capacity;
+  }
+  for (int i = 0; i < net.num_buses(); ++i) injection[i] -= net.buses[i].pd;
+  return solve_dc_flow(net, injection);
+}
+
+}  // namespace gridadmm::grid

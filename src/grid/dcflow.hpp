@@ -1,0 +1,35 @@
+// DC power flow: the linearized lossless approximation B' theta = P used
+// for fast screening, initial rating estimates, and as a sanity reference
+// for the AC solvers at small angles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+
+struct DcFlowResult {
+  std::vector<double> theta;        ///< bus angles (radians, ref = 0)
+  std::vector<double> branch_flow;  ///< per-branch real power (p.u., from->to)
+};
+
+/// Solves the DC power flow for the given per-bus net injection
+/// (generation minus load, p.u.; must sum to ~0 for a meaningful answer —
+/// any imbalance is absorbed by the reference bus). Uses the network's
+/// reference bus as the angle datum. Throws NumericalError if the reduced
+/// susceptance matrix is singular (disconnected island).
+DcFlowResult solve_dc_flow(const Network& net, std::span<const double> injection);
+
+/// Convenience: injections from a dispatch proportional to Pmax covering
+/// the current loads.
+DcFlowResult solve_dc_flow_proportional(const Network& net);
+
+/// Low-level entry point working directly on branch data (any consistent
+/// unit system; used by the synthetic generator before finalize()).
+/// `ref` is the angle-datum bus.
+DcFlowResult solve_dc_flow_raw(int num_buses, std::span<const Branch> branches,
+                               std::span<const double> injection, int ref);
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,50 @@
+// Branch power flow functions of the paper's formulation (1i)-(1l), in
+// polar voltage coordinates, with analytic first and second derivatives.
+//
+// With theta = ti - tj, wi = vi^2, wR = vi vj cos(theta), wI = vi vj
+// sin(theta), every flow has the generic form
+//     F = alpha * v_side^2 + vi * vj * (A cos(theta) + B sin(theta)),
+// which is what eval/gradient/Hessian exploit below:
+//     pij =  gii wi + gij wR + bij wI
+//     qij = -bii wi - bij wR + gij wI
+//     pji =  gjj wj + gji wR - bji wI
+//     qji = -bjj wj - bji wR - gji wI
+//
+// The variable order for gradients and Hessians is (vi, vj, ti, tj).
+// This module is the single source of truth for these derivatives; both the
+// ADMM branch kernel and the interior-point baseline build on it, and the
+// finite-difference property tests in tests/test_flows.cpp guard it.
+#pragma once
+
+#include <array>
+
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+
+/// Flow identifiers; also indices into FlowValues/weights arrays.
+enum FlowIndex : int { kPij = 0, kQij = 1, kPji = 2, kQji = 3 };
+
+struct FlowValues {
+  std::array<double, 4> f{};  ///< pij, qij, pji, qji
+  double operator[](int i) const { return f[i]; }
+};
+
+/// Gradient of each flow with respect to (vi, vj, ti, tj).
+struct FlowGradients {
+  std::array<std::array<double, 4>, 4> g{};  ///< g[flow][var]
+};
+
+/// Evaluates the four branch flows at voltage state (vi, vj, ti, tj).
+FlowValues eval_flows(const BranchAdmittance& y, double vi, double vj, double ti, double tj);
+
+/// Evaluates flows and their gradients.
+void eval_flow_gradients(const BranchAdmittance& y, double vi, double vj, double ti, double tj,
+                         FlowValues& values, FlowGradients& grads);
+
+/// Accumulates sum_f w[f] * Hessian(flow_f) into the symmetric 4x4 matrix
+/// `h` (row-major, full storage, += semantics).
+void accumulate_flow_hessian(const BranchAdmittance& y, double vi, double vj, double ti,
+                             double tj, const std::array<double, 4>& w, double h[16]);
+
+}  // namespace gridadmm::grid

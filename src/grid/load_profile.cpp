@@ -1,0 +1,51 @@
+#include "grid/load_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridadmm::grid {
+
+std::vector<double> make_load_profile(const LoadProfileSpec& spec) {
+  require(spec.periods >= 1, "load profile: need at least one period");
+  require(spec.max_drift >= 0.0, "load profile: negative drift");
+  Rng rng(spec.seed);
+
+  // Hourly anchors shaped like a morning ramp: monotone rise with a smooth
+  // knee, like the ISO-NE real-time demand curve between 6am and 7am.
+  const int anchors = 2 + (spec.periods + 59) / 60;
+  std::vector<double> anchor(static_cast<std::size_t>(anchors));
+  anchor[0] = 0.0;
+  for (int a = 1; a < anchors; ++a) {
+    anchor[a] = anchor[a - 1] + rng.uniform(0.5, 1.0);
+  }
+  const double anchor_max = *std::max_element(anchor.begin(), anchor.end());
+
+  std::vector<double> profile(static_cast<std::size_t>(spec.periods));
+  double raw_peak = 0.0;
+  for (int t = 0; t < spec.periods; ++t) {
+    const double hours = static_cast<double>(t) / 60.0;
+    const int a = static_cast<int>(hours);
+    const double frac = hours - a;
+    // Cosine (smoothstep) interpolation between hourly anchors.
+    const double smooth = 0.5 - 0.5 * std::cos(std::numbers::pi * frac);
+    const double base = anchor[a] * (1.0 - smooth) + anchor[a + 1] * smooth;
+    const double jitter = spec.jitter * rng.normal();
+    profile[t] = base / (anchor_max > 0.0 ? anchor_max : 1.0) + jitter;
+    raw_peak = std::max(raw_peak, std::abs(profile[t] - profile[0]));
+  }
+  // Normalize so the horizon starts at 1.0 and drifts at the paper's rate:
+  // max_drift is reached over a 30-period horizon, so shorter horizons see
+  // proportionally less drift (the paper's profile is a *rate* of change,
+  // ~5% per 30 minutes, not a jump).
+  const double horizon_drift = spec.max_drift * std::min(1.0, spec.periods / 30.0);
+  const double start = profile[0];
+  const double scale = raw_peak > 0.0 ? horizon_drift / raw_peak : 0.0;
+  for (double& p : profile) p = 1.0 + (p - start) * scale;
+  return profile;
+}
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,27 @@
+// Parser for the MATPOWER case format (the `.m` files distributed with
+// MATPOWER and used by the paper for the pegase / ACTIVSg grids).
+#pragma once
+
+#include <string>
+
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+
+/// Parses MATPOWER case text into a Network. The returned network is NOT
+/// finalized so callers may adjust data first. Throws ParseError on
+/// malformed input and ModelError on semantically invalid cases.
+Network parse_matpower(const std::string& text, const std::string& name = "matpower");
+
+/// Reads and parses a MATPOWER case file from disk.
+Network load_matpower_file(const std::string& path);
+
+/// Serializes a network back to MATPOWER case text. Accepts finalized
+/// networks (converting per-unit quantities back to MW/MVAr/degrees) and
+/// raw ones; parse_matpower(write_matpower(net)) round-trips the model.
+std::string write_matpower(const Network& net);
+
+/// Writes write_matpower(net) to `path`.
+void save_matpower_file(const Network& net, const std::string& path);
+
+}  // namespace gridadmm::grid

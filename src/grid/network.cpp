@@ -1,0 +1,149 @@
+#include "grid/network.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace gridadmm::grid {
+
+BranchAdmittance branch_admittance(const Branch& branch) {
+  using cd = std::complex<double>;
+  const cd ys = 1.0 / cd(branch.r, branch.x);
+  const cd ysh(0.0, branch.b / 2.0);
+  const double tap = branch.tap == 0.0 ? 1.0 : branch.tap;
+  const cd a = std::polar(tap, branch.shift);
+  const cd yii = (ys + ysh) / (std::norm(a));
+  const cd yij = -ys / std::conj(a);
+  const cd yji = -ys / a;
+  const cd yjj = ys + ysh;
+  BranchAdmittance result;
+  result.gii = yii.real();
+  result.bii = yii.imag();
+  result.gij = yij.real();
+  result.bij = yij.imag();
+  result.gji = yji.real();
+  result.bji = yji.imag();
+  result.gjj = yjj.real();
+  result.bjj = yjj.imag();
+  return result;
+}
+
+double Network::total_load() const {
+  double total = 0.0;
+  for (const auto& bus : buses) total += bus.pd;
+  return total;
+}
+
+void Network::finalize() {
+  require(!finalized_, "Network::finalize called twice");
+  require(base_mva > 0.0, "Network: base MVA must be positive");
+  const int nb = num_buses();
+  require(nb > 0, "Network: no buses");
+
+  // Per-unit conversion.
+  for (auto& bus : buses) {
+    bus.pd /= base_mva;
+    bus.qd /= base_mva;
+    bus.gs /= base_mva;
+    bus.bs /= base_mva;
+    require(bus.vmin > 0.0 && bus.vmax >= bus.vmin, "Network: invalid voltage bounds");
+  }
+  for (auto& gen : generators) {
+    require(gen.bus >= 0 && gen.bus < nb, "Network: generator bus out of range");
+    gen.pmin /= base_mva;
+    gen.pmax /= base_mva;
+    gen.qmin /= base_mva;
+    gen.qmax /= base_mva;
+    gen.ramp /= base_mva;
+    gen.pg0 /= base_mva;
+    gen.qg0 /= base_mva;
+    // Cost was per MW: f = c2 p_MW^2 + c1 p_MW + c0. With p in p.u.,
+    // p_MW = base * p, so fold the base into the coefficients.
+    gen.c2 *= base_mva * base_mva;
+    gen.c1 *= base_mva;
+    require(gen.pmax >= gen.pmin && gen.qmax >= gen.qmin, "Network: generator bounds inverted");
+  }
+  for (auto& branch : branches) {
+    require(branch.from >= 0 && branch.from < nb && branch.to >= 0 && branch.to < nb,
+            "Network: branch endpoint out of range");
+    require(branch.from != branch.to, "Network: self-loop branch");
+    require(branch.x != 0.0 || branch.r != 0.0, "Network: branch with zero impedance");
+    branch.rate /= base_mva;
+    branch.shift *= std::numbers::pi / 180.0;
+    if (branch.tap == 0.0) branch.tap = 1.0;
+  }
+
+  // Derived structures.
+  admittances.clear();
+  admittances.reserve(branches.size());
+  for (const auto& branch : branches) admittances.push_back(branch_admittance(branch));
+
+  gens_at_bus.assign(static_cast<std::size_t>(nb), {});
+  for (int g = 0; g < num_generators(); ++g) gens_at_bus[generators[g].bus].push_back(g);
+  branches_from.assign(static_cast<std::size_t>(nb), {});
+  branches_to.assign(static_cast<std::size_t>(nb), {});
+  for (int l = 0; l < num_branches(); ++l) {
+    branches_from[branches[l].from].push_back(l);
+    branches_to[branches[l].to].push_back(l);
+  }
+
+  ref_bus = -1;
+  for (int i = 0; i < nb; ++i) {
+    if (buses[i].type == BusType::kRef) {
+      ref_bus = i;
+      break;
+    }
+  }
+  if (ref_bus < 0) {
+    // Choose the bus with the largest attached generation capacity.
+    double best = -1.0;
+    for (int i = 0; i < nb; ++i) {
+      double cap = 0.0;
+      for (const int g : gens_at_bus[i]) cap += generators[g].pmax;
+      if (cap > best) {
+        best = cap;
+        ref_bus = i;
+      }
+    }
+    buses[ref_bus].type = BusType::kRef;
+    log::debug("Network ", name, ": no reference bus; picked bus ", ref_bus);
+  }
+
+  // Connectivity check (union of branches, undirected BFS).
+  std::vector<char> seen(static_cast<std::size_t>(nb), 0);
+  std::vector<int> queue{ref_bus};
+  seen[ref_bus] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    auto visit = [&](int v) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    };
+    for (const int l : branches_from[u]) visit(branches[l].to);
+    for (const int l : branches_to[u]) visit(branches[l].from);
+  }
+  int unreached = 0;
+  for (const char s : seen) unreached += (s == 0);
+  require(unreached == 0, "Network " + name + ": " + std::to_string(unreached) +
+                              " buses unreachable from the reference bus");
+
+  finalized_ = true;
+}
+
+double Network::generation_cost(const std::vector<double>& pg) const {
+  require(pg.size() == generators.size(), "generation_cost: dispatch size mismatch");
+  double total = 0.0;
+  for (std::size_t g = 0; g < generators.size(); ++g) {
+    const auto& gen = generators[g];
+    total += gen.c2 * pg[g] * pg[g] + gen.c1 * pg[g] + gen.c0;
+  }
+  return total;
+}
+
+}  // namespace gridadmm::grid

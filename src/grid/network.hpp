@@ -1,0 +1,98 @@
+// Power network data model. Mirrors the MATPOWER case structure; after
+// finalize() all quantities are in per-unit on the system MVA base and the
+// branch admittances of the paper's formulation (1) are available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridadmm::grid {
+
+enum class BusType : int { kPQ = 1, kPV = 2, kRef = 3, kIsolated = 4 };
+
+struct Bus {
+  int id = 0;            ///< external bus number (MATPOWER BUS_I)
+  BusType type = BusType::kPQ;
+  double pd = 0.0;       ///< real load (MW before finalize, p.u. after)
+  double qd = 0.0;       ///< reactive load (MVAr before finalize, p.u. after)
+  double gs = 0.0;       ///< shunt conductance (MW at V=1 before, p.u. after)
+  double bs = 0.0;       ///< shunt susceptance
+  double vmin = 0.9;     ///< voltage magnitude lower bound (p.u.)
+  double vmax = 1.1;     ///< voltage magnitude upper bound (p.u.)
+  double vm0 = 1.0;      ///< initial voltage magnitude
+  double va0 = 0.0;      ///< initial voltage angle (radians after finalize)
+};
+
+struct Generator {
+  int bus = 0;           ///< internal bus index
+  double pmin = 0.0, pmax = 0.0;  ///< real power bounds
+  double qmin = 0.0, qmax = 0.0;  ///< reactive power bounds
+  // Cost f(pg) = c2 pg^2 + c1 pg + c0 with pg in MW (converted on finalize so
+  // it can be evaluated directly on per-unit pg).
+  double c2 = 0.0, c1 = 0.0, c0 = 0.0;
+  double ramp = 0.0;     ///< ramp limit per period (same unit as pmax)
+  bool on = true;
+  double pg0 = 0.0, qg0 = 0.0;  ///< initial dispatch
+};
+
+struct Branch {
+  int from = 0, to = 0;  ///< internal bus indices
+  double r = 0.0;        ///< series resistance (p.u.)
+  double x = 0.0;        ///< series reactance (p.u.)
+  double b = 0.0;        ///< total line charging susceptance (p.u.)
+  double tap = 1.0;      ///< turns ratio magnitude (0 in MATPOWER means 1)
+  double shift = 0.0;    ///< phase shift (degrees before finalize, radians after)
+  double rate = 0.0;     ///< MVA limit (0 = unlimited; p.u. after finalize)
+  bool on = true;
+};
+
+/// Complex branch admittance coefficients of formulation (1):
+/// yii = (ys + j b/2)/|a|^2, yij = -ys/conj(a), yji = -ys/a, yjj = ys + j b/2.
+struct BranchAdmittance {
+  double gii = 0.0, bii = 0.0;
+  double gij = 0.0, bij = 0.0;
+  double gji = 0.0, bji = 0.0;
+  double gjj = 0.0, bjj = 0.0;
+};
+
+class Network {
+ public:
+  std::string name = "unnamed";
+  double base_mva = 100.0;
+  std::vector<Bus> buses;
+  std::vector<Generator> generators;
+  std::vector<Branch> branches;
+
+  // ---- Derived data (valid after finalize()) ----
+  std::vector<BranchAdmittance> admittances;
+  std::vector<std::vector<int>> gens_at_bus;      ///< generator indices per bus
+  std::vector<std::vector<int>> branches_from;    ///< branches with from == bus
+  std::vector<std::vector<int>> branches_to;      ///< branches with to == bus
+  int ref_bus = -1;
+
+  [[nodiscard]] int num_buses() const { return static_cast<int>(buses.size()); }
+  [[nodiscard]] int num_generators() const { return static_cast<int>(generators.size()); }
+  [[nodiscard]] int num_branches() const { return static_cast<int>(branches.size()); }
+
+  /// Total real load in per-unit (after finalize).
+  [[nodiscard]] double total_load() const;
+
+  /// Converts to per-unit, computes admittances and adjacency, validates
+  /// connectivity and bounds. Throws ModelError on invalid data. Idempotent
+  /// guard: calling twice is an error.
+  void finalize();
+
+  /// Evaluates the generation cost in $/h for per-unit dispatch `pg`.
+  [[nodiscard]] double generation_cost(const std::vector<double>& pg) const;
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+ private:
+  bool finalized_ = false;
+};
+
+/// Computes the admittance coefficients for one branch (already in p.u.,
+/// shift in radians).
+BranchAdmittance branch_admittance(const Branch& branch);
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,86 @@
+#include "grid/solution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "grid/flows.hpp"
+
+namespace gridadmm::grid {
+
+OpfSolution OpfSolution::zeros(const Network& net) {
+  OpfSolution sol;
+  sol.vm.assign(static_cast<std::size_t>(net.num_buses()), 0.0);
+  sol.va.assign(static_cast<std::size_t>(net.num_buses()), 0.0);
+  sol.pg.assign(static_cast<std::size_t>(net.num_generators()), 0.0);
+  sol.qg.assign(static_cast<std::size_t>(net.num_generators()), 0.0);
+  return sol;
+}
+
+SolutionQuality evaluate_solution(const Network& net, const OpfSolution& sol,
+                                  double line_capacity_factor) {
+  require(net.finalized(), "evaluate_solution: network not finalized");
+  require(static_cast<int>(sol.vm.size()) == net.num_buses() &&
+              static_cast<int>(sol.va.size()) == net.num_buses() &&
+              static_cast<int>(sol.pg.size()) == net.num_generators() &&
+              static_cast<int>(sol.qg.size()) == net.num_generators(),
+          "evaluate_solution: solution size mismatch");
+
+  SolutionQuality q;
+  q.objective = net.generation_cost(sol.pg);
+
+  const int nb = net.num_buses();
+  std::vector<double> p_mis(static_cast<std::size_t>(nb), 0.0);
+  std::vector<double> q_mis(static_cast<std::size_t>(nb), 0.0);
+  for (int i = 0; i < nb; ++i) {
+    const auto& bus = net.buses[i];
+    const double w = sol.vm[i] * sol.vm[i];
+    p_mis[i] = -bus.pd - bus.gs * w;
+    q_mis[i] = -bus.qd + bus.bs * w;
+  }
+  for (std::size_t g = 0; g < sol.pg.size(); ++g) {
+    p_mis[net.generators[g].bus] += sol.pg[g];
+    q_mis[net.generators[g].bus] += sol.qg[g];
+  }
+  for (int l = 0; l < net.num_branches(); ++l) {
+    const auto& branch = net.branches[l];
+    const FlowValues f = eval_flows(net.admittances[l], sol.vm[branch.from], sol.vm[branch.to],
+                                    sol.va[branch.from], sol.va[branch.to]);
+    p_mis[branch.from] -= f[kPij];
+    q_mis[branch.from] -= f[kQij];
+    p_mis[branch.to] -= f[kPji];
+    q_mis[branch.to] -= f[kQji];
+    if (branch.rate > 0.0) {
+      const double rate = branch.rate * line_capacity_factor;
+      const double sij = std::hypot(f[kPij], f[kQij]);
+      const double sji = std::hypot(f[kPji], f[kQji]);
+      q.line_violation = std::max({q.line_violation, sij - rate, sji - rate});
+    }
+  }
+  for (int i = 0; i < nb; ++i) {
+    q.power_balance_violation =
+        std::max({q.power_balance_violation, std::abs(p_mis[i]), std::abs(q_mis[i])});
+  }
+
+  for (int i = 0; i < nb; ++i) {
+    const auto& bus = net.buses[i];
+    q.bound_violation = std::max({q.bound_violation, bus.vmin - sol.vm[i], sol.vm[i] - bus.vmax});
+  }
+  for (std::size_t g = 0; g < sol.pg.size(); ++g) {
+    const auto& gen = net.generators[g];
+    q.bound_violation = std::max({q.bound_violation, gen.pmin - sol.pg[g], sol.pg[g] - gen.pmax,
+                                  gen.qmin - sol.qg[g], sol.qg[g] - gen.qmax});
+  }
+  q.bound_violation = std::max(q.bound_violation, 0.0);
+  q.line_violation = std::max(q.line_violation, 0.0);
+  q.max_violation =
+      std::max({q.power_balance_violation, q.line_violation, q.bound_violation});
+  return q;
+}
+
+double relative_gap(double objective, double reference_objective) {
+  const double denom = std::abs(reference_objective);
+  return std::abs(objective - reference_objective) / (denom > 0.0 ? denom : 1.0);
+}
+
+}  // namespace gridadmm::grid

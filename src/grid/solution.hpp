@@ -1,0 +1,42 @@
+// ACOPF solution container and quality metrics.
+//
+// The paper reports, for each solver run, the objective value, the maximum
+// constraint violation ||c(x)||_inf (with branch flows recomputed from the
+// bus voltages, exactly as in Section IV-A), and the relative objective gap
+// versus the baseline.
+#pragma once
+
+#include <vector>
+
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+
+struct OpfSolution {
+  std::vector<double> vm;  ///< voltage magnitudes (p.u.), one per bus
+  std::vector<double> va;  ///< voltage angles (radians), one per bus
+  std::vector<double> pg;  ///< real dispatch (p.u.), one per generator
+  std::vector<double> qg;  ///< reactive dispatch (p.u.), one per generator
+
+  /// Allocates zero-filled arrays of the right sizes.
+  static OpfSolution zeros(const Network& net);
+};
+
+struct SolutionQuality {
+  double objective = 0.0;            ///< generation cost ($/h)
+  double power_balance_violation = 0.0;  ///< max |P/Q mismatch| (p.u.)
+  double line_violation = 0.0;       ///< max apparent-flow excess over rate (p.u.)
+  double bound_violation = 0.0;      ///< max violation of variable bounds
+  double max_violation = 0.0;        ///< the paper's ||c(x)||_inf
+};
+
+/// Evaluates the solution against the network's constraints. Branch flows
+/// are recomputed from vm/va. `line_capacity_factor` scales the rates (the
+/// paper tightens limits to 99% inside ADMM; evaluation uses 1.0).
+SolutionQuality evaluate_solution(const Network& net, const OpfSolution& sol,
+                                  double line_capacity_factor = 1.0);
+
+/// Relative objective gap |f - f_ref| / |f_ref| (paper's last column).
+double relative_gap(double objective, double reference_objective);
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,217 @@
+#include "grid/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "grid/dcflow.hpp"
+
+namespace gridadmm::grid {
+
+Network make_synthetic_grid(const SyntheticSpec& spec) {
+  require(spec.buses >= 3, "synthetic: need at least 3 buses");
+  require(spec.branches >= spec.buses, "synthetic: need branches >= buses for the ring backbone");
+  require(spec.generators >= 1 && spec.generators <= spec.buses,
+          "synthetic: generator count out of range");
+
+  Rng rng(spec.seed);
+  Network net;
+  net.name = spec.name;
+  net.base_mva = 100.0;
+  const int nb = spec.buses;
+
+  // ---- Buses and loads ----
+  net.buses.resize(static_cast<std::size_t>(nb));
+  for (int i = 0; i < nb; ++i) {
+    Bus& bus = net.buses[i];
+    bus.id = i + 1;
+    bus.type = BusType::kPQ;
+    bus.vmin = 0.94;
+    bus.vmax = 1.06;
+    if (rng.flip(spec.load_bus_fraction)) {
+      // Load spread: mostly moderate, a few heavy buses (lognormal tail).
+      bus.pd = spec.avg_load_mw * rng.lognormal(-0.15, 0.55);
+      bus.qd = bus.pd * rng.uniform(0.15, 0.45);
+    }
+    if (rng.flip(0.04)) {
+      // Shunt capacitor sized relative to the loading level so lightly
+      // loaded grids are not forced into overvoltage.
+      bus.bs = rng.uniform(0.1, 0.6) * spec.avg_load_mw;
+    }
+  }
+
+  // ---- Topology: ring backbone + meshing ties ----
+  std::set<std::pair<int, int>> used;
+  auto add_branch = [&](int a, int b) {
+    Branch branch;
+    branch.from = a;
+    branch.to = b;
+    // Impedances: x spans two decades like transmission data; r gives
+    // x/r ratios of 3-12; charging proportional to reactance.
+    branch.x = std::pow(10.0, rng.uniform(-2.5, -0.9));
+    branch.r = branch.x * rng.uniform(0.08, 0.35);
+    branch.b = branch.x * rng.uniform(0.1, 0.8);
+    if (rng.flip(0.08)) {
+      // Transformer: realistic leakage reactance (0.03-0.15 p.u.). An
+      // off-nominal tap on a very low impedance branch would circulate
+      // tens of p.u. of reactive power and make the case unsolvable.
+      branch.x = rng.uniform(0.03, 0.15);
+      branch.r = branch.x * rng.uniform(0.02, 0.1);
+      branch.b = 0.0;
+      branch.tap = rng.uniform(0.97, 1.03);
+    }
+    used.insert({std::min(a, b), std::max(a, b)});
+    net.branches.push_back(branch);
+  };
+  for (int i = 0; i < nb; ++i) add_branch(i, (i + 1) % nb);
+  int attempts = 0;
+  while (static_cast<int>(net.branches.size()) < spec.branches) {
+    int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(nb)));
+    // Prefer local ties (geographic realism): skip distance is geometric.
+    const int max_skip = std::max(2, nb / 8);
+    int skip = 2 + static_cast<int>(rng.uniform(0.0, 1.0) * rng.uniform(0.0, 1.0) * max_skip);
+    int b = (a + skip) % nb;
+    if (a == b) continue;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (used.count(key) != 0 && ++attempts < 20 * spec.branches) continue;
+    add_branch(a, b);
+  }
+
+  // ---- Generators ----
+  double total_load = 0.0;
+  for (const auto& bus : net.buses) total_load += bus.pd;
+  const double total_capacity = spec.capacity_margin * total_load;
+  std::vector<double> shares(static_cast<std::size_t>(spec.generators));
+  double share_sum = 0.0;
+  for (auto& s : shares) {
+    s = rng.uniform(0.3, 1.7);
+    share_sum += s;
+  }
+  // Generator buses: bus 0 always has one (reference); the rest random.
+  std::vector<int> gen_buses(static_cast<std::size_t>(spec.generators));
+  gen_buses[0] = 0;
+  for (int g = 1; g < spec.generators; ++g) {
+    gen_buses[g] = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(nb)));
+  }
+  for (int g = 0; g < spec.generators; ++g) {
+    Generator gen;
+    gen.bus = gen_buses[g];
+    gen.pmax = total_capacity * shares[g] / share_sum;
+    gen.pmin = 0.0;
+    gen.qmax = 0.6 * gen.pmax;
+    gen.qmin = -0.4 * gen.pmax;
+    gen.c2 = rng.uniform(0.002, 0.02);
+    gen.c1 = rng.uniform(15.0, 45.0);
+    gen.c0 = 0.0;
+    gen.ramp = 0.02 * gen.pmax;  // the paper's 2% of Pmax per minute
+    net.generators.push_back(gen);
+  }
+  net.buses[0].type = BusType::kRef;
+
+  // ---- Flow-aware impedances and line ratings ----
+  // Dispatch generators proportionally to capacity and estimate per-line
+  // flows with a DC power flow. Two passes: first cap each line's voltage
+  // drop (x |f| and r |f|) like real grids, whose heavy corridors are
+  // low-impedance; then rate lines on estimated *apparent* power (the DC
+  // estimate only sees real power, so scale for reactive flow and losses)
+  // with configurable headroom.
+  std::vector<double> injection(static_cast<std::size_t>(nb), 0.0);
+  for (const auto& gen : net.generators) {
+    injection[gen.bus] += total_load * (gen.pmax / total_capacity);
+  }
+  for (int i = 0; i < nb; ++i) injection[i] -= net.buses[i].pd;
+  std::vector<double> dc;
+  for (int pass = 0; pass < 2; ++pass) {
+    dc = solve_dc_flow_raw(nb, net.branches, injection, /*ref=*/0).branch_flow;
+    // Impedance correction pass: per-unit flow on a 100 MVA base.
+    const double max_drop = 0.04;  // target per-line series voltage drop (p.u.)
+    bool changed = false;
+    for (std::size_t l = 0; l < net.branches.size(); ++l) {
+      auto& branch = net.branches[l];
+      const double flow_pu = std::abs(dc[l]) / 100.0;
+      const double drop = branch.x * flow_pu;
+      if (drop > max_drop) {
+        const double scale = max_drop / drop;
+        branch.x *= scale;
+        branch.r *= scale;
+        branch.b *= scale;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // The floor must stay above circulating reactive power (line charging and
+  // shunts produce flow even on lines whose DC real-power estimate is ~0).
+  const double floor_mw = 1.5 * spec.avg_load_mw;
+  const double apparent_factor = 1.5;  // reactive flow + losses headroom
+  for (std::size_t l = 0; l < net.branches.size(); ++l) {
+    const bool tight = rng.flip(spec.tight_line_fraction);
+    const double margin = tight ? 1.0 + 0.3 * (spec.rate_margin - 1.0) : spec.rate_margin;
+    net.branches[l].rate = std::max(margin * apparent_factor * std::abs(dc[l]), floor_mw);
+  }
+
+  net.finalize();
+  log::debug("synthetic grid ", spec.name, ": ", nb, " buses, ", net.num_branches(),
+             " branches, ", net.num_generators(), " generators, total load ",
+             total_load, " MW");
+  return net;
+}
+
+namespace {
+
+const std::vector<std::pair<std::string, SyntheticSpec>>& presets() {
+  // Component counts follow the paper's Table I exactly.
+  static const std::vector<std::pair<std::string, SyntheticSpec>> kPresets = [] {
+    std::vector<std::pair<std::string, SyntheticSpec>> p;
+    auto add = [&](const std::string& name, int gens, int branches, int buses,
+                   std::uint64_t seed) {
+      SyntheticSpec spec;
+      spec.name = name;
+      spec.generators = gens;
+      spec.branches = branches;
+      spec.buses = buses;
+      spec.seed = seed;
+      p.emplace_back(name, spec);
+    };
+    add("1354pegase", 260, 1991, 1354, 101);
+    add("2869pegase", 510, 4582, 2869, 102);
+    add("9241pegase", 1445, 16049, 9241, 103);
+    add("13659pegase", 4092, 20467, 13659, 104);
+    add("ACTIVSg25k", 4834, 32230, 25000, 105);
+    add("ACTIVSg70k", 10390, 88207, 70000, 106);
+    return p;
+  }();
+  return kPresets;
+}
+
+}  // namespace
+
+bool is_synthetic_case(const std::string& name) {
+  for (const auto& [preset_name, spec] : presets()) {
+    if (preset_name == name) return true;
+  }
+  return false;
+}
+
+SyntheticSpec synthetic_case_spec(const std::string& name) {
+  for (const auto& [preset_name, spec] : presets()) {
+    if (preset_name == name) return spec;
+  }
+  throw ParseError("unknown synthetic case: " + name);
+}
+
+Network make_synthetic_case(const std::string& name) {
+  return make_synthetic_grid(synthetic_case_spec(name));
+}
+
+std::vector<std::string> synthetic_case_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, spec] : presets()) names.push_back(name);
+  return names;
+}
+
+}  // namespace gridadmm::grid

@@ -1,0 +1,93 @@
+#include "ipm/kkt_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace gridadmm::ipm {
+
+void KktSystem::analyze(int nx, int m, const SparsityPattern& hess, const SparsityPattern& jac,
+                        linalg::OrderingMethod ordering) {
+  nx_ = nx;
+  m_ = m;
+  hess_nnz_ = hess.nnz();
+  jac_nnz_ = jac.nnz();
+
+  std::vector<linalg::Triplet> pattern;
+  pattern.reserve(hess.nnz() + jac.nnz() + static_cast<std::size_t>(nx + m));
+  // W block (lower triangle of the x-block).
+  for (std::size_t k = 0; k < hess.nnz(); ++k) {
+    int r = hess.rows[k];
+    int c = hess.cols[k];
+    require(r < nx && c < nx, "KktSystem: Hessian entry outside x-block");
+    if (r < c) std::swap(r, c);
+    pattern.push_back({r, c, 0.0});
+  }
+  // J block: global row nx + j, column within x-block.
+  for (std::size_t k = 0; k < jac.nnz(); ++k) {
+    const int r = nx + jac.rows[k];
+    const int c = jac.cols[k];
+    require(jac.rows[k] < m && c < nx, "KktSystem: Jacobian entry out of range");
+    pattern.push_back({r, c, 0.0});
+  }
+  // Diagonals: Sigma + dw on x-block, -dc on the constraint block. These
+  // must be present so regularization always has a slot.
+  for (int i = 0; i < nx + m; ++i) pattern.push_back({i, i, 0.0});
+
+  solver_.analyze(nx + m, pattern, ordering);
+  values_.assign(pattern.size(), 0.0);
+  diag_reg_.assign(static_cast<std::size_t>(nx + m), 0.0);
+}
+
+bool KktSystem::factorize(std::span<const double> hess_values,
+                          std::span<const double> jac_values, std::span<const double> sigma,
+                          double mu) {
+  require(hess_values.size() == hess_nnz_ && jac_values.size() == jac_nnz_ &&
+              static_cast<int>(sigma.size()) == nx_,
+          "KktSystem::factorize: value sizes mismatch");
+  std::copy(hess_values.begin(), hess_values.end(), values_.begin());
+  std::copy(jac_values.begin(), jac_values.end(), values_.begin() + hess_nnz_);
+  // Barrier diagonal on the x-block; zero initial regularization elsewhere.
+  for (int i = 0; i < nx_; ++i) values_[hess_nnz_ + jac_nnz_ + i] = sigma[i];
+  for (int j = 0; j < m_; ++j) values_[hess_nnz_ + jac_nnz_ + nx_ + j] = 0.0;
+
+  // Inertia-correction loop (Ipopt algorithm IC). Singular factorizations
+  // (zero pivots) raise the dual regularization dc; a wrong sign count
+  // raises the primal regularization dw.
+  double dw = 0.0;
+  double dc = 0.0;
+  const double dw_first = 1e-4;
+  const double dw_max = 1e40;
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    std::fill(diag_reg_.begin(), diag_reg_.end(), 0.0);
+    for (int i = 0; i < nx_; ++i) diag_reg_[i] = dw;
+    for (int j = 0; j < m_; ++j) diag_reg_[nx_ + j] = -dc;
+    const bool ok = solver_.factorize(values_, diag_reg_);
+    bool singular = !ok;
+    if (ok) {
+      const auto inertia = solver_.inertia();
+      if (inertia.positive == nx_ && inertia.negative == m_ && inertia.zero == 0) {
+        dw_last_ = dw;
+        dc_last_ = dc;
+        return true;
+      }
+      singular = inertia.zero > 0;
+    }
+    if (singular) {
+      dc = dc == 0.0 ? 1e-8 * std::pow(std::max(mu, 1e-20), 0.25) : dc * 100.0;
+      if (dc > 1e10) break;
+      continue;  // retry with the same dw first
+    }
+    dw = dw == 0.0 ? dw_first * (dw_last_ > 0.0 ? std::max(1e-20, dw_last_ / 3.0 / dw_first) : 1.0)
+                   : dw * 8.0;
+    if (dw > dw_max) break;
+  }
+  log::warn("KktSystem: inertia correction failed (dw=", dw, ", dc=", dc, ")");
+  return false;
+}
+
+void KktSystem::solve(std::span<double> rhs) const { solver_.solve(rhs); }
+
+}  // namespace gridadmm::ipm

@@ -1,0 +1,53 @@
+// Assembly and inertia-controlled factorization of the primal-dual KKT
+// system
+//     [ W + Sigma + dw*I   J^T      ] [dx ]   [rx]
+//     [ J                  -dc*I    ] [dl ] = [rl]
+// where W is the Lagrangian Hessian over the augmented variables (x plus
+// inequality slacks), Sigma the barrier diagonal, and J the constraint
+// Jacobian (including the -I slack columns). The inertia-correction loop
+// mirrors Ipopt: grow dw until the factorization has exactly (nx, m, 0)
+// (positive, negative, zero) eigenvalue counts, adding dc when the system
+// is singular.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ipm/nlp.hpp"
+#include "linalg/ldlt.hpp"
+
+namespace gridadmm::ipm {
+
+class KktSystem {
+ public:
+  /// `nx` total primal variables (x + slacks), `m` constraint rows.
+  /// hess/jac describe W (lower triangle, x-block only; slack columns have
+  /// no Hessian) and J including slack entries.
+  void analyze(int nx, int m, const SparsityPattern& hess, const SparsityPattern& jac,
+               linalg::OrderingMethod ordering = linalg::OrderingMethod::kMinDegree);
+
+  /// Refills values and factorizes with inertia correction.
+  /// Returns false if no regularization made the system factorizable.
+  bool factorize(std::span<const double> hess_values, std::span<const double> jac_values,
+                 std::span<const double> sigma /*size nx*/, double mu);
+
+  /// Solves in place: rhs = [rx (nx); rl (m)].
+  void solve(std::span<double> rhs) const;
+
+  [[nodiscard]] double primal_regularization() const { return dw_last_; }
+  [[nodiscard]] double dual_regularization() const { return dc_last_; }
+  [[nodiscard]] std::int64_t factor_nnz() const { return solver_.factor_nnz(); }
+
+ private:
+  int nx_ = 0;
+  int m_ = 0;
+  std::size_t hess_nnz_ = 0;
+  std::size_t jac_nnz_ = 0;
+  std::vector<double> values_;   // aligned with the analyzed pattern
+  std::vector<double> diag_reg_;
+  linalg::SymmetricSolver solver_;
+  double dw_last_ = 0.0;
+  double dc_last_ = 0.0;
+};
+
+}  // namespace gridadmm::ipm

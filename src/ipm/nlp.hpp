@@ -1,0 +1,45 @@
+// Generic smooth NLP interface consumed by the interior-point solver:
+//   min f(x)  s.t.  cl <= c(x) <= cu,  xl <= x <= xu
+// (cl == cu marks an equality row). Jacobian and Lagrangian-Hessian use
+// coordinate sparsity with repeatable entry order; duplicate coordinates
+// are allowed and summed by consumers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gridadmm::ipm {
+
+/// Coordinate sparsity pattern. rows/cols have equal length; values arrays
+/// passed to eval_* calls align element-wise with these.
+struct SparsityPattern {
+  std::vector<int> rows;
+  std::vector<int> cols;
+  [[nodiscard]] std::size_t nnz() const { return rows.size(); }
+};
+
+class Nlp {
+ public:
+  virtual ~Nlp() = default;
+
+  [[nodiscard]] virtual int num_vars() const = 0;
+  [[nodiscard]] virtual int num_cons() const = 0;
+
+  virtual void var_bounds(std::span<double> lower, std::span<double> upper) const = 0;
+  virtual void con_bounds(std::span<double> lower, std::span<double> upper) const = 0;
+  virtual void initial_point(std::span<double> x0) const = 0;
+
+  virtual double eval_objective(std::span<const double> x) = 0;
+  virtual void eval_objective_gradient(std::span<const double> x, std::span<double> grad) = 0;
+  virtual void eval_constraints(std::span<const double> x, std::span<double> c) = 0;
+
+  [[nodiscard]] virtual const SparsityPattern& jacobian_pattern() const = 0;
+  virtual void eval_jacobian(std::span<const double> x, std::span<double> values) = 0;
+
+  /// Lower triangle of W = sigma * H(f) + sum_j lambda_j H(c_j).
+  [[nodiscard]] virtual const SparsityPattern& hessian_pattern() const = 0;
+  virtual void eval_hessian(std::span<const double> x, double sigma,
+                            std::span<const double> lambda, std::span<double> values) = 0;
+};
+
+}  // namespace gridadmm::ipm

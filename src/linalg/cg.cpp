@@ -1,0 +1,49 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "linalg/dense.hpp"
+
+namespace gridadmm::linalg {
+
+CgResult conjugate_gradient(const std::function<void(std::span<const double>, std::span<double>)>& apply,
+                            const std::function<void(std::span<const double>, std::span<double>)>& precondition,
+                            std::span<const double> b, std::span<double> x, const CgOptions& options) {
+  const std::size_t n = b.size();
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  precondition(r, z);
+  p.assign(z.begin(), z.end());
+  double rz = dot(r, z);
+  const double bnorm = norm2(b);
+  const double target = options.tolerance * (bnorm > 0.0 ? bnorm : 1.0);
+
+  CgResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.residual_norm = norm2(r);
+    if (result.residual_norm <= target) {
+      result.converged = true;
+      result.iterations = it;
+      return result;
+    }
+    apply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0 || !std::isfinite(pap)) break;  // not SPD; bail out
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    result.iterations = it + 1;
+  }
+  result.residual_norm = norm2(r);
+  result.converged = result.residual_norm <= target;
+  return result;
+}
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,30 @@
+// Generic preconditioned conjugate gradient for symmetric positive definite
+// operators. Used by tests and by the DC power flow in the synthetic grid
+// generator; the TRON solver carries its own trust-region CG.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gridadmm::linalg {
+
+struct CgResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+struct CgOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+};
+
+/// Solves A x = b where `apply` computes y = A x. `precondition` computes
+/// y = M^{-1} x (pass identity for unpreconditioned CG). `x` holds the
+/// initial guess on entry and the solution on exit.
+CgResult conjugate_gradient(const std::function<void(std::span<const double>, std::span<double>)>& apply,
+                            const std::function<void(std::span<const double>, std::span<double>)>& precondition,
+                            std::span<const double> b, std::span<double> x, const CgOptions& options = {});
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,183 @@
+#include "linalg/ldlt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gridadmm::linalg {
+
+void SymmetricSolver::analyze(int n, std::span<const Triplet> pattern, OrderingMethod method) {
+  n_ = n;
+  perm_ = compute_ordering(n, pattern, method);
+  iperm_ = invert_permutation(perm_);
+
+  // Unique permuted upper-triangle coordinates, with a slot per input entry.
+  struct Coord {
+    int row, col, input;
+  };
+  std::vector<Coord> coords;
+  coords.reserve(pattern.size());
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    const auto& t = pattern[k];
+    require(t.row >= t.col, "SymmetricSolver: pattern must be lower triangular (row >= col)");
+    int pr = iperm_[t.row];
+    int pc = iperm_[t.col];
+    if (pr > pc) std::swap(pr, pc);  // store upper triangle: row <= col
+    coords.push_back({pr, pc, static_cast<int>(k)});
+  }
+  std::sort(coords.begin(), coords.end(), [](const Coord& a, const Coord& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+
+  up_colptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  up_rowind_.clear();
+  entry_slot_.assign(pattern.size(), -1);
+  int prev_row = -1, prev_col = -1;
+  for (const auto& c : coords) {
+    if (c.row != prev_row || c.col != prev_col) {
+      up_rowind_.push_back(c.row);
+      ++up_colptr_[static_cast<std::size_t>(c.col) + 1];
+      prev_row = c.row;
+      prev_col = c.col;
+    }
+    entry_slot_[c.input] = static_cast<int>(up_rowind_.size()) - 1;
+  }
+  std::partial_sum(up_colptr_.begin(), up_colptr_.end(), up_colptr_.begin());
+
+  diag_slot_.assign(static_cast<std::size_t>(n), -1);
+  for (int col = 0; col < n; ++col) {
+    for (int p = up_colptr_[col]; p < up_colptr_[static_cast<std::size_t>(col) + 1]; ++p) {
+      if (up_rowind_[p] == col) diag_slot_[col] = p;
+    }
+  }
+
+  // Symbolic: elimination tree and per-column nonzero counts of L.
+  parent_.assign(static_cast<std::size_t>(n), -1);
+  lnz_.assign(static_cast<std::size_t>(n), 0);
+  flag_.assign(static_cast<std::size_t>(n), -1);
+  for (int k = 0; k < n; ++k) {
+    parent_[k] = -1;
+    flag_[k] = k;
+    for (int p = up_colptr_[k]; p < up_colptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      int i = up_rowind_[p];
+      while (i != k && flag_[i] != k) {
+        if (parent_[i] == -1) parent_[i] = k;
+        ++lnz_[i];
+        flag_[i] = k;
+        i = parent_[i];
+      }
+    }
+  }
+  lp_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int k = 0; k < n; ++k) lp_[static_cast<std::size_t>(k) + 1] = lp_[k] + lnz_[k];
+  li_.assign(static_cast<std::size_t>(lp_[n]), 0);
+  lx_.assign(static_cast<std::size_t>(lp_[n]), 0.0);
+  d_.assign(static_cast<std::size_t>(n), 0.0);
+
+  up_values_.assign(up_rowind_.size(), 0.0);
+  y_.assign(static_cast<std::size_t>(n), 0.0);
+  pattern_stack_.assign(static_cast<std::size_t>(n), 0);
+  lnz_cursor_.assign(static_cast<std::size_t>(n), 0);
+  work_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+bool SymmetricSolver::factorize(std::span<const double> values, std::span<const double> diag_reg) {
+  require(static_cast<int>(values.size()) == static_cast<int>(entry_slot_.size()),
+          "SymmetricSolver::factorize: values size mismatch");
+  const int n = n_;
+  std::fill(up_values_.begin(), up_values_.end(), 0.0);
+  for (std::size_t k = 0; k < values.size(); ++k) up_values_[entry_slot_[k]] += values[k];
+  if (!diag_reg.empty()) {
+    require(static_cast<int>(diag_reg.size()) == n, "SymmetricSolver: diag_reg size mismatch");
+    for (int old = 0; old < n; ++old) {
+      if (diag_reg[old] == 0.0) continue;
+      const int col = iperm_[old];
+      const int slot = diag_slot_[col];
+      require(slot >= 0, "SymmetricSolver: regularized diagonal missing from pattern");
+      up_values_[slot] += diag_reg[old];
+    }
+  }
+
+  // Up-looking LDL^T (Davis, "Direct Methods for Sparse Linear Systems").
+  std::fill(flag_.begin(), flag_.end(), -1);
+  std::fill(lnz_cursor_.begin(), lnz_cursor_.end(), 0);
+  std::fill(y_.begin(), y_.end(), 0.0);
+  bool ok = true;
+  for (int k = 0; k < n; ++k) {
+    int top = n;
+    flag_[k] = k;
+    for (int p = up_colptr_[k]; p < up_colptr_[static_cast<std::size_t>(k) + 1]; ++p) {
+      int i = up_rowind_[p];
+      if (i > k) continue;
+      y_[i] += up_values_[p];
+      int len = 0;
+      while (flag_[i] != k) {
+        pattern_stack_[len++] = i;
+        flag_[i] = k;
+        i = parent_[i];
+      }
+      while (len > 0) pattern_stack_[--top] = pattern_stack_[--len];
+    }
+    double dk = y_[k];
+    y_[k] = 0.0;
+    for (; top < n; ++top) {
+      const int i = pattern_stack_[top];
+      const double yi = y_[i];
+      y_[i] = 0.0;
+      const int pend = lp_[i] + lnz_cursor_[i];
+      for (int p = lp_[i]; p < pend; ++p) y_[li_[p]] -= lx_[p] * yi;
+      const double lki = yi / d_[i];
+      dk -= lki * yi;
+      li_[pend] = k;
+      lx_[pend] = lki;
+      ++lnz_cursor_[i];
+    }
+    d_[k] = dk;
+    if (!std::isfinite(dk)) ok = false;
+  }
+  // Only (numerically) exact zeros make the factorization unusable; badly
+  // scaled-but-finite pivots are the caller's concern (the IPM adds dual
+  // regularization when the inertia reports zero pivots).
+  for (int k = 0; k < n; ++k) {
+    if (std::abs(d_[k]) <= pivot_tolerance) ok = false;
+  }
+  return ok;
+}
+
+void SymmetricSolver::solve(std::span<double> b) const {
+  require(static_cast<int>(b.size()) == n_, "SymmetricSolver::solve: size mismatch");
+  const int n = n_;
+  auto& x = work_;
+  for (int i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // L y = b (column-oriented forward substitution).
+  for (int j = 0; j < n; ++j) {
+    const double xj = x[j];
+    for (int p = lp_[j]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p) x[li_[p]] -= lx_[p] * xj;
+  }
+  for (int j = 0; j < n; ++j) x[j] /= d_[j];
+  // L^T x = y (column-oriented backward substitution).
+  for (int j = n - 1; j >= 0; --j) {
+    double xj = x[j];
+    for (int p = lp_[j]; p < lp_[static_cast<std::size_t>(j) + 1]; ++p) xj -= lx_[p] * x[li_[p]];
+    x[j] = xj;
+  }
+  for (int i = 0; i < n; ++i) b[perm_[i]] = x[i];
+}
+
+Inertia SymmetricSolver::inertia() const {
+  Inertia result;
+  for (const double dk : d_) {
+    if (dk > pivot_tolerance) {
+      ++result.positive;
+    } else if (dk < -pivot_tolerance) {
+      ++result.negative;
+    } else {
+      ++result.zero;
+    }
+  }
+  return result;
+}
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,71 @@
+// Sparse LDL^T factorization of symmetric (possibly indefinite) matrices
+// with 1x1 pivots, elimination-tree based symbolic analysis and an
+// up-looking numeric phase (Davis-style). Combined with the diagonal
+// regularization loop of the interior-point solver this plays the role MA57
+// plays for Ipopt in the paper's baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/ordering.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gridadmm::linalg {
+
+/// Inertia of the factored matrix (counts of the signs of D).
+struct Inertia {
+  int positive = 0;
+  int negative = 0;
+  int zero = 0;
+};
+
+/// Solves A x = b for symmetric A supplied as lower-triangle triplets.
+/// Usage: analyze(pattern) once, then factorize(values)/solve(b) repeatedly
+/// with the same pattern (the IPM refills values every iteration).
+class SymmetricSolver {
+ public:
+  /// Symbolic analysis. `pattern` holds lower-triangle entries (row >= col);
+  /// duplicate coordinates are allowed and later summed by factorize().
+  void analyze(int n, std::span<const Triplet> pattern,
+               OrderingMethod method = OrderingMethod::kRcm);
+
+  /// Numeric factorization of A + diag(reg). `values[k]` corresponds to
+  /// pattern[k] from analyze(); `diag_reg` (size n, natural order) may be
+  /// empty for no regularization. Returns false on a (near-)zero pivot.
+  bool factorize(std::span<const double> values, std::span<const double> diag_reg = {});
+
+  /// Solves in place using the most recent successful factorization.
+  void solve(std::span<double> b) const;
+
+  [[nodiscard]] Inertia inertia() const;
+  [[nodiscard]] int dim() const { return n_; }
+  [[nodiscard]] std::int64_t factor_nnz() const { return static_cast<std::int64_t>(li_.size()); }
+
+  /// Absolute threshold below which a pivot counts as zero. Deliberately
+  /// tiny: this factorization does not pivot, so near-singular pivots are
+  /// reported through inertia() and handled by the caller's regularization.
+  double pivot_tolerance = 1e-30;
+
+ private:
+  int n_ = 0;
+  std::vector<int> perm_;    // new -> old
+  std::vector<int> iperm_;   // old -> new
+  // Permuted upper-triangle CSC pattern of A.
+  std::vector<int> up_colptr_, up_rowind_;
+  std::vector<int> entry_slot_;  // pattern index -> slot in permuted upper values
+  std::vector<int> diag_slot_;   // permuted column -> slot of its diagonal entry (-1 if absent)
+  // Elimination tree and column counts.
+  std::vector<int> parent_, lnz_;
+  // Factor storage (L by columns) and D.
+  std::vector<int> lp_, li_;
+  std::vector<double> lx_, d_;
+  // Scratch reused across factorizations.
+  mutable std::vector<double> work_;
+  std::vector<double> up_values_;
+  std::vector<double> y_;
+  std::vector<int> flag_, pattern_stack_, lnz_cursor_;
+};
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,25 @@
+// Fill-reducing orderings for symmetric sparse factorization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace gridadmm::linalg {
+
+enum class OrderingMethod {
+  kNatural,  ///< identity permutation
+  kRcm,      ///< reverse Cuthill-McKee (bandwidth reduction)
+  kMinDegree ///< greedy minimum degree
+};
+
+/// Computes a permutation for a symmetric matrix whose off-diagonal pattern
+/// is given as (row, col) pairs (either triangle; duplicates fine).
+/// Returns perm with perm[new_index] = old_index.
+std::vector<int> compute_ordering(int n, std::span<const Triplet> pattern, OrderingMethod method);
+
+/// Inverts a permutation: returns iperm with iperm[perm[i]] = i.
+std::vector<int> invert_permutation(std::span<const int> perm);
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,105 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gridadmm::linalg {
+
+SparseMatrix::SparseMatrix(int rows, int cols, std::vector<int> colptr, std::vector<int> rowind,
+                           std::vector<double> values)
+    : rows_(rows), cols_(cols), colptr_(std::move(colptr)), rowind_(std::move(rowind)),
+      values_(std::move(values)) {
+  require(static_cast<int>(colptr_.size()) == cols_ + 1, "SparseMatrix: bad colptr length");
+  require(rowind_.size() == values_.size(), "SparseMatrix: rowind/values mismatch");
+}
+
+SparseMatrix SparseMatrix::from_triplets(int rows, int cols, std::span<const Triplet> entries) {
+  for (const auto& t : entries) {
+    require(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+            "SparseMatrix::from_triplets: entry out of range");
+  }
+  // Count entries per column, then bucket and sort rows within each column.
+  std::vector<int> count(static_cast<std::size_t>(cols) + 1, 0);
+  for (const auto& t : entries) ++count[static_cast<std::size_t>(t.col) + 1];
+  std::partial_sum(count.begin(), count.end(), count.begin());
+  std::vector<int> rowind(entries.size());
+  std::vector<double> values(entries.size());
+  std::vector<int> cursor(count.begin(), count.end() - 1);
+  for (const auto& t : entries) {
+    const int slot = cursor[t.col]++;
+    rowind[slot] = t.row;
+    values[slot] = t.value;
+  }
+  // Sort within columns and merge duplicates.
+  std::vector<int> out_colptr(static_cast<std::size_t>(cols) + 1, 0);
+  std::vector<int> out_rowind;
+  std::vector<double> out_values;
+  out_rowind.reserve(entries.size());
+  out_values.reserve(entries.size());
+  std::vector<int> order;
+  for (int c = 0; c < cols; ++c) {
+    const int begin = count[c];
+    const int end = count[static_cast<std::size_t>(c) + 1];
+    order.resize(static_cast<std::size_t>(end - begin));
+    std::iota(order.begin(), order.end(), begin);
+    std::sort(order.begin(), order.end(), [&](int a, int b) { return rowind[a] < rowind[b]; });
+    for (const int idx : order) {
+      if (!out_rowind.empty() && out_colptr[static_cast<std::size_t>(c) + 1] > out_colptr[c] &&
+          out_rowind.back() == rowind[idx]) {
+        out_values.back() += values[idx];
+      } else {
+        out_rowind.push_back(rowind[idx]);
+        out_values.push_back(values[idx]);
+        ++out_colptr[static_cast<std::size_t>(c) + 1];
+      }
+    }
+  }
+  for (int c = 0; c < cols; ++c) out_colptr[static_cast<std::size_t>(c) + 1] += out_colptr[c];
+  return SparseMatrix(rows, cols, std::move(out_colptr), std::move(out_rowind), std::move(out_values));
+}
+
+void SparseMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  require(static_cast<int>(x.size()) == cols_ && static_cast<int>(y.size()) == rows_,
+          "SparseMatrix::matvec: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (int c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    if (xc == 0.0) continue;
+    for (int k = colptr_[c]; k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+      y[rowind_[k]] += values_[k] * xc;
+    }
+  }
+}
+
+void SparseMatrix::matvec_transpose(std::span<const double> x, std::span<double> y) const {
+  require(static_cast<int>(x.size()) == rows_ && static_cast<int>(y.size()) == cols_,
+          "SparseMatrix::matvec_transpose: size mismatch");
+  for (int c = 0; c < cols_; ++c) {
+    double acc = 0.0;
+    for (int k = colptr_[c]; k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+      acc += values_[k] * x[rowind_[k]];
+    }
+    y[c] = acc;
+  }
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<int> colptr(static_cast<std::size_t>(rows_) + 1, 0);
+  for (const int r : rowind_) ++colptr[static_cast<std::size_t>(r) + 1];
+  std::partial_sum(colptr.begin(), colptr.end(), colptr.begin());
+  std::vector<int> rowind(rowind_.size());
+  std::vector<double> values(values_.size());
+  std::vector<int> cursor(colptr.begin(), colptr.end() - 1);
+  for (int c = 0; c < cols_; ++c) {
+    for (int k = colptr_[c]; k < colptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+      const int slot = cursor[rowind_[k]]++;
+      rowind[slot] = c;
+      values[slot] = values_[k];
+    }
+  }
+  return SparseMatrix(cols_, rows_, std::move(colptr), std::move(rowind), std::move(values));
+}
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,54 @@
+// Compressed sparse column matrices: the storage format used by the KKT
+// systems of the interior-point baseline and by the DC power flow inside the
+// synthetic grid generator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gridadmm::linalg {
+
+/// One coordinate-format entry.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// Immutable-shape CSC matrix. Values may be refilled in place for repeated
+/// factorizations with identical sparsity (the IPM hot loop).
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(int rows, int cols, std::vector<int> colptr, std::vector<int> rowind,
+               std::vector<double> values);
+
+  /// Builds from triplets, summing duplicates; entries are sorted by column
+  /// then row.
+  static SparseMatrix from_triplets(int rows, int cols, std::span<const Triplet> entries);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int nnz() const { return static_cast<int>(rowind_.size()); }
+
+  [[nodiscard]] std::span<const int> colptr() const { return colptr_; }
+  [[nodiscard]] std::span<const int> rowind() const { return rowind_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> values() { return values_; }
+
+  /// y = A x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+  /// y = A^T x.
+  void matvec_transpose(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] SparseMatrix transpose() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> colptr_;
+  std::vector<int> rowind_;
+  std::vector<double> values_;
+};
+
+}  // namespace gridadmm::linalg

@@ -1,0 +1,39 @@
+#include "opf/opf.hpp"
+
+#include "common/timer.hpp"
+#include "grid/cases.hpp"
+#include "ipm/acopf_nlp.hpp"
+
+namespace gridadmm::opf {
+
+SolveReport solve_with_admm(const grid::Network& net, const admm::AdmmParams& params,
+                            device::Device* dev) {
+  admm::AdmmSolver solver(net, params, dev);
+  const auto stats = solver.solve();
+  SolveReport report;
+  report.solver = "admm";
+  report.solution = solver.solution();
+  report.quality = grid::evaluate_solution(net, report.solution);
+  report.converged = stats.converged;
+  report.iterations = stats.inner_iterations;
+  report.seconds = stats.solve_seconds;
+  return report;
+}
+
+SolveReport solve_with_ipm(const grid::Network& net, const ipm::IpmOptions& options) {
+  ipm::AcopfNlp nlp(net);
+  ipm::IpmSolver solver(nlp, options);
+  const auto result = solver.solve();
+  SolveReport report;
+  report.solver = "ipm";
+  report.solution = nlp.unpack(solver.primal());
+  report.quality = grid::evaluate_solution(net, report.solution);
+  report.converged = result.status == ipm::IpmStatus::kOptimal;
+  report.iterations = result.iterations;
+  report.seconds = result.solve_seconds;
+  return report;
+}
+
+grid::Network load_case(const std::string& name_or_path) { return grid::load_case(name_or_path); }
+
+}  // namespace gridadmm::opf

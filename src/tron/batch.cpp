@@ -1,0 +1,34 @@
+#include "tron/batch.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace gridadmm::tron {
+
+BatchResult solve_batch(device::Device& dev, std::span<const std::unique_ptr<TronProblem>> problems,
+                        std::span<std::vector<double>> xs, const TronOptions& options) {
+  require(problems.size() == xs.size(), "solve_batch: problems/xs size mismatch");
+  std::vector<TronSolver> solvers;
+  solvers.reserve(static_cast<std::size_t>(dev.workers()));
+  for (int lane = 0; lane < dev.workers(); ++lane) solvers.emplace_back(options);
+
+  std::vector<TronResult> results(problems.size());
+  dev.launch_with_lane(static_cast<int>(problems.size()), [&](int block, int lane) {
+    results[block] = solvers[lane].minimize(*problems[block], xs[block]);
+  });
+
+  BatchResult batch;
+  for (const auto& r : results) {
+    if (r.status == TronStatus::kConverged || r.status == TronStatus::kSmallReduction) {
+      ++batch.solved;
+    }
+    batch.total_iterations += r.iterations;
+    batch.total_cg_iterations += r.cg_iterations;
+    batch.max_projected_gradient = std::max(batch.max_projected_gradient, r.projected_gradient_norm);
+  }
+  return batch;
+}
+
+}  // namespace gridadmm::tron

@@ -1,0 +1,28 @@
+// Batch driver: solves many small TronProblems in parallel on the simulated
+// GPU, one device block per problem — the execution model of ExaTron, where
+// each CUDA thread block owns one branch subproblem (paper Section III-B).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+#include "tron/tron.hpp"
+
+namespace gridadmm::tron {
+
+struct BatchResult {
+  int solved = 0;              ///< problems reaching (practical) convergence
+  int total_iterations = 0;    ///< sum of major iterations
+  int total_cg_iterations = 0;
+  double max_projected_gradient = 0.0;
+};
+
+/// Solves problems[i] starting from xs[i] (updated in place). Each problem
+/// is handed to one device block; per-lane TronSolver instances keep the
+/// loop allocation-free. xs[i].size() must equal problems[i]->dim().
+BatchResult solve_batch(device::Device& dev, std::span<const std::unique_ptr<TronProblem>> problems,
+                        std::span<std::vector<double>> xs, const TronOptions& options = {});
+
+}  // namespace gridadmm::tron

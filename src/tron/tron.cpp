@@ -1,0 +1,302 @@
+#include "tron/tron.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gridadmm::tron {
+
+namespace {
+constexpr double kSigmaShrink = 0.25;   // trust-region shrink factor
+constexpr double kSigmaGrow = 4.0;      // trust-region growth factor
+constexpr double kEta0 = 1e-4;          // step acceptance threshold
+constexpr double kEtaShrink = 0.25;     // ratio below which the region shrinks
+constexpr double kEtaGrow = 0.75;       // ratio above which the region grows
+constexpr double kDeltaMax = 1e10;
+constexpr int kMaxSearchSteps = 25;     // backtracking/extrapolation cap
+
+double clamp(double v, double lo, double hi) { return v < lo ? lo : (v > hi ? hi : v); }
+}  // namespace
+
+void TronSolver::resize(int n) {
+  if (n == n_) return;
+  n_ = n;
+  lower_.assign(n, 0.0);
+  upper_.assign(n, 0.0);
+  x_.assign(n, 0.0);
+  g_.assign(n, 0.0);
+  s_.assign(n, 0.0);
+  s_try_.assign(n, 0.0);
+  grad_q_.assign(n, 0.0);
+  w_full_.assign(n, 0.0);
+  r_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  p_.assign(n, 0.0);
+  hp_.assign(n, 0.0);
+  wf_.assign(n, 0.0);
+  hess_.resize(n, n);
+  hess_ff_.resize(n, n);
+  chol_.resize(n, n);
+}
+
+double TronSolver::quadratic_value(std::span<const double> s) const {
+  // q(s) = g's + 0.5 s'Hs
+  double gs = 0.0;
+  double shs = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    gs += g_[i] * s[i];
+    double hi = 0.0;
+    for (int j = 0; j < n_; ++j) hi += hess_(i, j) * s[j];
+    shs += s[i] * hi;
+  }
+  return gs + 0.5 * shs;
+}
+
+double TronSolver::cauchy_step(double alpha, std::span<double> s) const {
+  for (int i = 0; i < n_; ++i) {
+    s[i] = clamp(x_[i] - alpha * g_[i], lower_[i], upper_[i]) - x_[i];
+  }
+  return quadratic_value(s);
+}
+
+int TronSolver::subspace_cg(const std::vector<int>& free, double radius, std::span<double> w,
+                            bool& hit_boundary) {
+  const int nf = static_cast<int>(free.size());
+  hit_boundary = false;
+  // Reduced residual r = -(g + H s) on the free set, w starts at 0.
+  for (int a = 0; a < nf; ++a) {
+    r_[a] = -grad_q_[free[a]];
+    wf_[a] = 0.0;
+  }
+  // Reduced Hessian and its shifted Cholesky factor as preconditioner
+  // (exact modified Newton preconditioner: the small dense analogue of the
+  // incomplete Cholesky used by Lin-More at scale).
+  for (int a = 0; a < nf; ++a) {
+    for (int b = 0; b < nf; ++b) hess_ff_(a, b) = hess_(free[a], free[b]);
+  }
+  chol_ = hess_ff_;
+  linalg::shifted_cholesky(chol_, nf);
+
+  auto precondition = [&](const double* in, double* out) {
+    for (int a = 0; a < nf; ++a) out[a] = in[a];
+    linalg::cholesky_solve(chol_, nf, {out, static_cast<std::size_t>(nf)});
+  };
+  auto reduced_matvec = [&](const double* in, double* out) {
+    for (int a = 0; a < nf; ++a) {
+      double acc = 0.0;
+      for (int b = 0; b < nf; ++b) acc += hess_ff_(a, b) * in[b];
+      out[a] = acc;
+    }
+  };
+  auto boundary_step = [&](const double* dir) {
+    // tau >= 0 with || w + tau dir || = radius.
+    double ww = 0.0, wd = 0.0, dd = 0.0;
+    for (int a = 0; a < nf; ++a) {
+      ww += wf_[a] * wf_[a];
+      wd += wf_[a] * dir[a];
+      dd += dir[a] * dir[a];
+    }
+    const double disc = std::max(wd * wd - dd * (ww - radius * radius), 0.0);
+    const double tau = dd > 0.0 ? (-wd + std::sqrt(disc)) / dd : 0.0;
+    for (int a = 0; a < nf; ++a) wf_[a] += tau * dir[a];
+  };
+
+  const double rnorm0 = std::sqrt(
+      linalg::dot({r_.data(), static_cast<std::size_t>(nf)}, {r_.data(), static_cast<std::size_t>(nf)}));
+  const double target = options_.cg_rtol * rnorm0;
+  precondition(r_.data(), z_.data());
+  for (int a = 0; a < nf; ++a) p_[a] = z_[a];
+  double rz = linalg::dot({r_.data(), static_cast<std::size_t>(nf)},
+                          {z_.data(), static_cast<std::size_t>(nf)});
+  int iters = 0;
+  for (; iters < 2 * nf + 4; ++iters) {
+    double rnorm = 0.0;
+    for (int a = 0; a < nf; ++a) rnorm += r_[a] * r_[a];
+    if (std::sqrt(rnorm) <= target) break;
+    reduced_matvec(p_.data(), hp_.data());
+    double php = 0.0;
+    for (int a = 0; a < nf; ++a) php += p_[a] * hp_[a];
+    if (php <= 0.0) {
+      // Negative curvature: follow the direction to the boundary [13].
+      boundary_step(p_.data());
+      hit_boundary = true;
+      ++iters;
+      break;
+    }
+    const double alpha = rz / php;
+    double wnorm2 = 0.0;
+    for (int a = 0; a < nf; ++a) {
+      wf_[a] += alpha * p_[a];
+      wnorm2 += wf_[a] * wf_[a];
+    }
+    if (std::sqrt(wnorm2) >= radius) {
+      // Retreat, then advance to the trust-region boundary.
+      for (int a = 0; a < nf; ++a) wf_[a] -= alpha * p_[a];
+      boundary_step(p_.data());
+      hit_boundary = true;
+      ++iters;
+      break;
+    }
+    for (int a = 0; a < nf; ++a) r_[a] -= alpha * hp_[a];
+    precondition(r_.data(), z_.data());
+    const double rz_next = linalg::dot({r_.data(), static_cast<std::size_t>(nf)},
+                                       {z_.data(), static_cast<std::size_t>(nf)});
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (int a = 0; a < nf; ++a) p_[a] = z_[a] + beta * p_[a];
+  }
+  std::fill(w.begin(), w.end(), 0.0);
+  for (int a = 0; a < nf; ++a) w[free[a]] = wf_[a];
+  return iters;
+}
+
+TronResult TronSolver::minimize(TronProblem& problem, std::span<double> x) {
+  const int n = problem.dim();
+  require(static_cast<int>(x.size()) == n, "TronSolver: x size mismatch");
+  resize(n);
+  problem.bounds(lower_, upper_);
+  for (int i = 0; i < n; ++i) {
+    require(lower_[i] <= upper_[i], "TronSolver: inverted bounds");
+    x_[i] = clamp(x[i], lower_[i], upper_[i]);
+  }
+
+  TronResult result;
+  double f = problem.eval_f(x_);
+  ++result.function_evals;
+  problem.eval_gradient(x_, g_);
+  problem.eval_hessian(x_, hess_);
+
+  double gnorm0 = linalg::norm2(g_);
+  double delta = options_.delta0 > 0.0 ? options_.delta0 : std::max(gnorm0, 1.0);
+  double alpha_cauchy = 1.0;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Projected gradient convergence test.
+    double pgnorm = 0.0;
+    for (int i = 0; i < n; ++i) {
+      pgnorm = std::max(pgnorm, std::abs(clamp(x_[i] - g_[i], lower_[i], upper_[i]) - x_[i]));
+    }
+    result.projected_gradient_norm = pgnorm;
+    if (pgnorm <= options_.gtol) {
+      result.status = TronStatus::kConverged;
+      break;
+    }
+
+    // ---- Generalized Cauchy point ----
+    double alpha = alpha_cauchy;
+    double q = cauchy_step(alpha, s_);
+    auto sufficient = [&](double qv) {
+      double gs = 0.0;
+      for (int i = 0; i < n; ++i) gs += g_[i] * s_[i];
+      return qv <= options_.mu0 * gs && linalg::norm2(s_) <= delta;
+    };
+    if (sufficient(q)) {
+      // Extrapolate while the larger step still satisfies the conditions.
+      for (int k = 0; k < kMaxSearchSteps; ++k) {
+        const double alpha_next = alpha * 10.0;
+        const double q_next = cauchy_step(alpha_next, s_try_);
+        double gs = 0.0;
+        for (int i = 0; i < n; ++i) gs += g_[i] * s_try_[i];
+        if (q_next <= options_.mu0 * gs && linalg::norm2(s_try_) <= delta) {
+          alpha = alpha_next;
+          std::copy(s_try_.begin(), s_try_.end(), s_.begin());
+          q = q_next;
+        } else {
+          break;
+        }
+      }
+    } else {
+      for (int k = 0; k < kMaxSearchSteps && !sufficient(q); ++k) {
+        alpha *= 0.1;
+        q = cauchy_step(alpha, s_);
+      }
+    }
+    alpha_cauchy = alpha;
+
+    // ---- Subspace refinement (minor iterations) ----
+    for (int minor = 0; minor < options_.max_minor_iterations; ++minor) {
+      // grad of the quadratic at s: g + H s.
+      for (int i = 0; i < n; ++i) {
+        double acc = g_[i];
+        for (int j = 0; j < n; ++j) acc += hess_(i, j) * s_[j];
+        grad_q_[i] = acc;
+      }
+      free_.clear();
+      const double tol_bound = 1e-12;
+      for (int i = 0; i < n; ++i) {
+        const double xi = x_[i] + s_[i];
+        if (xi > lower_[i] + tol_bound && xi < upper_[i] - tol_bound) free_.push_back(i);
+      }
+      const auto& free = free_;
+      if (free.empty()) break;
+      double rnorm = 0.0;
+      for (const int i : free) rnorm += grad_q_[i] * grad_q_[i];
+      if (std::sqrt(rnorm) <= options_.cg_rtol * std::max(gnorm0, 1e-12)) break;
+      const double radius = delta - linalg::norm2(s_);
+      if (radius <= 1e-12) break;
+
+      bool hit_boundary = false;
+      result.cg_iterations += subspace_cg(free, radius, w_full_, hit_boundary);
+
+      // Projected Armijo search along w.
+      const double q_s = quadratic_value(s_);
+      double beta = 1.0;
+      bool accepted = false;
+      for (int k = 0; k < kMaxSearchSteps; ++k) {
+        for (int i = 0; i < n; ++i) {
+          s_try_[i] = clamp(x_[i] + s_[i] + beta * w_full_[i], lower_[i], upper_[i]) - x_[i];
+        }
+        const double q_try = quadratic_value(s_try_);
+        double dir = 0.0;
+        for (int i = 0; i < n; ++i) dir += grad_q_[i] * (s_try_[i] - s_[i]);
+        if (q_try <= q_s + options_.mu0 * std::min(dir, 0.0)) {
+          std::copy(s_try_.begin(), s_try_.end(), s_.begin());
+          accepted = true;
+          break;
+        }
+        beta *= 0.5;
+      }
+      if (!accepted || hit_boundary) break;
+    }
+
+    // ---- Accept / reject and trust-region update ----
+    for (int i = 0; i < n; ++i) s_try_[i] = clamp(x_[i] + s_[i], lower_[i], upper_[i]);
+    const double f_try = problem.eval_f(s_try_);
+    ++result.function_evals;
+    const double ared = f - f_try;
+    const double pred = -quadratic_value(s_);
+    const double snorm = linalg::norm2(s_);
+    const double ratio = pred > 0.0 ? ared / pred : (ared > 0.0 ? 1.0 : -1.0);
+
+    if (ratio > kEta0 && std::isfinite(f_try)) {
+      const double reduction = std::abs(ared);
+      std::copy(s_try_.begin(), s_try_.end(), x_.begin());
+      f = f_try;
+      problem.eval_gradient(x_, g_);
+      problem.eval_hessian(x_, hess_);
+      gnorm0 = std::max(linalg::norm2(g_), 1e-12);
+      if (reduction <= options_.frtol * std::max(std::abs(f), 1.0)) {
+        result.iterations = iter + 1;
+        result.status = TronStatus::kSmallReduction;
+        break;
+      }
+    }
+    if (ratio < kEtaShrink) {
+      delta = std::max(kSigmaShrink * std::min(snorm, delta), 1e-12);
+    } else if (ratio > kEtaGrow && snorm >= 0.9 * delta) {
+      delta = std::min(kSigmaGrow * delta, kDeltaMax);
+    }
+    if (delta <= 1e-12) {
+      result.status = TronStatus::kLineSearchFailed;
+      break;
+    }
+  }
+
+  result.f = f;
+  std::copy(x_.begin(), x_.end(), x.begin());
+  return result;
+}
+
+}  // namespace gridadmm::tron

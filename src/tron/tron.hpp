@@ -1,0 +1,90 @@
+// Bound-constrained trust-region Newton solver (TRON).
+//
+// Reimplementation of the algorithm of Lin & More, "Newton's method for
+// large bound-constrained optimization problems" (SIAM J. Optim. 1999) in
+// the dense, small-problem setting of ExaTron [paper ref 8]: a generalized
+// Cauchy point, subspace refinement with a trust-region preconditioned
+// conjugate gradient (Steihaug-Toint, following negative curvature to the
+// boundary as in [paper ref 13]), and projected line searches.
+//
+// Each ADMM branch subproblem (4-6 variables) is one TronProblem; the batch
+// driver in tron/batch.hpp runs thousands of them in parallel on the
+// simulated GPU, one block per subproblem, mirroring the paper's Section
+// III-B.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace gridadmm::tron {
+
+/// Problem interface: smooth objective over box constraints.
+class TronProblem {
+ public:
+  virtual ~TronProblem() = default;
+  [[nodiscard]] virtual int dim() const = 0;
+  virtual void bounds(std::span<double> lower, std::span<double> upper) const = 0;
+  virtual double eval_f(std::span<const double> x) = 0;
+  virtual void eval_gradient(std::span<const double> x, std::span<double> grad) = 0;
+  /// Fills the full symmetric Hessian (dim x dim).
+  virtual void eval_hessian(std::span<const double> x, linalg::DenseMatrix& hess) = 0;
+};
+
+struct TronOptions {
+  int max_iterations = 200;
+  double gtol = 1e-8;        ///< convergence: inf-norm of the projected gradient
+  double frtol = 1e-14;      ///< convergence: relative function reduction
+  double delta0 = -1.0;      ///< initial trust radius (<0: use ||g0||)
+  double cg_rtol = 0.05;     ///< relative residual target of the subspace CG
+  int max_minor_iterations = 8;  ///< subspace refinement rounds per major iteration
+  double mu0 = 0.01;         ///< sufficient-decrease parameter
+};
+
+enum class TronStatus {
+  kConverged,      ///< projected gradient below gtol
+  kSmallReduction, ///< function reduction below frtol (practically converged)
+  kMaxIterations,
+  kLineSearchFailed
+};
+
+struct TronResult {
+  TronStatus status = TronStatus::kMaxIterations;
+  int iterations = 0;       ///< major (Newton) iterations
+  int cg_iterations = 0;    ///< total CG iterations
+  int function_evals = 0;
+  double f = 0.0;
+  double projected_gradient_norm = 0.0;
+};
+
+/// Reusable solver. Not thread-safe; use one instance per device lane.
+class TronSolver {
+ public:
+  explicit TronSolver(TronOptions options = {}) : options_(options) {}
+
+  /// Minimizes `problem` starting from (a clamped copy of) `x`; the solution
+  /// is written back into `x`. `x.size()` must equal `problem.dim()`.
+  TronResult minimize(TronProblem& problem, std::span<double> x);
+
+  [[nodiscard]] const TronOptions& options() const { return options_; }
+  TronOptions& options() { return options_; }
+
+ private:
+  void resize(int n);
+  double quadratic_value(std::span<const double> s) const;  // g's + s'Hs/2
+  /// s = P[x - alpha g] - x; returns q(s).
+  double cauchy_step(double alpha, std::span<double> s) const;
+  /// Trust-region PCG on the free subspace; returns CG iterations.
+  int subspace_cg(const std::vector<int>& free, double radius, std::span<double> w,
+                  bool& hit_boundary);
+
+  TronOptions options_;
+  int n_ = 0;
+  std::vector<double> lower_, upper_, x_, g_, s_, s_try_, grad_q_, w_full_;
+  std::vector<double> r_, z_, p_, hp_, wf_;
+  std::vector<int> free_;
+  linalg::DenseMatrix hess_, hess_ff_, chol_;
+};
+
+}  // namespace gridadmm::tron

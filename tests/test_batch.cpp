@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "device/device.hpp"
+#include "tron/batch.hpp"
+
+namespace gridadmm::tron {
+namespace {
+
+/// min (x - target)^2 on [-1, 1].
+class Scalar final : public TronProblem {
+ public:
+  explicit Scalar(double target) : target_(target) {}
+  [[nodiscard]] int dim() const override { return 1; }
+  void bounds(std::span<double> lower, std::span<double> upper) const override {
+    lower[0] = -1.0;
+    upper[0] = 1.0;
+  }
+  double eval_f(std::span<const double> x) override {
+    return (x[0] - target_) * (x[0] - target_);
+  }
+  void eval_gradient(std::span<const double> x, std::span<double> grad) override {
+    grad[0] = 2.0 * (x[0] - target_);
+  }
+  void eval_hessian(std::span<const double>, linalg::DenseMatrix& hess) override {
+    hess(0, 0) = 2.0;
+  }
+
+ private:
+  double target_;
+};
+
+TEST(Batch, SolvesManyProblemsInParallel) {
+  gridadmm::Rng rng(88);
+  device::Device dev(4);
+  const int count = 500;
+  std::vector<std::unique_ptr<TronProblem>> problems;
+  std::vector<std::vector<double>> xs;
+  std::vector<double> targets;
+  for (int i = 0; i < count; ++i) {
+    targets.push_back(rng.uniform(-2.0, 2.0));
+    problems.push_back(std::make_unique<Scalar>(targets.back()));
+    xs.push_back({0.0});
+  }
+  const auto result = solve_batch(dev, problems, xs);
+  EXPECT_EQ(result.solved, count);
+  for (int i = 0; i < count; ++i) {
+    const double expected = std::clamp(targets[i], -1.0, 1.0);
+    EXPECT_NEAR(xs[i][0], expected, 1e-6) << "problem " << i;
+  }
+}
+
+TEST(Batch, EmptyBatchIsNoop) {
+  device::Device dev(2);
+  std::vector<std::unique_ptr<TronProblem>> problems;
+  std::vector<std::vector<double>> xs;
+  const auto result = solve_batch(dev, problems, xs);
+  EXPECT_EQ(result.solved, 0);
+}
+
+TEST(Batch, ReportsAggregateIterationCounts) {
+  device::Device dev(2);
+  std::vector<std::unique_ptr<TronProblem>> problems;
+  std::vector<std::vector<double>> xs;
+  for (int i = 0; i < 10; ++i) {
+    problems.push_back(std::make_unique<Scalar>(0.5));
+    xs.push_back({-1.0});
+  }
+  const auto result = solve_batch(dev, problems, xs);
+  EXPECT_EQ(result.solved, 10);
+  EXPECT_GT(result.total_iterations, 0);
+}
+
+}  // namespace
+}  // namespace gridadmm::tron

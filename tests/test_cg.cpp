@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gridadmm::linalg {
+namespace {
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  Rng rng(3);
+  const int n = 40;
+  // Tridiagonal SPD matrix (discrete Laplacian + 2I).
+  std::vector<Triplet> ts;
+  for (int i = 0; i < n; ++i) ts.push_back({i, i, 4.0});
+  for (int i = 0; i + 1 < n; ++i) {
+    ts.push_back({i + 1, i, -1.0});
+    ts.push_back({i, i + 1, -1.0});
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, ts);
+  std::vector<double> x_true(n), b(n), x(n, 0.0);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  a.matvec(x_true, b);
+
+  auto apply = [&](std::span<const double> in, std::span<double> out) { a.matvec(in, out); };
+  auto identity = [](std::span<const double> in, std::span<double> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  const auto result = conjugate_gradient(apply, identity, b, x);
+  EXPECT_TRUE(result.converged);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(ConjugateGradient, JacobiPreconditionerReducesIterations) {
+  const int n = 60;
+  std::vector<Triplet> ts;
+  // Badly scaled diagonal.
+  for (int i = 0; i < n; ++i) ts.push_back({i, i, 1.0 + 100.0 * i});
+  for (int i = 0; i + 1 < n; ++i) {
+    ts.push_back({i + 1, i, -0.3});
+    ts.push_back({i, i + 1, -0.3});
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, ts);
+  std::vector<double> b(n, 1.0);
+  auto apply = [&](std::span<const double> in, std::span<double> out) { a.matvec(in, out); };
+  auto identity = [](std::span<const double> in, std::span<double> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  std::vector<double> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = 1.0 + 100.0 * i;
+  auto jacobi = [&](std::span<const double> in, std::span<double> out) {
+    for (int i = 0; i < n; ++i) out[i] = in[i] / diag[i];
+  };
+  std::vector<double> x1(n, 0.0), x2(n, 0.0);
+  const auto plain = conjugate_gradient(apply, identity, b, x1);
+  const auto precond = conjugate_gradient(apply, jacobi, b, x2);
+  EXPECT_TRUE(precond.converged);
+  EXPECT_LT(precond.iterations, plain.iterations);
+}
+
+TEST(ConjugateGradient, ZeroRhsConvergesImmediately) {
+  std::vector<double> b(5, 0.0), x(5, 0.0);
+  auto apply = [](std::span<const double> in, std::span<double> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  const auto result = conjugate_gradient(apply, apply, b, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace gridadmm::linalg

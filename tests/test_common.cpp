@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace gridadmm {
+namespace {
+
+TEST(Rng, IsDeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalHasApproximatelyUnitVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(3);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.uniform_index(10)];
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Require, ThrowsOnFailure) {
+  EXPECT_THROW(require(false, "boom"), GridError);
+  EXPECT_NO_THROW(require(true, "fine"));
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), GridError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::sci(1234.5, 2), "1.23e+03");
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--case=case9", "--iters=50", "--verbose", "--scale=2.5"};
+  Options opts(5, argv);
+  EXPECT_EQ(opts.get("case", ""), "case9");
+  EXPECT_EQ(opts.get_int("iters", 0), 50);
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(opts.get_double("scale", 0.0), 2.5);
+  EXPECT_EQ(opts.get("missing", "fallback"), "fallback");
+}
+
+namespace { void benchmark_do_not_optimize(double& v) { asm volatile("" : "+m"(v)); } }
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  const double t0 = timer.seconds();
+  EXPECT_GE(t0, 0.0);
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_do_not_optimize(sink);
+  EXPECT_GE(timer.seconds(), t0);
+}
+
+}  // namespace
+}  // namespace gridadmm

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "grid/cases.hpp"
+#include "grid/dcflow.hpp"
+#include "grid/flows.hpp"
+#include "grid/synthetic.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+TEST(DcFlow, TwoBusAnalytic) {
+  // P = theta_diff / x; injecting 0.5 p.u. over x = 0.1 gives theta = -0.05.
+  Network net;
+  net.buses.resize(2);
+  net.buses[0].id = 1;
+  net.buses[0].type = BusType::kRef;
+  net.buses[1].id = 2;
+  Generator gen;
+  gen.bus = 0;
+  gen.pmax = 100.0;
+  net.generators.push_back(gen);
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.x = 0.1;
+  net.branches.push_back(branch);
+  net.finalize();
+
+  std::vector<double> injection{0.5, -0.5};
+  const auto result = solve_dc_flow(net, injection);
+  EXPECT_DOUBLE_EQ(result.theta[0], 0.0);
+  EXPECT_NEAR(result.theta[1], -0.05, 1e-12);
+  EXPECT_NEAR(result.branch_flow[0], 0.5, 1e-12);
+}
+
+TEST(DcFlow, FlowConservationAtEveryBus) {
+  const auto net = make_synthetic_grid([] {
+    SyntheticSpec spec;
+    spec.buses = 60;
+    spec.branches = 90;
+    spec.generators = 12;
+    spec.seed = 5;
+    return spec;
+  }());
+  const auto result = solve_dc_flow_proportional(net);
+  // Per-bus: injection - sum(outgoing flows) + sum(incoming flows) = 0.
+  std::vector<double> residual(static_cast<std::size_t>(net.num_buses()), 0.0);
+  double capacity = 0.0;
+  for (const auto& gen : net.generators) capacity += gen.pmax;
+  for (const auto& gen : net.generators) {
+    residual[gen.bus] += net.total_load() * gen.pmax / capacity;
+  }
+  for (int i = 0; i < net.num_buses(); ++i) residual[i] -= net.buses[i].pd;
+  for (int l = 0; l < net.num_branches(); ++l) {
+    residual[net.branches[l].from] -= result.branch_flow[l];
+    residual[net.branches[l].to] += result.branch_flow[l];
+  }
+  for (int i = 0; i < net.num_buses(); ++i) {
+    EXPECT_NEAR(residual[i], 0.0, 1e-8) << "bus " << i;
+  }
+}
+
+TEST(DcFlow, ApproximatesAcFlowsAtSmallAngles) {
+  // On a lossless-ish case9, DC flows should be within ~15% of AC real flows.
+  const auto net = load_embedded_case("case9");
+  std::vector<double> injection(9, 0.0);
+  // Balanced dispatch: slack covers each load bus proportionally.
+  const double dispatch[3] = {0.9, 1.3, 0.95};
+  injection[0] += dispatch[0];
+  injection[1] += dispatch[1];
+  injection[2] += dispatch[2];
+  for (int i = 0; i < 9; ++i) injection[i] -= net.buses[i].pd;
+  const double imbalance = std::accumulate(injection.begin(), injection.end(), 0.0);
+  injection[0] -= imbalance;  // absorb at the reference
+  const auto dc = solve_dc_flow(net, injection);
+  // Evaluate AC flows at vm = 1, va = dc angles; real parts should be close.
+  for (int l = 0; l < net.num_branches(); ++l) {
+    const auto& branch = net.branches[l];
+    const auto f = eval_flows(net.admittances[l], 1.0, 1.0, dc.theta[branch.from],
+                              dc.theta[branch.to]);
+    EXPECT_NEAR(f[kPij], dc.branch_flow[l], 0.15 * std::max(0.2, std::abs(dc.branch_flow[l])))
+        << "branch " << l;
+  }
+}
+
+TEST(DcFlow, RejectsBadInputs) {
+  const auto net = load_embedded_case("case9");
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(solve_dc_flow(net, wrong), GridError);
+  Network raw;  // unfinalized
+  raw.buses.resize(2);
+  std::vector<double> injection(2, 0.0);
+  EXPECT_THROW(solve_dc_flow(raw, injection), GridError);
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

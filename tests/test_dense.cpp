@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+
+namespace gridadmm::linalg {
+namespace {
+
+DenseMatrix random_spd(int n, Rng& rng) {
+  DenseMatrix a(n, n);
+  DenseMatrix b(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  // A = B B^T + n I is SPD.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = i == j ? static_cast<double>(n) : 0.0;
+      for (int k = 0; k < n; ++k) acc += b(i, k) * b(j, k);
+      a(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+TEST(DenseCholesky, SolvesRandomSpdSystems) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_index(7));
+    DenseMatrix a = random_spd(n, rng);
+    const DenseMatrix a_copy = a;
+    std::vector<double> x_true(n), b(n);
+    for (int i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+    a.matvec(x_true, b);
+    ASSERT_TRUE(cholesky_factorize(a, n));
+    cholesky_solve(a, n, b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+    (void)a_copy;
+  }
+}
+
+TEST(DenseCholesky, FailsOnIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(cholesky_factorize(a, 2));
+}
+
+TEST(ShiftedCholesky, ZeroShiftForSpd) {
+  Rng rng(9);
+  DenseMatrix a = random_spd(4, rng);
+  EXPECT_DOUBLE_EQ(shifted_cholesky(a, 4), 0.0);
+}
+
+TEST(ShiftedCholesky, FindsShiftForIndefinite) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 0.5;
+  const double shift = shifted_cholesky(a, 3);
+  EXPECT_GT(shift, 2.0 - 1e-9);  // must exceed |most negative eigenvalue|
+}
+
+TEST(DenseMatrix, MatvecMatchesManual) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  std::vector<double> x{1, 1, 1}, y(2);
+  a.matvec(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(Blas1, DotAxpyNorms) {
+  std::vector<double> x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(norm_inf(y), 12.0);
+  EXPECT_NEAR(norm2(x), std::sqrt(14.0), 1e-14);
+  scal(0.5, x);
+  EXPECT_DOUBLE_EQ(x[2], 1.5);
+}
+
+}  // namespace
+}  // namespace gridadmm::linalg

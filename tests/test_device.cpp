@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "device/buffer.hpp"
+#include "device/device.hpp"
+
+namespace gridadmm::device {
+namespace {
+
+TEST(Device, ExecutesEveryBlockExactlyOnce) {
+  Device dev(4);
+  std::vector<std::atomic<int>> counts(1000);
+  dev.launch(1000, [&](int block) { counts[block].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Device, HandlesZeroBlocks) {
+  Device dev(2);
+  bool ran = false;
+  dev.launch(0, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(dev.stats().launches, 1u);
+}
+
+TEST(Device, HandlesMoreBlocksThanWorkers) {
+  Device dev(2);
+  std::atomic<int> total{0};
+  dev.launch(10000, [&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(Device, LaneIndicesAreValid) {
+  Device dev(3);
+  std::atomic<bool> bad{false};
+  dev.launch_with_lane(500, [&](int, int lane) {
+    if (lane < 0 || lane >= 3) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(Device, LanesAreExclusive) {
+  // Two blocks running on the same lane must never overlap: per-lane
+  // counters need no synchronization.
+  Device dev(4);
+  std::vector<long> counters(4, 0);  // deliberately unsynchronized
+  dev.launch_with_lane(20000, [&](int, int lane) { counters[lane] += 1; });
+  EXPECT_EQ(std::accumulate(counters.begin(), counters.end(), 0L), 20000);
+}
+
+TEST(Device, PropagatesKernelException) {
+  Device dev(2);
+  EXPECT_THROW(
+      dev.launch(100, [&](int block) {
+        if (block == 57) throw GridError("bad block");
+      }),
+      GridError);
+  // Device remains usable afterwards.
+  std::atomic<int> total{0};
+  dev.launch(10, [&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(Device, RejectsNegativeBlockCount) {
+  Device dev(1);
+  EXPECT_THROW(dev.launch(-1, [](int) {}), GridError);
+}
+
+TEST(Device, CountsLaunchStats) {
+  Device dev(2);
+  dev.reset_stats();
+  dev.launch(10, [](int) {});
+  dev.launch(20, [](int) {});
+  EXPECT_EQ(dev.stats().launches, 2u);
+  EXPECT_EQ(dev.stats().blocks, 30u);
+}
+
+TEST(Device, SequentialLaunchesSeeEachOthersWrites) {
+  Device dev(4);
+  std::vector<double> data(1000, 0.0);
+  dev.launch(1000, [&](int i) { data[i] = i; });
+  std::vector<double> copy(1000, 0.0);
+  dev.launch(1000, [&](int i) { copy[i] = 2.0 * data[i]; });
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(copy[i], 2.0 * i);
+}
+
+TEST(DeviceBuffer, CountsTransfers) {
+  auto& stats = transfer_stats();
+  const auto before = stats;
+  DeviceBuffer<double> buf(100, 1.0);
+  std::vector<double> host(100, 3.0);
+  buf.upload(host);
+  EXPECT_EQ(stats.host_to_device, before.host_to_device + 1);
+  auto out = buf.to_host();
+  EXPECT_EQ(stats.device_to_host, before.device_to_host + 1);
+  EXPECT_DOUBLE_EQ(out[50], 3.0);
+  EXPECT_EQ(stats.bytes, before.bytes + 2 * 100 * sizeof(double));
+}
+
+TEST(DeviceBuffer, UploadRejectsSizeMismatch) {
+  DeviceBuffer<double> buf(10);
+  std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(buf.upload(wrong), GridError);
+}
+
+TEST(DeviceBuffer, FillAndSpan) {
+  DeviceBuffer<int> buf(5);
+  buf.fill(7);
+  for (const int v : buf.span()) EXPECT_EQ(v, 7);
+}
+
+}  // namespace
+}  // namespace gridadmm::device

@@ -1,0 +1,148 @@
+// Property tests: the analytic flow derivatives in grid/flows.hpp must
+// match central finite differences over randomized branches and operating
+// points. These guard the single most reused derivative code in the repo.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+
+#include "common/rng.hpp"
+#include "grid/flows.hpp"
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+Branch random_branch(Rng& rng) {
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.x = std::pow(10.0, rng.uniform(-2.5, -0.9));
+  branch.r = branch.x * rng.uniform(0.05, 0.4);
+  branch.b = branch.x * rng.uniform(0.0, 2.0);
+  if (rng.flip(0.3)) {
+    branch.tap = rng.uniform(0.9, 1.1);
+    branch.shift = rng.uniform(-0.1, 0.1);
+  } else {
+    branch.tap = 1.0;
+    branch.shift = 0.0;
+  }
+  return branch;
+}
+
+std::array<double, 4> random_point(Rng& rng) {
+  return {rng.uniform(0.9, 1.1), rng.uniform(0.9, 1.1), rng.uniform(-0.4, 0.4),
+          rng.uniform(-0.4, 0.4)};
+}
+
+class FlowDerivativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowDerivativeTest, GradientMatchesFiniteDifferences) {
+  Rng rng(1000 + GetParam());
+  const auto y = branch_admittance(random_branch(rng));
+  const auto x = random_point(rng);
+  FlowValues values;
+  FlowGradients grads;
+  eval_flow_gradients(y, x[0], x[1], x[2], x[3], values, grads);
+
+  const double h = 1e-6;
+  for (int var = 0; var < 4; ++var) {
+    auto xp = x, xm = x;
+    xp[var] += h;
+    xm[var] -= h;
+    const auto fp = eval_flows(y, xp[0], xp[1], xp[2], xp[3]);
+    const auto fm = eval_flows(y, xm[0], xm[1], xm[2], xm[3]);
+    for (int flow = 0; flow < 4; ++flow) {
+      const double fd = (fp[flow] - fm[flow]) / (2.0 * h);
+      EXPECT_NEAR(grads.g[flow][var], fd, 1e-5 * std::max(1.0, std::abs(fd)))
+          << "flow " << flow << " var " << var;
+    }
+  }
+}
+
+TEST_P(FlowDerivativeTest, WeightedHessianMatchesFiniteDifferences) {
+  Rng rng(2000 + GetParam());
+  const auto y = branch_admittance(random_branch(rng));
+  const auto x = random_point(rng);
+  const std::array<double, 4> w = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2),
+                                   rng.uniform(-2, 2)};
+  double h16[16] = {0};
+  accumulate_flow_hessian(y, x[0], x[1], x[2], x[3], w, h16);
+
+  // FD of the weighted gradient sum.
+  const double h = 1e-6;
+  auto weighted_grad = [&](const std::array<double, 4>& pt) {
+    FlowValues values;
+    FlowGradients grads;
+    eval_flow_gradients(y, pt[0], pt[1], pt[2], pt[3], values, grads);
+    std::array<double, 4> g{};
+    for (int flow = 0; flow < 4; ++flow) {
+      for (int var = 0; var < 4; ++var) g[var] += w[flow] * grads.g[flow][var];
+    }
+    return g;
+  };
+  for (int var = 0; var < 4; ++var) {
+    auto xp = x, xm = x;
+    xp[var] += h;
+    xm[var] -= h;
+    const auto gp = weighted_grad(xp);
+    const auto gm = weighted_grad(xm);
+    for (int row = 0; row < 4; ++row) {
+      const double fd = (gp[row] - gm[row]) / (2.0 * h);
+      EXPECT_NEAR(h16[row * 4 + var], fd, 2e-5 * std::max(1.0, std::abs(fd)))
+          << "row " << row << " var " << var;
+    }
+  }
+}
+
+TEST_P(FlowDerivativeTest, HessianAccumulationIsSymmetric) {
+  Rng rng(3000 + GetParam());
+  const auto y = branch_admittance(random_branch(rng));
+  const auto x = random_point(rng);
+  const std::array<double, 4> w = {1.0, -0.5, 0.25, 2.0};
+  double h16[16] = {0};
+  accumulate_flow_hessian(y, x[0], x[1], x[2], x[3], w, h16);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(h16[a * 4 + b], h16[b * 4 + a]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBranches, FlowDerivativeTest, ::testing::Range(0, 25));
+
+TEST(Flows, MatchComplexPowerArithmetic) {
+  // pij + j qij must equal V_i conj(Y_ii V_i + Y_ij V_j).
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto branch = random_branch(rng);
+    const auto y = branch_admittance(branch);
+    const auto x = random_point(rng);
+    const auto f = eval_flows(y, x[0], x[1], x[2], x[3]);
+
+    using cd = std::complex<double>;
+    const cd vi = std::polar(x[0], x[2]);
+    const cd vj = std::polar(x[1], x[3]);
+    const cd yii(y.gii, y.bii), yij(y.gij, y.bij), yji(y.gji, y.bji), yjj(y.gjj, y.bjj);
+    const cd sij = vi * std::conj(yii * vi + yij * vj);
+    const cd sji = vj * std::conj(yji * vi + yjj * vj);
+    EXPECT_NEAR(f[kPij], sij.real(), 1e-12);
+    EXPECT_NEAR(f[kQij], sij.imag(), 1e-12);
+    EXPECT_NEAR(f[kPji], sji.real(), 1e-12);
+    EXPECT_NEAR(f[kQji], sji.imag(), 1e-12);
+  }
+}
+
+TEST(Flows, LosslessLineConservesPower) {
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.r = 0.0;
+  branch.x = 0.1;
+  branch.b = 0.0;
+  const auto y = branch_admittance(branch);
+  const auto f = eval_flows(y, 1.02, 0.98, 0.1, -0.05);
+  EXPECT_NEAR(f[kPij] + f[kPji], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

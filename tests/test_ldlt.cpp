@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/ldlt.hpp"
+
+namespace gridadmm::linalg {
+namespace {
+
+struct DenseSym {
+  int n = 0;
+  std::vector<double> a;  // full storage
+  double& at(int r, int c) { return a[static_cast<std::size_t>(r) * n + c]; }
+  double at(int r, int c) const { return a[static_cast<std::size_t>(r) * n + c]; }
+};
+
+/// Random sparse symmetric matrix with guaranteed nonzero diagonal;
+/// returns lower-triangle triplets and the dense mirror.
+std::pair<std::vector<Triplet>, DenseSym> random_symmetric(int n, double density, bool spd,
+                                                           Rng& rng) {
+  std::vector<Triplet> ts;
+  DenseSym dense;
+  dense.n = n;
+  dense.a.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int c = 0; c < n; ++c) {
+    for (int r = c + 1; r < n; ++r) {
+      if (rng.uniform() < density) {
+        const double v = rng.uniform(-1.0, 1.0);
+        ts.push_back({r, c, v});
+        dense.at(r, c) += v;
+        dense.at(c, r) += v;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double v;
+    if (spd) {
+      // Diagonal dominance makes it SPD.
+      double row_sum = 1.0;
+      for (int j = 0; j < n; ++j) row_sum += std::abs(dense.at(i, j));
+      v = row_sum;
+    } else {
+      v = rng.uniform(0.5, 2.0) * (rng.flip(0.5) ? 1.0 : -1.0);
+      // Keep it diagonally dominant so no pivoting is needed.
+      double row_sum = 0.0;
+      for (int j = 0; j < n; ++j)
+        if (j != i) row_sum += std::abs(dense.at(i, j));
+      v *= (row_sum + 1.0);
+    }
+    ts.push_back({i, i, v});
+    dense.at(i, i) += v;
+  }
+  return {ts, dense};
+}
+
+class LdltOrderingTest : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(LdltOrderingTest, SolvesRandomSpdSystems) {
+  Rng rng(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 5 + static_cast<int>(rng.uniform_index(80));
+    auto [ts, dense] = random_symmetric(n, 0.1, true, rng);
+    SymmetricSolver solver;
+    solver.analyze(n, ts, GetParam());
+    std::vector<double> values;
+    for (const auto& t : ts) values.push_back(t.value);
+    ASSERT_TRUE(solver.factorize(values));
+    const auto inertia = solver.inertia();
+    EXPECT_EQ(inertia.positive, n);
+    EXPECT_EQ(inertia.negative, 0);
+
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (auto& v : x_true) v = rng.uniform(-1, 1);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) b[r] += dense.at(r, c) * x_true[c];
+    }
+    solver.solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrderings, LdltOrderingTest,
+                         ::testing::Values(OrderingMethod::kNatural, OrderingMethod::kRcm,
+                                           OrderingMethod::kMinDegree));
+
+TEST(Ldlt, IndefiniteInertiaMatchesDiagonalDominantSigns) {
+  Rng rng(55);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 10 + static_cast<int>(rng.uniform_index(40));
+    auto [ts, dense] = random_symmetric(n, 0.05, false, rng);
+    // Count expected signs: diagonally dominant => inertia equals diagonal signs.
+    int expect_pos = 0, expect_neg = 0;
+    for (int i = 0; i < n; ++i) (dense.at(i, i) > 0 ? expect_pos : expect_neg)++;
+    SymmetricSolver solver;
+    solver.analyze(n, ts, OrderingMethod::kRcm);
+    std::vector<double> values;
+    for (const auto& t : ts) values.push_back(t.value);
+    ASSERT_TRUE(solver.factorize(values));
+    const auto inertia = solver.inertia();
+    EXPECT_EQ(inertia.positive, expect_pos);
+    EXPECT_EQ(inertia.negative, expect_neg);
+    EXPECT_EQ(inertia.zero, 0);
+
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (auto& v : x_true) v = rng.uniform(-1, 1);
+    for (int r = 0; r < n; ++r)
+      for (int c = 0; c < n; ++c) b[r] += dense.at(r, c) * x_true[c];
+    solver.solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-7);
+  }
+}
+
+TEST(Ldlt, DetectsSingularMatrix) {
+  // [1 1; 1 1] is singular.
+  std::vector<Triplet> ts{{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}};
+  SymmetricSolver solver;
+  solver.analyze(2, ts, OrderingMethod::kNatural);
+  std::vector<double> values{1.0, 1.0, 1.0};
+  EXPECT_FALSE(solver.factorize(values));
+}
+
+TEST(Ldlt, DiagonalRegularizationFixesSingularity) {
+  std::vector<Triplet> ts{{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}};
+  SymmetricSolver solver;
+  solver.analyze(2, ts, OrderingMethod::kNatural);
+  std::vector<double> values{1.0, 1.0, 1.0};
+  std::vector<double> reg{1e-4, 1e-4};
+  EXPECT_TRUE(solver.factorize(values, reg));
+  EXPECT_EQ(solver.inertia().positive, 2);
+}
+
+TEST(Ldlt, SaddlePointSystemHasCorrectInertia) {
+  // KKT-style [[I, a],[a^T, 0]]: inertia (2, 1, 0) after dual regularization.
+  std::vector<Triplet> ts{{0, 0, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}, {2, 1, 2.0}, {2, 2, 0.0}};
+  SymmetricSolver solver;
+  solver.analyze(3, ts, OrderingMethod::kNatural);
+  std::vector<double> values{1.0, 1.0, 1.0, 2.0, 0.0};
+  ASSERT_TRUE(solver.factorize(values));
+  const auto inertia = solver.inertia();
+  EXPECT_EQ(inertia.positive, 2);
+  EXPECT_EQ(inertia.negative, 1);
+}
+
+TEST(Ldlt, RefillWithSamePatternReusesAnalysis) {
+  Rng rng(7);
+  auto [ts, dense] = random_symmetric(30, 0.1, true, rng);
+  SymmetricSolver solver;
+  solver.analyze(30, ts, OrderingMethod::kRcm);
+  std::vector<double> values;
+  for (const auto& t : ts) values.push_back(t.value);
+  ASSERT_TRUE(solver.factorize(values));
+  // Scale all values by 2: solution of A x = b halves.
+  for (auto& v : values) v *= 2.0;
+  ASSERT_TRUE(solver.factorize(values));
+  std::vector<double> b(30, 0.0), x1(30);
+  for (int r = 0; r < 30; ++r)
+    for (int c = 0; c < 30; ++c) b[r] += dense.at(r, c);
+  auto x = b;
+  solver.solve(x);
+  for (int i = 0; i < 30; ++i) EXPECT_NEAR(x[i], 0.5, 1e-8);
+}
+
+}  // namespace
+}  // namespace gridadmm::linalg

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "grid/load_profile.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+TEST(LoadProfile, StartsAtOne) {
+  LoadProfileSpec spec;
+  const auto profile = make_load_profile(spec);
+  ASSERT_EQ(profile.size(), 30u);
+  EXPECT_DOUBLE_EQ(profile[0], 1.0);
+}
+
+TEST(LoadProfile, PeakDriftEqualsSpec) {
+  LoadProfileSpec spec;
+  spec.max_drift = 0.05;
+  const auto profile = make_load_profile(spec);
+  double peak = 0.0;
+  for (const double p : profile) peak = std::max(peak, std::abs(p - 1.0));
+  EXPECT_NEAR(peak, 0.05, 1e-12);
+}
+
+TEST(LoadProfile, IsDeterministicPerSeed) {
+  LoadProfileSpec spec;
+  spec.seed = 9;
+  const auto a = make_load_profile(spec);
+  const auto b = make_load_profile(spec);
+  EXPECT_EQ(a, b);
+  spec.seed = 10;
+  const auto c = make_load_profile(spec);
+  EXPECT_NE(a, c);
+}
+
+TEST(LoadProfile, IsSmoothMinuteToMinute) {
+  LoadProfileSpec spec;
+  spec.periods = 30;
+  spec.max_drift = 0.05;
+  const auto profile = make_load_profile(spec);
+  for (std::size_t t = 1; t < profile.size(); ++t) {
+    EXPECT_LT(std::abs(profile[t] - profile[t - 1]), 0.02);
+  }
+}
+
+TEST(LoadProfile, LongHorizonsSupported) {
+  LoadProfileSpec spec;
+  spec.periods = 240;  // four hours
+  const auto profile = make_load_profile(spec);
+  EXPECT_EQ(profile.size(), 240u);
+}
+
+TEST(LoadProfile, SinglePeriodIsTrivial) {
+  LoadProfileSpec spec;
+  spec.periods = 1;
+  const auto profile = make_load_profile(spec);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile[0], 1.0);
+}
+
+TEST(LoadProfile, RejectsBadSpecs) {
+  LoadProfileSpec spec;
+  spec.periods = 0;
+  EXPECT_THROW(make_load_profile(spec), GridError);
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "grid/cases.hpp"
+#include "grid/matpower.hpp"
+#include "grid/network.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+TEST(Network, FinalizeConvertsToPerUnit) {
+  auto net = parse_matpower(embedded_case_text("case9"), "case9");
+  net.finalize();
+  // Bus 5 load: 90 MW on 100 MVA base -> 0.9 p.u.
+  EXPECT_DOUBLE_EQ(net.buses[4].pd, 0.9);
+  // Generator 1 pmax: 250 MW -> 2.5 p.u.
+  EXPECT_DOUBLE_EQ(net.generators[0].pmax, 2.5);
+  // Cost on per-unit dispatch must equal cost on MW dispatch.
+  // f(MW=100) = 0.11*1e4 + 5*100 + 150 = 1750.
+  std::vector<double> pg{1.0, 0.0, 0.0};
+  const double cost =
+      net.generators[0].c2 * 1.0 + net.generators[0].c1 * 1.0 + net.generators[0].c0;
+  EXPECT_NEAR(cost, 1750.0, 1e-9);
+  (void)pg;
+  // Branch rates: 250 MVA -> 2.5 p.u.
+  EXPECT_DOUBLE_EQ(net.branches[0].rate, 2.5);
+}
+
+TEST(Network, AdmittanceMatchesComplexFormulas) {
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.r = 0.02;
+  branch.x = 0.2;
+  branch.b = 0.04;
+  branch.tap = 0.95;
+  branch.shift = 0.1;  // radians (post-finalize convention)
+  const auto y = branch_admittance(branch);
+  using cd = std::complex<double>;
+  const cd ys = 1.0 / cd(0.02, 0.2);
+  const cd a = std::polar(0.95, 0.1);
+  const cd yii = (ys + cd(0, 0.02)) / std::norm(a);
+  const cd yij = -ys / std::conj(a);
+  const cd yji = -ys / a;
+  const cd yjj = ys + cd(0, 0.02);
+  EXPECT_NEAR(y.gii, yii.real(), 1e-14);
+  EXPECT_NEAR(y.bii, yii.imag(), 1e-14);
+  EXPECT_NEAR(y.gij, yij.real(), 1e-14);
+  EXPECT_NEAR(y.bij, yij.imag(), 1e-14);
+  EXPECT_NEAR(y.gji, yji.real(), 1e-14);
+  EXPECT_NEAR(y.bji, yji.imag(), 1e-14);
+  EXPECT_NEAR(y.gjj, yjj.real(), 1e-14);
+  EXPECT_NEAR(y.bjj, yjj.imag(), 1e-14);
+}
+
+TEST(Network, BuildsAdjacency) {
+  const auto net = load_embedded_case("case9");
+  int total_from = 0, total_to = 0;
+  for (int i = 0; i < net.num_buses(); ++i) {
+    total_from += static_cast<int>(net.branches_from[i].size());
+    total_to += static_cast<int>(net.branches_to[i].size());
+  }
+  EXPECT_EQ(total_from, net.num_branches());
+  EXPECT_EQ(total_to, net.num_branches());
+  // Bus 1 (index 0) hosts generator 0.
+  ASSERT_EQ(net.gens_at_bus[0].size(), 1u);
+  EXPECT_EQ(net.gens_at_bus[0][0], 0);
+  EXPECT_EQ(net.ref_bus, 0);
+}
+
+TEST(Network, RejectsDisconnectedGrid) {
+  Network net;
+  net.buses.resize(3);
+  for (int i = 0; i < 3; ++i) net.buses[i].id = i + 1;
+  net.buses[0].type = BusType::kRef;
+  Generator gen;
+  gen.bus = 0;
+  gen.pmax = 100;
+  gen.qmin = -10;
+  gen.qmax = 10;
+  net.generators.push_back(gen);
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.x = 0.1;
+  net.branches.push_back(branch);  // bus 2 unreachable
+  EXPECT_THROW(net.finalize(), GridError);
+}
+
+TEST(Network, RejectsDoubleFinalize) {
+  auto net = load_embedded_case("case9");
+  EXPECT_THROW(net.finalize(), GridError);
+}
+
+TEST(Network, RejectsZeroImpedanceBranch) {
+  Network net;
+  net.buses.resize(2);
+  net.buses[0].id = 1;
+  net.buses[1].id = 2;
+  net.buses[0].type = BusType::kRef;
+  Generator gen;
+  gen.bus = 0;
+  gen.pmax = 1;
+  net.generators.push_back(gen);
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.r = 0.0;
+  branch.x = 0.0;
+  net.branches.push_back(branch);
+  EXPECT_THROW(net.finalize(), GridError);
+}
+
+TEST(Network, PicksRefBusWhenMissing) {
+  Network net;
+  net.buses.resize(2);
+  net.buses[0].id = 1;
+  net.buses[1].id = 2;
+  net.buses[0].type = BusType::kPQ;
+  net.buses[1].type = BusType::kPQ;
+  Generator gen;
+  gen.bus = 1;
+  gen.pmax = 100;
+  net.generators.push_back(gen);
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.x = 0.1;
+  net.branches.push_back(branch);
+  net.finalize();
+  EXPECT_EQ(net.ref_bus, 1);  // largest generation capacity
+  EXPECT_EQ(net.buses[1].type, BusType::kRef);
+}
+
+TEST(Network, GenerationCostSumsQuadratics) {
+  const auto net = load_embedded_case("case9");
+  std::vector<double> pg{0.723, 1.63, 0.85};
+  double expected = 0.0;
+  const double mw[3] = {72.3, 163.0, 85.0};
+  const double c2[3] = {0.11, 0.085, 0.1225};
+  const double c1[3] = {5.0, 1.2, 1.0};
+  const double c0[3] = {150.0, 600.0, 335.0};
+  for (int g = 0; g < 3; ++g) expected += c2[g] * mw[g] * mw[g] + c1[g] * mw[g] + c0[g];
+  EXPECT_NEAR(net.generation_cost(pg), expected, 1e-8);
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

@@ -1,0 +1,58 @@
+// Tests of the high-level opf facade.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "grid/cases.hpp"
+#include "opf/opf.hpp"
+
+namespace gridadmm::opf {
+namespace {
+
+TEST(Opf, LoadCaseResolvesEmbeddedNames) {
+  const auto net = load_case("case9");
+  EXPECT_EQ(net.num_buses(), 9);
+  EXPECT_TRUE(net.finalized());
+}
+
+TEST(Opf, LoadCaseResolvesSyntheticPresets) {
+  const auto net = load_case("1354pegase");
+  EXPECT_EQ(net.num_buses(), 1354);
+}
+
+TEST(Opf, LoadCaseResolvesFilePaths) {
+  const std::string path = "/tmp/gridadmm_test_case.m";
+  {
+    std::ofstream out(path);
+    out << grid::embedded_case_text("case9");
+  }
+  const auto net = load_case(path);
+  EXPECT_EQ(net.num_buses(), 9);
+}
+
+TEST(Opf, LoadCaseRejectsUnknown) {
+  EXPECT_THROW(load_case("/nonexistent/never.m"), GridError);
+}
+
+TEST(Opf, ReportsAreConsistentAcrossSolvers) {
+  const auto net = load_case("case9");
+  const auto admm_report = solve_with_admm(net, admm::params_for_case("case9", 9));
+  const auto ipm_report = solve_with_ipm(net);
+  EXPECT_EQ(admm_report.solver, "admm");
+  EXPECT_EQ(ipm_report.solver, "ipm");
+  EXPECT_TRUE(admm_report.converged);
+  EXPECT_TRUE(ipm_report.converged);
+  EXPECT_GT(admm_report.iterations, 0);
+  EXPECT_GT(ipm_report.iterations, 0);
+  EXPECT_GT(admm_report.seconds, 0.0);
+  // Solutions have the right shapes.
+  EXPECT_EQ(admm_report.solution.vm.size(), 9u);
+  EXPECT_EQ(ipm_report.solution.pg.size(), 3u);
+  // Quality metrics populated.
+  EXPECT_GT(admm_report.quality.objective, 0.0);
+  EXPECT_LT(admm_report.quality.max_violation, 1e-2);
+}
+
+}  // namespace
+}  // namespace gridadmm::opf

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "linalg/ordering.hpp"
+
+namespace gridadmm::linalg {
+namespace {
+
+bool is_permutation_of_iota(std::span<const int> perm) {
+  std::vector<int> sorted(perm.begin(), perm.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+std::vector<Triplet> random_symmetric_pattern(int n, int edges, Rng& rng) {
+  std::vector<Triplet> ts;
+  // Chain guarantees connectivity.
+  for (int i = 0; i + 1 < n; ++i) ts.push_back({i + 1, i, 1.0});
+  for (int k = 0; k < edges; ++k) {
+    int a = static_cast<int>(rng.uniform_index(n));
+    int b = static_cast<int>(rng.uniform_index(n));
+    if (a == b) continue;
+    ts.push_back({std::max(a, b), std::min(a, b), 1.0});
+  }
+  return ts;
+}
+
+class OrderingParamTest : public ::testing::TestWithParam<OrderingMethod> {};
+
+TEST_P(OrderingParamTest, ProducesValidPermutation) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 5 + static_cast<int>(rng.uniform_index(60));
+    const auto pattern = random_symmetric_pattern(n, 2 * n, rng);
+    const auto perm = compute_ordering(n, pattern, GetParam());
+    ASSERT_EQ(static_cast<int>(perm.size()), n);
+    EXPECT_TRUE(is_permutation_of_iota(perm));
+    const auto iperm = invert_permutation(perm);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(iperm[perm[i]], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, OrderingParamTest,
+                         ::testing::Values(OrderingMethod::kNatural, OrderingMethod::kRcm,
+                                           OrderingMethod::kMinDegree));
+
+TEST(Ordering, RcmReducesBandwidthOnChainWithShuffle) {
+  // A path graph labelled badly: RCM should recover a small bandwidth.
+  const int n = 50;
+  std::vector<int> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  Rng rng(77);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(label[i], label[rng.uniform_index(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  std::vector<Triplet> pattern;
+  for (int i = 0; i + 1 < n; ++i) {
+    pattern.push_back({std::max(label[i], label[i + 1]), std::min(label[i], label[i + 1]), 1.0});
+  }
+  const auto perm = compute_ordering(n, pattern, OrderingMethod::kRcm);
+  const auto iperm = invert_permutation(perm);
+  int bandwidth = 0;
+  for (const auto& t : pattern) {
+    bandwidth = std::max(bandwidth, std::abs(iperm[t.row] - iperm[t.col]));
+  }
+  EXPECT_LE(bandwidth, 3);
+}
+
+TEST(Ordering, HandlesDisconnectedGraphs) {
+  // Two components plus an isolated vertex.
+  std::vector<Triplet> pattern{{1, 0, 1.0}, {3, 2, 1.0}};
+  for (const auto method :
+       {OrderingMethod::kNatural, OrderingMethod::kRcm, OrderingMethod::kMinDegree}) {
+    const auto perm = compute_ordering(5, pattern, method);
+    EXPECT_TRUE(is_permutation_of_iota(perm));
+  }
+}
+
+TEST(Ordering, HandlesEmptyMatrix) {
+  const auto perm = compute_ordering(0, {}, OrderingMethod::kRcm);
+  EXPECT_TRUE(perm.empty());
+}
+
+}  // namespace
+}  // namespace gridadmm::linalg

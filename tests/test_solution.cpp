@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "grid/cases.hpp"
+#include "grid/flows.hpp"
+#include "grid/solution.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+/// Two-bus network: generator at bus 0 feeds a load at bus 1.
+Network two_bus() {
+  Network net;
+  net.buses.resize(2);
+  net.buses[0].id = 1;
+  net.buses[0].type = BusType::kRef;
+  net.buses[1].id = 2;
+  net.buses[1].pd = 50.0;  // MW
+  net.buses[1].qd = 10.0;
+  Generator gen;
+  gen.bus = 0;
+  gen.pmax = 200.0;
+  gen.qmin = -100.0;
+  gen.qmax = 100.0;
+  gen.c1 = 10.0;
+  net.generators.push_back(gen);
+  Branch branch;
+  branch.from = 0;
+  branch.to = 1;
+  branch.r = 0.01;
+  branch.x = 0.1;
+  branch.rate = 100.0;
+  net.branches.push_back(branch);
+  net.finalize();
+  return net;
+}
+
+TEST(Solution, BalancedDispatchHasTinyViolation) {
+  const auto net = two_bus();
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm = {1.0, 0.95};
+  sol.va = {0.0, -0.05};
+  // Compute exact flows and set the generator to match them.
+  const auto f = eval_flows(net.admittances[0], 1.0, 0.95, 0.0, -0.05);
+  sol.pg[0] = f[kPij];
+  sol.qg[0] = f[kQij];
+  // The to-side must match the load for zero violation; adjust loads.
+  auto net2 = net;
+  net2.buses[1].pd = -f[kPji];
+  net2.buses[1].qd = -f[kQji];
+  const auto quality = evaluate_solution(net2, sol);
+  EXPECT_LT(quality.power_balance_violation, 1e-12);
+  EXPECT_DOUBLE_EQ(quality.bound_violation, 0.0);
+}
+
+TEST(Solution, DetectsPowerImbalance) {
+  const auto net = two_bus();
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm = {1.0, 1.0};
+  sol.va = {0.0, 0.0};
+  sol.pg[0] = 0.0;  // nothing dispatched against a 0.5 p.u. load
+  const auto quality = evaluate_solution(net, sol);
+  EXPECT_GT(quality.power_balance_violation, 0.4);
+  EXPECT_GE(quality.max_violation, quality.power_balance_violation);
+}
+
+TEST(Solution, DetectsLineOverload) {
+  auto net = two_bus();
+  net.branches[0].rate = 0.1;  // p.u. (post-finalize edit)
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm = {1.05, 0.95};
+  sol.va = {0.3, -0.3};  // large angle spread forces a big flow
+  const auto quality = evaluate_solution(net, sol);
+  EXPECT_GT(quality.line_violation, 0.1);
+}
+
+TEST(Solution, DetectsBoundViolations) {
+  const auto net = two_bus();
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm = {1.2, 1.0};  // above vmax = 1.1
+  sol.pg[0] = 3.0;      // above pmax = 2.0
+  const auto quality = evaluate_solution(net, sol);
+  EXPECT_NEAR(quality.bound_violation, 1.0, 1e-12);  // pg exceeds by 1.0 p.u.
+}
+
+TEST(Solution, LineCapacityFactorTightensLimits) {
+  auto net = two_bus();
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm = {1.0, 0.96};
+  sol.va = {0.0, -0.09};
+  const auto loose = evaluate_solution(net, sol, 1.0);
+  const auto tight = evaluate_solution(net, sol, 0.5);
+  EXPECT_GE(tight.line_violation, loose.line_violation);
+}
+
+TEST(Solution, ObjectiveUsesCostCurves) {
+  const auto net = load_embedded_case("case9");
+  OpfSolution sol = OpfSolution::zeros(net);
+  sol.vm.assign(9, 1.0);
+  sol.pg = {1.0, 0.0, 0.0};
+  const auto quality = evaluate_solution(net, sol);
+  EXPECT_NEAR(quality.objective, 0.11 * 1e4 + 5.0 * 100 + 150.0 + 600.0 + 335.0, 1e-9);
+}
+
+TEST(Solution, RelativeGap) {
+  EXPECT_DOUBLE_EQ(relative_gap(101.0, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(relative_gap(99.0, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(relative_gap(1.0, 0.0), 1.0);  // guarded denominator
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

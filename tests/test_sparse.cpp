@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gridadmm::linalg {
+namespace {
+
+TEST(SparseMatrix, FromTripletsSortsAndSumsDuplicates) {
+  std::vector<Triplet> ts{{1, 0, 2.0}, {0, 0, 1.0}, {1, 0, 3.0}, {2, 1, 4.0}};
+  const auto a = SparseMatrix::from_triplets(3, 2, ts);
+  EXPECT_EQ(a.nnz(), 3);
+  // Column 0: rows 0 (1.0) and 1 (5.0).
+  EXPECT_EQ(a.colptr()[0], 0);
+  EXPECT_EQ(a.colptr()[1], 2);
+  EXPECT_EQ(a.rowind()[0], 0);
+  EXPECT_DOUBLE_EQ(a.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(a.values()[1], 5.0);
+  EXPECT_DOUBLE_EQ(a.values()[2], 4.0);
+}
+
+TEST(SparseMatrix, RejectsOutOfRange) {
+  std::vector<Triplet> ts{{3, 0, 1.0}};
+  EXPECT_THROW(SparseMatrix::from_triplets(3, 2, ts), GridError);
+}
+
+TEST(SparseMatrix, MatvecMatchesDense) {
+  Rng rng(17);
+  const int m = 20, n = 15;
+  std::vector<Triplet> ts;
+  std::vector<std::vector<double>> dense(m, std::vector<double>(n, 0.0));
+  for (int k = 0; k < 80; ++k) {
+    const int r = static_cast<int>(rng.uniform_index(m));
+    const int c = static_cast<int>(rng.uniform_index(n));
+    const double v = rng.uniform(-1, 1);
+    ts.push_back({r, c, v});
+    dense[r][c] += v;
+  }
+  const auto a = SparseMatrix::from_triplets(m, n, ts);
+  std::vector<double> x(n), y(m), yt(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  a.matvec(x, y);
+  for (int r = 0; r < m; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < n; ++c) acc += dense[r][c] * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-12);
+  }
+  std::vector<double> w(m);
+  for (auto& v : w) v = rng.uniform(-1, 1);
+  a.matvec_transpose(w, yt);
+  for (int c = 0; c < n; ++c) {
+    double acc = 0.0;
+    for (int r = 0; r < m; ++r) acc += dense[r][c] * w[r];
+    EXPECT_NEAR(yt[c], acc, 1e-12);
+  }
+}
+
+TEST(SparseMatrix, TransposeRoundTrip) {
+  Rng rng(23);
+  std::vector<Triplet> ts;
+  for (int k = 0; k < 40; ++k) {
+    ts.push_back({static_cast<int>(rng.uniform_index(10)), static_cast<int>(rng.uniform_index(8)),
+                  rng.uniform(-1, 1)});
+  }
+  const auto a = SparseMatrix::from_triplets(10, 8, ts);
+  const auto att = a.transpose().transpose();
+  ASSERT_EQ(att.nnz(), a.nnz());
+  for (int k = 0; k < a.nnz(); ++k) {
+    EXPECT_EQ(att.rowind()[k], a.rowind()[k]);
+    EXPECT_DOUBLE_EQ(att.values()[k], a.values()[k]);
+  }
+}
+
+}  // namespace
+}  // namespace gridadmm::linalg

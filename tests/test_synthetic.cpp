@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "grid/synthetic.hpp"
+
+namespace gridadmm::grid {
+namespace {
+
+TEST(Synthetic, SmallGridHasRequestedShape) {
+  SyntheticSpec spec;
+  spec.name = "tiny";
+  spec.buses = 40;
+  spec.branches = 60;
+  spec.generators = 8;
+  spec.seed = 3;
+  const auto net = make_synthetic_grid(spec);
+  EXPECT_EQ(net.num_buses(), 40);
+  EXPECT_EQ(net.num_branches(), 60);
+  EXPECT_EQ(net.num_generators(), 8);
+  EXPECT_TRUE(net.finalized());  // implies connectivity check passed
+}
+
+TEST(Synthetic, IsDeterministic) {
+  SyntheticSpec spec;
+  spec.buses = 50;
+  spec.branches = 80;
+  spec.generators = 10;
+  spec.seed = 42;
+  const auto a = make_synthetic_grid(spec);
+  const auto b = make_synthetic_grid(spec);
+  ASSERT_EQ(a.num_branches(), b.num_branches());
+  for (int l = 0; l < a.num_branches(); ++l) {
+    EXPECT_DOUBLE_EQ(a.branches[l].x, b.branches[l].x);
+    EXPECT_DOUBLE_EQ(a.branches[l].rate, b.branches[l].rate);
+    EXPECT_EQ(a.branches[l].from, b.branches[l].from);
+  }
+}
+
+TEST(Synthetic, CapacityExceedsLoad) {
+  SyntheticSpec spec;
+  spec.buses = 100;
+  spec.branches = 150;
+  spec.generators = 20;
+  const auto net = make_synthetic_grid(spec);
+  double cap = 0.0;
+  for (const auto& gen : net.generators) cap += gen.pmax;
+  EXPECT_GT(cap, 1.3 * net.total_load());
+}
+
+TEST(Synthetic, AllLinesRatedPositive) {
+  SyntheticSpec spec;
+  spec.buses = 60;
+  spec.branches = 90;
+  spec.generators = 12;
+  const auto net = make_synthetic_grid(spec);
+  for (const auto& branch : net.branches) EXPECT_GT(branch.rate, 0.0);
+}
+
+TEST(Synthetic, TableIPresetsMatchPaperCounts) {
+  // Component counts from Table I of the paper.
+  const struct {
+    const char* name;
+    int gens, branches, buses;
+  } expected[] = {
+      {"1354pegase", 260, 1991, 1354},     {"2869pegase", 510, 4582, 2869},
+      {"9241pegase", 1445, 16049, 9241},   {"13659pegase", 4092, 20467, 13659},
+      {"ACTIVSg25k", 4834, 32230, 25000},  {"ACTIVSg70k", 10390, 88207, 70000},
+  };
+  for (const auto& e : expected) {
+    EXPECT_TRUE(is_synthetic_case(e.name));
+    const auto spec = synthetic_case_spec(e.name);
+    EXPECT_EQ(spec.generators, e.gens) << e.name;
+    EXPECT_EQ(spec.branches, e.branches) << e.name;
+    EXPECT_EQ(spec.buses, e.buses) << e.name;
+  }
+  EXPECT_FALSE(is_synthetic_case("case9"));
+  EXPECT_THROW(synthetic_case_spec("nope"), ParseError);
+}
+
+TEST(Synthetic, SmallestPresetBuilds) {
+  const auto net = make_synthetic_case("1354pegase");
+  EXPECT_EQ(net.num_buses(), 1354);
+  EXPECT_EQ(net.num_branches(), 1991);
+  EXPECT_EQ(net.num_generators(), 260);
+}
+
+TEST(Synthetic, RejectsInvalidSpecs) {
+  SyntheticSpec spec;
+  spec.buses = 10;
+  spec.branches = 5;  // fewer branches than buses
+  EXPECT_THROW(make_synthetic_grid(spec), GridError);
+  spec.branches = 20;
+  spec.generators = 0;
+  EXPECT_THROW(make_synthetic_grid(spec), GridError);
+}
+
+}  // namespace
+}  // namespace gridadmm::grid

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tron/tron.hpp"
+
+namespace gridadmm::tron {
+namespace {
+
+/// Quadratic problem 0.5 x'Qx - b'x over a box.
+class BoxQp final : public TronProblem {
+ public:
+  BoxQp(linalg::DenseMatrix q, std::vector<double> b, std::vector<double> lo,
+        std::vector<double> hi)
+      : q_(std::move(q)), b_(std::move(b)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  [[nodiscard]] int dim() const override { return static_cast<int>(b_.size()); }
+  void bounds(std::span<double> lower, std::span<double> upper) const override {
+    std::copy(lo_.begin(), lo_.end(), lower.begin());
+    std::copy(hi_.begin(), hi_.end(), upper.begin());
+  }
+  double eval_f(std::span<const double> x) override {
+    std::vector<double> qx(b_.size());
+    q_.matvec(x, qx);
+    double f = 0.0;
+    for (std::size_t i = 0; i < b_.size(); ++i) f += 0.5 * x[i] * qx[i] - b_[i] * x[i];
+    return f;
+  }
+  void eval_gradient(std::span<const double> x, std::span<double> grad) override {
+    std::vector<double> qx(b_.size());
+    q_.matvec(x, qx);
+    for (std::size_t i = 0; i < b_.size(); ++i) grad[i] = qx[i] - b_[i];
+  }
+  void eval_hessian(std::span<const double>, linalg::DenseMatrix& hess) override { hess = q_; }
+
+ private:
+  linalg::DenseMatrix q_;
+  std::vector<double> b_, lo_, hi_;
+};
+
+/// 2-D Rosenbrock restricted to a box.
+class BoxRosenbrock final : public TronProblem {
+ public:
+  [[nodiscard]] int dim() const override { return 2; }
+  void bounds(std::span<double> lower, std::span<double> upper) const override {
+    lower[0] = -2.0;
+    upper[0] = 2.0;
+    lower[1] = -1.0;
+    upper[1] = 3.0;
+  }
+  double eval_f(std::span<const double> x) override {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  }
+  void eval_gradient(std::span<const double> x, std::span<double> grad) override {
+    const double b = x[1] - x[0] * x[0];
+    grad[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * b;
+    grad[1] = 200.0 * b;
+  }
+  void eval_hessian(std::span<const double> x, linalg::DenseMatrix& hess) override {
+    hess(0, 0) = 2.0 - 400.0 * (x[1] - 3.0 * x[0] * x[0]);
+    hess(0, 1) = -400.0 * x[0];
+    hess(1, 0) = -400.0 * x[0];
+    hess(1, 1) = 200.0;
+  }
+};
+
+TEST(Tron, SolvesUnconstrainedQuadratic) {
+  linalg::DenseMatrix q(2, 2);
+  q(0, 0) = 2.0;
+  q(1, 1) = 4.0;
+  BoxQp prob(q, {2.0, 4.0}, {-10, -10}, {10, 10});
+  TronSolver solver;
+  std::vector<double> x{0.0, 0.0};
+  const auto result = solver.minimize(prob, x);
+  EXPECT_EQ(result.status, TronStatus::kConverged);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);
+}
+
+TEST(Tron, RespectsActiveBounds) {
+  linalg::DenseMatrix q(2, 2);
+  q(0, 0) = 2.0;
+  q(1, 1) = 2.0;
+  // Unconstrained minimizer (5, 5); box caps at 1.
+  BoxQp prob(q, {10.0, 10.0}, {-1, -1}, {1, 1});
+  TronSolver solver;
+  std::vector<double> x{0.0, 0.0};
+  const auto result = solver.minimize(prob, x);
+  EXPECT_EQ(result.status, TronStatus::kConverged);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 1.0, 1e-8);
+}
+
+TEST(Tron, SolvesRosenbrockInBox) {
+  BoxRosenbrock prob;
+  TronSolver solver;
+  solver.options().max_iterations = 500;
+  std::vector<double> x{-1.2, 1.0};
+  const auto result = solver.minimize(prob, x);
+  EXPECT_TRUE(result.status == TronStatus::kConverged ||
+              result.status == TronStatus::kSmallReduction);
+  EXPECT_NEAR(x[0], 1.0, 1e-4);
+  EXPECT_NEAR(x[1], 1.0, 1e-4);
+}
+
+TEST(Tron, HandlesNegativeCurvatureToBound) {
+  // Concave quadratic: minimizer must be at a box corner.
+  linalg::DenseMatrix q(2, 2);
+  q(0, 0) = -2.0;
+  q(1, 1) = -2.0;
+  BoxQp prob(q, {0.1, -0.1}, {-1, -1}, {1, 1});
+  TronSolver solver;
+  std::vector<double> x{0.2, 0.3};
+  const auto result = solver.minimize(prob, x);
+  EXPECT_TRUE(result.status == TronStatus::kConverged ||
+              result.status == TronStatus::kSmallReduction);
+  EXPECT_NEAR(std::abs(x[0]), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(x[1]), 1.0, 1e-6);
+}
+
+TEST(Tron, ClampsInfeasibleStart) {
+  linalg::DenseMatrix q(1, 1);
+  q(0, 0) = 2.0;
+  BoxQp prob(q, {0.0}, {0.0}, {1.0});
+  TronSolver solver;
+  std::vector<double> x{5.0};  // outside the box
+  const auto result = solver.minimize(prob, x);
+  EXPECT_EQ(result.status, TronStatus::kConverged);
+  EXPECT_NEAR(x[0], 0.0, 1e-9);
+}
+
+TEST(Tron, ZeroGradientConvergesImmediately) {
+  linalg::DenseMatrix q(2, 2);
+  q(0, 0) = 1.0;
+  q(1, 1) = 1.0;
+  BoxQp prob(q, {1.0, 1.0}, {-5, -5}, {5, 5});
+  TronSolver solver;
+  std::vector<double> x{1.0, 1.0};  // exact solution
+  const auto result = solver.minimize(prob, x);
+  EXPECT_EQ(result.status, TronStatus::kConverged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+class TronRandomQpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TronRandomQpTest, SatisfiesProjectedKktConditions) {
+  gridadmm::Rng rng(500 + GetParam());
+  const int n = 2 + static_cast<int>(rng.uniform_index(5));
+  linalg::DenseMatrix basis(n, n), q(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) basis(i, j) = rng.uniform(-1, 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = i == j ? 0.5 : 0.0;
+      for (int k = 0; k < n; ++k) acc += basis(i, k) * basis(j, k);
+      q(i, j) = acc;
+    }
+  }
+  std::vector<double> b(n), lo(n), hi(n), x(n);
+  for (int i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-3, 3);
+    lo[i] = rng.uniform(-1.5, -0.1);
+    hi[i] = rng.uniform(0.1, 1.5);
+    x[i] = rng.uniform(lo[i], hi[i]);
+  }
+  BoxQp prob(q, b, lo, hi);
+  TronSolver solver;
+  const auto result = solver.minimize(prob, x);
+  ASSERT_TRUE(result.status == TronStatus::kConverged ||
+              result.status == TronStatus::kSmallReduction);
+  // Feasibility.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(x[i], lo[i] - 1e-12);
+    EXPECT_LE(x[i], hi[i] + 1e-12);
+  }
+  // Projected-gradient optimality.
+  std::vector<double> grad(n);
+  prob.eval_gradient(x, grad);
+  for (int i = 0; i < n; ++i) {
+    const double proj = std::clamp(x[i] - grad[i], lo[i], hi[i]) - x[i];
+    EXPECT_LT(std::abs(proj), 1e-5) << "component " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomQps, TronRandomQpTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace gridadmm::tron
