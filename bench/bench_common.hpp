@@ -70,4 +70,54 @@ inline admm::AdmmParams budgeted_params(const CaseBudget& budget, int num_buses)
   return params;
 }
 
+/// One machine-readable result record: a single-line JSON object
+/// `{"bench": <name>, <key>: <value>, ...}` on stdout, one per
+/// measurement, so harness output can be collected with grep + jq.
+class JsonRecord {
+ public:
+  explicit JsonRecord(const std::string& bench) {
+    line_ = "{\"bench\": \"" + bench + "\"";
+  }
+  JsonRecord& field(const std::string& key, const std::string& value) {
+    line_ += ", \"" + key + "\": \"" + escaped(value) + "\"";
+    return *this;
+  }
+  /// Without this overload a string literal would convert to bool.
+  JsonRecord& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRecord& field(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    line_ += ", \"" + key + "\": " + buf;
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, long long value) {
+    line_ += ", \"" + key + "\": " + std::to_string(value);
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, int value) {
+    return field(key, static_cast<long long>(value));
+  }
+  JsonRecord& field(const std::string& key, bool value) {
+    line_ += ", \"" + key + "\": " + (value ? "true" : "false");
+    return *this;
+  }
+  /// Prints the record and terminates the line.
+  void emit() const { std::printf("%s}\n", line_.c_str()); }
+
+ private:
+  static std::string escaped(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string line_;
+};
+
 }  // namespace gridadmm::bench

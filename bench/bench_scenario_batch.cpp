@@ -1,0 +1,81 @@
+// Batched versus sequential multi-scenario solve: wall time, kernel
+// launches, and scenarios/second across batch sizes S in {1, 4, 16, 64} on
+// case9 and case30 load-scale scenarios. Emits one JSON record per
+// (case, S, engine) measurement (bench_common.hpp JsonRecord format) plus a
+// summary table.
+//
+//   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64]
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "scenario/batch_solver.hpp"
+#include "scenario/scenario_set.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridadmm;
+  const Options opts(argc, argv);
+  bench::print_mode_banner("Scenario batch: fused vs sequential multi-scenario solve");
+
+  const auto case_names = split_csv(opts.get("cases", "case9,case30"));
+  std::vector<int> sizes;
+  for (const auto& s : split_csv(opts.get("sizes", "1,4,16,64"))) sizes.push_back(std::stoi(s));
+
+  Table table({"case", "S", "seq (s)", "batch (s)", "speedup", "seq launches",
+               "batch launches", "batch scen/s"});
+  for (const auto& case_name : case_names) {
+    const auto net = grid::load_case(case_name);
+    const auto params = admm::params_for_case(case_name, net.num_buses());
+    for (const int S : sizes) {
+      scenario::ScenarioSet set(net);
+      set.add_load_scale(S, 0.92, 1.08);
+
+      const auto sequential = scenario::solve_sequential(set, params);
+      scenario::BatchAdmmSolver solver(set, params);
+      const auto batched = solver.solve();
+
+      const double speedup =
+          batched.solve_seconds > 0.0 ? sequential.solve_seconds / batched.solve_seconds : 0.0;
+      table.add_row({case_name, std::to_string(S), Table::fixed(sequential.solve_seconds, 3),
+                     Table::fixed(batched.solve_seconds, 3), Table::fixed(speedup, 2),
+                     std::to_string(sequential.launch_stats.launches),
+                     std::to_string(batched.launch_stats.launches),
+                     Table::fixed(batched.scenarios_per_second(), 1)});
+
+      for (const char* engine : {"sequential", "batched"}) {
+        const auto& report = engine[0] == 's' ? sequential : batched;
+        bench::JsonRecord record("scenario_batch");
+        record.field("case", case_name)
+            .field("S", S)
+            .field("engine", engine)
+            .field("solve_seconds", report.solve_seconds)
+            .field("launches", static_cast<long long>(report.launch_stats.launches))
+            .field("blocks", static_cast<long long>(report.launch_stats.blocks))
+            .field("converged", report.num_converged())
+            .field("scenarios_per_second", report.scenarios_per_second());
+        record.emit();
+      }
+    }
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -201,104 +202,89 @@ void BranchProblem::constraint_values(std::span<const double> x, double& cij, do
   cji = f[grid::kPji] * f[grid::kPji] + f[grid::kQji] * f[grid::kQji] + x[5];
 }
 
-void update_branches(device::Device& dev, const ComponentModel& model, const AdmmParams& params,
-                     AdmmState& state, BranchUpdateStats* stats) {
-  const auto rho = model.rho.span();
-  const auto adm = model.br_adm.span();
-  const auto vbound = model.br_vbound.span();
-  const auto rate2 = model.br_rate2.span();
-  const auto v = state.v.span();
-  const auto z = state.z.span();
-  const auto y = state.y.span();
-  auto u = state.u.span();
-  auto bx = state.branch_x.span();
-  auto bsl = state.branch_s.span();
-  auto blam = state.branch_lambda.span();
-  const int num_gens = model.num_gens;
+void branch_update_one(const ModelView& m, const AdmmParams& params, const ScenarioView& s, int l,
+                       BranchWorkspace& ws) {
+  if (s.branch_active != nullptr && s.branch_active[l] == 0) return;  // outage
+  const int base = branch_pair_base(m.num_gens, l);
+  double d[8], yk[8], rhok[8];
+  for (int k = 0; k < 8; ++k) {
+    d[k] = s.z[base + k] - s.v[base + k];
+    yk[k] = s.y[base + k];
+    rhok[k] = s.rho[base + k];
+  }
+  const double rate2 = m.rate2[l];
+  ws.problem.bind(m.adm + 8 * l, m.vbound + 4 * l, rate2, d, yk, rhok);
 
-  // Per-lane scratch: one TRON solver and one problem per worker.
-  struct Lane {
-    tron::TronSolver solver;
-    BranchProblem problem;
-    BranchUpdateStats stats;
-    char pad[64] = {0};  // avoid false sharing of the stats counters
-  };
-  std::vector<Lane> lanes;
-  lanes.reserve(static_cast<std::size_t>(dev.workers()));
-  for (int w = 0; w < dev.workers(); ++w) {
-    Lane lane;
-    lane.solver.options() = params.tron;
-    lanes.push_back(std::move(lane));
+  double x[6];
+  for (int a = 0; a < 4; ++a) x[a] = s.branch_x[4 * l + a];
+  const bool rated = rate2 > 0.0;
+
+  if (!rated) {
+    ws.problem.set_line_multipliers(0.0, 0.0, 0.0);
+    const auto result = ws.solver.minimize(ws.problem, {x, 4});
+    ws.stats.tron_iterations += result.iterations;
+    ws.stats.cg_iterations += result.cg_iterations;
+    if (result.status == tron::TronStatus::kLineSearchFailed) ++ws.stats.failures;
+  } else {
+    x[4] = s.branch_s[2 * l];
+    x[5] = s.branch_s[2 * l + 1];
+    double lam_ij = s.branch_lambda[2 * l];
+    double lam_ji = s.branch_lambda[2 * l + 1];
+    double rho_t = params.auglag_rho0 * std::max(rhok[0], 1.0);
+    double eta = std::pow(rho_t, -0.1);
+    for (int al = 0; al < params.auglag_max_iterations; ++al) {
+      ++ws.stats.auglag_iterations;
+      ws.problem.set_line_multipliers(lam_ij, lam_ji, rho_t);
+      const auto result = ws.solver.minimize(ws.problem, {x, 6});
+      ws.stats.tron_iterations += result.iterations;
+      ws.stats.cg_iterations += result.cg_iterations;
+      if (result.status == tron::TronStatus::kLineSearchFailed) ++ws.stats.failures;
+      double cij = 0.0, cji = 0.0;
+      ws.problem.constraint_values({x, 6}, cij, cji);
+      const double viol = std::max(std::abs(cij), std::abs(cji));
+      if (viol <= eta) {
+        lam_ij += rho_t * cij;
+        lam_ji += rho_t * cji;
+        if (viol <= params.auglag_eta) break;
+        eta = std::max(params.auglag_eta, eta * std::pow(rho_t, -0.9));
+      } else {
+        rho_t = std::min(rho_t * 10.0, params.auglag_rho_max);
+        eta = std::max(params.auglag_eta, std::pow(rho_t, -0.1));
+      }
+    }
+    s.branch_lambda[2 * l] = lam_ij;
+    s.branch_lambda[2 * l + 1] = lam_ji;
+    s.branch_s[2 * l] = x[4];
+    s.branch_s[2 * l + 1] = x[5];
   }
 
-  dev.launch_with_lane(model.num_branches, [&, u, bx, bsl, blam](int l, int lane_id) {
-    Lane& lane = lanes[lane_id];
-    const int base = branch_pair_base(num_gens, l);
-    double d[8], yk[8], rhok[8];
-    for (int k = 0; k < 8; ++k) {
-      d[k] = z[base + k] - v[base + k];
-      yk[k] = y[base + k];
-      rhok[k] = rho[base + k];
-    }
-    lane.problem.bind(adm.data() + 8 * l, vbound.data() + 4 * l, rate2[l], d, yk, rhok);
+  for (int a = 0; a < 4; ++a) s.branch_x[4 * l + a] = x[a];
+  const grid::FlowValues f = grid::eval_flows(
+      grid::BranchAdmittance{m.adm[8 * l + 0], m.adm[8 * l + 1], m.adm[8 * l + 2], m.adm[8 * l + 3],
+                             m.adm[8 * l + 4], m.adm[8 * l + 5], m.adm[8 * l + 6], m.adm[8 * l + 7]},
+      x[0], x[1], x[2], x[3]);
+  s.u[base + kPairPij] = f[grid::kPij];
+  s.u[base + kPairQij] = f[grid::kQij];
+  s.u[base + kPairPji] = f[grid::kPji];
+  s.u[base + kPairQji] = f[grid::kQji];
+  s.u[base + kPairWi] = x[0] * x[0];
+  s.u[base + kPairThi] = x[2];
+  s.u[base + kPairWj] = x[1] * x[1];
+  s.u[base + kPairThj] = x[3];
+}
 
-    double x[6];
-    for (int a = 0; a < 4; ++a) x[a] = bx[4 * l + a];
-    const bool rated = rate2[l] > 0.0;
+void update_branches(device::Device& dev, const ComponentModel& model, const AdmmParams& params,
+                     AdmmState& state, BranchUpdateStats* stats) {
+  const ModelView m = make_model_view(model);
+  const ScenarioView s = make_scenario_view(model, state);
 
-    if (!rated) {
-      lane.problem.set_line_multipliers(0.0, 0.0, 0.0);
-      const auto result = lane.solver.minimize(lane.problem, {x, 4});
-      lane.stats.tron_iterations += result.iterations;
-      lane.stats.cg_iterations += result.cg_iterations;
-      if (result.status == tron::TronStatus::kLineSearchFailed) ++lane.stats.failures;
-    } else {
-      x[4] = bsl[2 * l];
-      x[5] = bsl[2 * l + 1];
-      double lam_ij = blam[2 * l];
-      double lam_ji = blam[2 * l + 1];
-      double rho_t = params.auglag_rho0 * std::max(rhok[0], 1.0);
-      double eta = std::pow(rho_t, -0.1);
-      for (int al = 0; al < params.auglag_max_iterations; ++al) {
-        ++lane.stats.auglag_iterations;
-        lane.problem.set_line_multipliers(lam_ij, lam_ji, rho_t);
-        const auto result = lane.solver.minimize(lane.problem, {x, 6});
-        lane.stats.tron_iterations += result.iterations;
-        lane.stats.cg_iterations += result.cg_iterations;
-        if (result.status == tron::TronStatus::kLineSearchFailed) ++lane.stats.failures;
-        double cij = 0.0, cji = 0.0;
-        lane.problem.constraint_values({x, 6}, cij, cji);
-        const double viol = std::max(std::abs(cij), std::abs(cji));
-        if (viol <= eta) {
-          lam_ij += rho_t * cij;
-          lam_ji += rho_t * cji;
-          if (viol <= params.auglag_eta) break;
-          eta = std::max(params.auglag_eta, eta * std::pow(rho_t, -0.9));
-        } else {
-          rho_t = std::min(rho_t * 10.0, params.auglag_rho_max);
-          eta = std::max(params.auglag_eta, std::pow(rho_t, -0.1));
-        }
-      }
-      blam[2 * l] = lam_ij;
-      blam[2 * l + 1] = lam_ji;
-      bsl[2 * l] = x[4];
-      bsl[2 * l + 1] = x[5];
-    }
+  std::vector<BranchWorkspace> lanes(static_cast<std::size_t>(dev.workers()));
+  for (auto& lane : lanes) lane.solver.options() = params.tron;
 
-    for (int a = 0; a < 4; ++a) bx[4 * l + a] = x[a];
-    const grid::FlowValues f = grid::eval_flows(
-        grid::BranchAdmittance{adm[8 * l + 0], adm[8 * l + 1], adm[8 * l + 2], adm[8 * l + 3],
-                               adm[8 * l + 4], adm[8 * l + 5], adm[8 * l + 6], adm[8 * l + 7]},
-        x[0], x[1], x[2], x[3]);
-    u[base + kPairPij] = f[grid::kPij];
-    u[base + kPairQij] = f[grid::kQij];
-    u[base + kPairPji] = f[grid::kPji];
-    u[base + kPairQji] = f[grid::kQji];
-    u[base + kPairWi] = x[0] * x[0];
-    u[base + kPairThi] = x[2];
-    u[base + kPairWj] = x[1] * x[1];
-    u[base + kPairThj] = x[3];
-  });
+  dev.launch_with_lane(model.num_branches,
+                       [&lanes, &params, m, s](int l, int lane_id) {
+                         branch_update_one(m, params, s, l, lanes[lane_id]);
+                       });
 
   if (stats != nullptr) {
     for (const auto& lane : lanes) {

@@ -11,6 +11,7 @@
 // execution model of paper Section III-B.
 #pragma once
 
+#include "admm/kernels_core.hpp"
 #include "admm/params.hpp"
 #include "admm/state.hpp"
 #include "device/device.hpp"
@@ -63,5 +64,22 @@ class BranchProblem final : public tron::TronProblem {
   // scale_ = 1 / max(1, max_k rho_k, rho_t). The minimizer is unchanged.
   double scale_ = 1.0;
 };
+
+/// Per-worker-lane scratch for the branch updates: one TRON solver and one
+/// problem instance, reused across all branches the lane processes. The pad
+/// keeps the stats counters of neighboring lanes off the same cache line.
+struct BranchWorkspace {
+  tron::TronSolver solver;
+  BranchProblem problem;
+  BranchUpdateStats stats;
+  char pad[64] = {0};
+};
+
+/// Solves the branch-l subproblem against the scenario's iterate: the full
+/// TRON (+ LANCELOT augmented-Lagrangian when rated) solve of one device
+/// block. Exposed so the fused multi-scenario batch kernel can reuse it.
+/// Out-of-service branches (scenario outage mask) are skipped.
+void branch_update_one(const ModelView& m, const AdmmParams& params, const ScenarioView& s, int l,
+                       BranchWorkspace& ws);
 
 }  // namespace gridadmm::admm

@@ -1,112 +1,22 @@
 #include "admm/bus_kernel.hpp"
 
 #include <algorithm>
-#include <cmath>
 
+#include "admm/kernels_core.hpp"
 #include "admm/zy_kernel.hpp"
-#include "common/error.hpp"
 
 namespace gridadmm::admm {
 
 void update_buses(device::Device& dev, const ComponentModel& model, AdmmState& state,
                   std::span<double> partial_dual) {
-  const auto rho = model.rho.span();
-  const auto pd = model.bus_pd.span();
-  const auto qd = model.bus_qd.span();
-  const auto gs = model.bus_gs.span();
-  const auto bs = model.bus_bs.span();
-  const auto gen_ptr = model.bus_gen_ptr.span();
-  const auto gen_list = model.bus_gen_list.span();
-  const auto adj_ptr = model.bus_adj_ptr.span();
-  const auto adj_kp = model.bus_adj_kp.span();
-  const auto u = state.u.span();
-  const auto z = state.z.span();
-  const auto y = state.y.span();
-  auto v = state.v.span();
-  auto bus_w = state.bus_w.span();
-  auto bus_theta = state.bus_theta.span();
-
+  const ModelView m = make_model_view(model);
+  const ScenarioView s = make_scenario_view(model, state);
   std::fill(partial_dual.begin(), partial_dual.end(), 0.0);
   dev.launch_with_lane(model.num_buses, [=](int i, int lane) {
-    // The proximal targets are m_k = u_k + z_k + y_k / rho_k: each duplicate
-    // v_k minimizes rho_k/2 (v_k - m_k)^2 subject to the two balance rows.
-    auto target = [&](int k) { return u[k] + z[k] + y[k] / rho[k]; };
     double* dual_slot = partial_dual.empty()
                             ? nullptr
                             : &partial_dual[static_cast<std::size_t>(lane) * kReduceStride];
-    auto assign_v = [&](int k, double value) {
-      if (dual_slot != nullptr) {
-        // Penalty-normalized dual residual |v - v_prev| (Boyd's scaled
-        // form): comparable across rho presets and directly meaningful in
-        // per-unit terms.
-        const double delta = std::abs(value - v[k]);
-        if (delta > *dual_slot) *dual_slot = delta;
-      }
-      v[k] = value;
-    };
-
-    double q_w = 0.0, c_w = 0.0;    // accumulated weight / linear term of w_i
-    double q_th = 0.0, c_th = 0.0;  // same for theta_i
-    double s_pp = 0.0, s_qq = 0.0;  // A Q^-1 A^T entries
-    double aqc_p = 0.0, aqc_q = 0.0;  // A Q^-1 c entries
-
-    for (int e = gen_ptr[i]; e < gen_ptr[i + 1]; ++e) {
-      const int kp = gen_pair_base(gen_list[e]);
-      const int kq = kp + 1;
-      s_pp += 1.0 / rho[kp];
-      aqc_p += target(kp);
-      s_qq += 1.0 / rho[kq];
-      aqc_q += target(kq);
-    }
-    for (int e = adj_ptr[i]; e < adj_ptr[i + 1]; ++e) {
-      const int kp = adj_kp[e];
-      const int kq = kp + 1;
-      const int kw = kp + 4;
-      const int kth = kp + 5;
-      s_pp += 1.0 / rho[kp];
-      aqc_p -= target(kp);  // flow copies enter the P row with coefficient -1
-      s_qq += 1.0 / rho[kq];
-      aqc_q -= target(kq);
-      q_w += rho[kw];
-      c_w += rho[kw] * target(kw);
-      q_th += rho[kth];
-      c_th += rho[kth] * target(kth);
-    }
-
-    // w_i carries the shunt terms: coefficient -gs in the P row, +bs in Q.
-    double s_pq = 0.0;
-    if (q_w > 0.0) {
-      s_pp += gs[i] * gs[i] / q_w;
-      s_qq += bs[i] * bs[i] / q_w;
-      s_pq = -gs[i] * bs[i] / q_w;
-      aqc_p += -gs[i] * (c_w / q_w);
-      aqc_q += bs[i] * (c_w / q_w);
-    }
-
-    const double rhs_p = aqc_p - pd[i];
-    const double rhs_q = aqc_q - qd[i];
-    const double det = s_pp * s_qq - s_pq * s_pq;
-    const double mu_p = (s_qq * rhs_p - s_pq * rhs_q) / det;
-    const double mu_q = (s_pp * rhs_q - s_pq * rhs_p) / det;
-
-    const double w = q_w > 0.0 ? (c_w + gs[i] * mu_p - bs[i] * mu_q) / q_w : 1.0;
-    const double theta = q_th > 0.0 ? c_th / q_th : 0.0;
-    bus_w[i] = w;
-    bus_theta[i] = theta;
-
-    for (int e = gen_ptr[i]; e < gen_ptr[i + 1]; ++e) {
-      const int kp = gen_pair_base(gen_list[e]);
-      const int kq = kp + 1;
-      assign_v(kp, target(kp) - mu_p / rho[kp]);
-      assign_v(kq, target(kq) - mu_q / rho[kq]);
-    }
-    for (int e = adj_ptr[i]; e < adj_ptr[i + 1]; ++e) {
-      const int kp = adj_kp[e];
-      assign_v(kp, target(kp) + mu_p / rho[kp]);
-      assign_v(kp + 1, target(kp + 1) + mu_q / rho[kp + 1]);
-      assign_v(kp + 4, w);
-      assign_v(kp + 5, theta);
-    }
+    bus_update_one(m, s, i, dual_slot);
   });
 }
 

@@ -1,38 +1,13 @@
 #include "admm/generator_kernel.hpp"
 
-#include <algorithm>
+#include "admm/kernels_core.hpp"
 
 namespace gridadmm::admm {
 
 void update_generators(device::Device& dev, const ComponentModel& model, AdmmState& state) {
-  const auto rho = model.rho.span();
-  const auto pmin = model.gen_pmin.span();
-  const auto pmax = model.gen_pmax.span();
-  const auto qmin = model.gen_qmin.span();
-  const auto qmax = model.gen_qmax.span();
-  const auto c2 = model.gen_c2.span();
-  const auto c1 = model.gen_c1.span();
-  const auto v = state.v.span();
-  const auto z = state.z.span();
-  const auto y = state.y.span();
-  auto u = state.u.span();
-  auto pg = state.gen_pg.span();
-  auto qg = state.gen_qg.span();
-
-  dev.launch(model.num_gens, [=](int g) {
-    const int kp = gen_pair_base(g);
-    const int kq = kp + 1;
-    // Stationarity: (2 c2 + rho) pg = rho (v - z) - y - c1, then clamp.
-    const double p_star =
-        (rho[kp] * (v[kp] - z[kp]) - y[kp] - c1[g]) / (2.0 * c2[g] + rho[kp]);
-    const double q_star = (rho[kq] * (v[kq] - z[kq]) - y[kq]) / rho[kq];
-    const double p = std::clamp(p_star, pmin[g], pmax[g]);
-    const double q = std::clamp(q_star, qmin[g], qmax[g]);
-    pg[g] = p;
-    qg[g] = q;
-    u[kp] = p;
-    u[kq] = q;
-  });
+  const ModelView m = make_model_view(model);
+  const ScenarioView s = make_scenario_view(model, state);
+  dev.launch(model.num_gens, [=](int g) { generator_update_one(m, s, g); });
 }
 
 }  // namespace gridadmm::admm

@@ -23,53 +23,68 @@ AdmmSolver::AdmmSolver(grid::Network net, AdmmParams params, device::Device* dev
   cold_start();
 }
 
-void AdmmSolver::cold_start() {
-  const int nb = net_.num_buses();
-  const int ng = net_.num_generators();
-  const int nl = net_.num_branches();
+ColdStartTemplate make_cold_start(const grid::Network& net, const ComponentModel& model) {
+  const int nb = net.num_buses();
+  const int ng = net.num_generators();
+  const int nl = net.num_branches();
 
-  std::vector<double> u(static_cast<std::size_t>(model_.num_pairs), 0.0);
-  std::vector<double> pg(static_cast<std::size_t>(ng)), qg(static_cast<std::size_t>(ng));
+  ColdStartTemplate t;
+  t.u.assign(static_cast<std::size_t>(model.num_pairs), 0.0);
+  t.pg.resize(static_cast<std::size_t>(ng));
+  t.qg.resize(static_cast<std::size_t>(ng));
   for (int g = 0; g < ng; ++g) {
-    const auto& gen = net_.generators[g];
-    pg[g] = 0.5 * (gen.pmin + gen.pmax);
-    qg[g] = 0.5 * (gen.qmin + gen.qmax);
-    u[gen_pair_base(g)] = pg[g];
-    u[gen_pair_base(g) + 1] = qg[g];
+    const auto& gen = net.generators[g];
+    t.pg[g] = 0.5 * (gen.pmin + gen.pmax);
+    t.qg[g] = 0.5 * (gen.qmin + gen.qmax);
+    t.u[gen_pair_base(g)] = t.pg[g];
+    t.u[gen_pair_base(g) + 1] = t.qg[g];
   }
-  std::vector<double> w(static_cast<std::size_t>(nb)), theta(static_cast<std::size_t>(nb), 0.0);
+  t.w.resize(static_cast<std::size_t>(nb));
+  t.theta.assign(static_cast<std::size_t>(nb), 0.0);
   for (int i = 0; i < nb; ++i) {
-    const double vm = 0.5 * (net_.buses[i].vmin + net_.buses[i].vmax);
-    w[i] = vm * vm;
+    const double vm = 0.5 * (net.buses[i].vmin + net.buses[i].vmax);
+    t.w[i] = vm * vm;
   }
-  std::vector<double> bx(static_cast<std::size_t>(4 * nl));
-  std::vector<double> bs(static_cast<std::size_t>(2 * nl), 0.0);
-  const auto rate2 = model_.br_rate2.to_host();
+  t.branch_x.resize(static_cast<std::size_t>(4 * nl));
+  t.branch_s.assign(static_cast<std::size_t>(2 * nl), 0.0);
+  const auto rate2 = model.br_rate2.to_host();
   for (int l = 0; l < nl; ++l) {
-    const auto& branch = net_.branches[l];
-    const double vi = std::sqrt(w[branch.from]);
-    const double vj = std::sqrt(w[branch.to]);
-    bx[4 * l + 0] = vi;
-    bx[4 * l + 1] = vj;
-    bx[4 * l + 2] = 0.0;
-    bx[4 * l + 3] = 0.0;
-    const auto f = grid::eval_flows(net_.admittances[l], vi, vj, 0.0, 0.0);
+    const auto& branch = net.branches[l];
+    const double vi = std::sqrt(t.w[branch.from]);
+    const double vj = std::sqrt(t.w[branch.to]);
+    t.branch_x[4 * l + 0] = vi;
+    t.branch_x[4 * l + 1] = vj;
+    t.branch_x[4 * l + 2] = 0.0;
+    t.branch_x[4 * l + 3] = 0.0;
+    const auto f = grid::eval_flows(net.admittances[l], vi, vj, 0.0, 0.0);
     const int base = branch_pair_base(ng, l);
-    u[base + kPairPij] = f[grid::kPij];
-    u[base + kPairQij] = f[grid::kQij];
-    u[base + kPairPji] = f[grid::kPji];
-    u[base + kPairQji] = f[grid::kQji];
-    u[base + kPairWi] = vi * vi;
-    u[base + kPairThi] = 0.0;
-    u[base + kPairWj] = vj * vj;
-    u[base + kPairThj] = 0.0;
+    t.u[base + kPairPij] = f[grid::kPij];
+    t.u[base + kPairQij] = f[grid::kQij];
+    t.u[base + kPairPji] = f[grid::kPji];
+    t.u[base + kPairQji] = f[grid::kQji];
+    t.u[base + kPairWi] = vi * vi;
+    t.u[base + kPairThi] = 0.0;
+    t.u[base + kPairWj] = vj * vj;
+    t.u[base + kPairThj] = 0.0;
     if (rate2[l] > 0.0) {
       const double sij = f[grid::kPij] * f[grid::kPij] + f[grid::kQij] * f[grid::kQij];
       const double sji = f[grid::kPji] * f[grid::kPji] + f[grid::kQji] * f[grid::kQji];
-      bs[2 * l] = std::clamp(-sij, -rate2[l], 0.0);
-      bs[2 * l + 1] = std::clamp(-sji, -rate2[l], 0.0);
+      t.branch_s[2 * l] = std::clamp(-sij, -rate2[l], 0.0);
+      t.branch_s[2 * l + 1] = std::clamp(-sji, -rate2[l], 0.0);
     }
   }
+  return t;
+}
+
+void AdmmSolver::cold_start() {
+  const ColdStartTemplate t = make_cold_start(net_, model_);
+  const auto& u = t.u;
+  const auto& w = t.w;
+  const auto& theta = t.theta;
+  const auto& pg = t.pg;
+  const auto& qg = t.qg;
+  const auto& bx = t.branch_x;
+  const auto& bs = t.branch_s;
 
   state_.u.upload(u);
   state_.v.upload(u);  // bus copies start consistent with the x side

@@ -40,6 +40,20 @@ struct AdmmStats {
   std::vector<double> z_history;  ///< one entry per outer iteration
 };
 
+/// The paper Section IV-B cold-start iterate as host arrays: dispatch and
+/// voltage magnitudes at the midpoint of their bounds, flat angles, branch
+/// flows evaluated from the voltages, line-limit slacks clamped feasible.
+/// Shared by AdmmSolver::cold_start and the batch engine's staging so the
+/// two cold starts cannot drift apart.
+struct ColdStartTemplate {
+  std::vector<double> u;         ///< consensus x-side values (v starts equal)
+  std::vector<double> w, theta;  ///< bus squared magnitudes / angles
+  std::vector<double> pg, qg;    ///< generator dispatch
+  std::vector<double> branch_x;  ///< 4 per branch
+  std::vector<double> branch_s;  ///< 2 per branch (line-limit slacks)
+};
+ColdStartTemplate make_cold_start(const grid::Network& net, const ComponentModel& model);
+
 class AdmmSolver {
  public:
   /// Copies the network; `dev` defaults to the process-wide device.
@@ -72,6 +86,10 @@ class AdmmSolver {
   AdmmParams& params() { return params_; }
   [[nodiscard]] const ComponentModel& model() const { return model_; }
   [[nodiscard]] const AdmmState& state() const { return state_; }
+  /// Cumulative adaptive-penalty scaling applied so far (1.0 when adaptive
+  /// rho never fired); warm starts that copy the iterate must inherit it so
+  /// the cumulative scaling bound keeps holding.
+  [[nodiscard]] double rho_scale() const { return rho_scale_; }
   [[nodiscard]] bool record_history() const { return record_history_; }
   void set_record_history(bool record) { record_history_ = record; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/kernels_core.hpp"
+
 namespace gridadmm::admm {
 
 void update_z(device::Device& dev, const ComponentModel& model, AdmmState& state) {
@@ -31,37 +33,22 @@ void update_y(device::Device& dev, const ComponentModel& model, AdmmState& state
 void update_zy_fused(device::Device& dev, const ComponentModel& model, AdmmState& state,
                      bool two_level, std::span<double> partial_primal,
                      std::span<double> partial_z) {
-  const auto rho = model.rho.span();
-  const auto u = state.u.span();
-  const auto v = state.v.span();
-  const auto lz = state.lz.span();
-  auto z = state.z.span();
-  auto y = state.y.span();
-  const double beta = state.beta;
+  const ModelView m = make_model_view(model);
+  const ScenarioView s = make_scenario_view(model, state);
   std::fill(partial_primal.begin(), partial_primal.end(), 0.0);
   std::fill(partial_z.begin(), partial_z.end(), 0.0);
   dev.launch_with_lane(model.num_pairs, [=](int k, int lane) {
-    const double r = u[k] - v[k];
-    if (two_level) {
-      z[k] = -(lz[k] + y[k] + rho[k] * r) / (beta + rho[k]);
-    }
-    const double rz = r + z[k];
-    y[k] += rho[k] * rz;
-    double& slot_p = partial_primal[static_cast<std::size_t>(lane) * kReduceStride];
-    if (std::abs(rz) > slot_p) slot_p = std::abs(rz);
-    double& slot_z = partial_z[static_cast<std::size_t>(lane) * kReduceStride];
-    if (std::abs(z[k]) > slot_z) slot_z = std::abs(z[k]);
+    double* slot_p = &partial_primal[static_cast<std::size_t>(lane) * kReduceStride];
+    double* slot_z = &partial_z[static_cast<std::size_t>(lane) * kReduceStride];
+    zy_update_one(m, s, k, two_level, slot_p, slot_z);
   });
 }
 
 void update_outer_multiplier(device::Device& dev, const ComponentModel& model, AdmmState& state,
                              double lambda_bound) {
-  const auto z = state.z.span();
-  auto lz = state.lz.span();
-  const double beta = state.beta;
-  dev.launch(model.num_pairs, [=](int k) {
-    lz[k] = std::clamp(lz[k] + beta * z[k], -lambda_bound, lambda_bound);
-  });
+  const ModelView m = make_model_view(model);
+  const ScenarioView s = make_scenario_view(model, state);
+  dev.launch(model.num_pairs, [=](int k) { outer_multiplier_update_one(m, s, k, lambda_bound); });
 }
 
 }  // namespace gridadmm::admm

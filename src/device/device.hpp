@@ -32,7 +32,23 @@ struct LaunchStats {
   std::uint64_t launches = 0;        ///< number of kernel launches
   std::uint64_t blocks = 0;          ///< total blocks executed
   double busy_seconds = 0.0;         ///< wall time spent inside launches
+
+  LaunchStats& operator+=(const LaunchStats& other) {
+    launches += other.launches;
+    blocks += other.blocks;
+    busy_seconds += other.busy_seconds;
+    return *this;
+  }
 };
+
+/// Delta between two snapshots of the same device's counters.
+inline LaunchStats operator-(const LaunchStats& a, const LaunchStats& b) {
+  LaunchStats d;
+  d.launches = a.launches - b.launches;
+  d.blocks = a.blocks - b.blocks;
+  d.busy_seconds = a.busy_seconds - b.busy_seconds;
+  return d;
+}
 
 /// A persistent pool of workers exposing a CUDA-like bulk launch API.
 /// Thread-compatible: a Device may be shared, but launches are serialized.
@@ -85,5 +101,24 @@ class Device {
 
 /// Returns a process-wide default device (lazily constructed).
 Device& default_device();
+
+/// RAII attribution of kernel launches: every launch issued on `dev` during
+/// the scope's lifetime is accumulated into `out` at destruction. Used by
+/// the batch engine to report launches per scenario batch, and by tests to
+/// assert the fused batch solve issues fewer launches than sequential
+/// solves. Scopes on the same device may nest; each sees its own window.
+class LaunchStatsScope {
+ public:
+  LaunchStatsScope(Device& dev, LaunchStats& out)
+      : dev_(dev), out_(out), start_(dev.stats()) {}
+  LaunchStatsScope(const LaunchStatsScope&) = delete;
+  LaunchStatsScope& operator=(const LaunchStatsScope&) = delete;
+  ~LaunchStatsScope() { out_ += dev_.stats() - start_; }
+
+ private:
+  Device& dev_;
+  LaunchStats& out_;
+  LaunchStats start_;
+};
 
 }  // namespace gridadmm::device

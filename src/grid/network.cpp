@@ -1,8 +1,10 @@
 #include "grid/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -134,6 +136,106 @@ void Network::finalize() {
                               " buses unreachable from the reference bus");
 
   finalized_ = true;
+}
+
+Network network_without_branch(const Network& net, int l, bool check_connectivity) {
+  require(net.finalized(), "network_without_branch: network must be finalized");
+  require(l >= 0 && l < net.num_branches(), "network_without_branch: branch index out of range");
+  require(!check_connectivity || !is_bridge(net, l),
+          "network_without_branch: removing branch " + std::to_string(l) +
+              " disconnects network " + net.name);
+  Network out = net;
+  out.branches.erase(out.branches.begin() + l);
+  out.admittances.erase(out.admittances.begin() + l);
+  const int nb = out.num_buses();
+  out.branches_from.assign(static_cast<std::size_t>(nb), {});
+  out.branches_to.assign(static_cast<std::size_t>(nb), {});
+  for (int k = 0; k < out.num_branches(); ++k) {
+    out.branches_from[out.branches[k].from].push_back(k);
+    out.branches_to[out.branches[k].to].push_back(k);
+  }
+  return out;
+}
+
+bool is_bridge(const Network& net, int l) {
+  require(net.finalized(), "is_bridge: network must be finalized");
+  require(l >= 0 && l < net.num_branches(), "is_bridge: branch index out of range");
+  // BFS from one endpoint with branch l excluded; it is a bridge iff the
+  // other endpoint becomes unreachable. O(buses + branches) per query.
+  const int nb = net.num_buses();
+  std::vector<char> seen(static_cast<std::size_t>(nb), 0);
+  std::vector<int> queue{net.branches[l].from};
+  seen[net.branches[l].from] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    auto visit = [&](int v) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    };
+    for (const int k : net.branches_from[u]) {
+      if (k != l) visit(net.branches[k].to);
+    }
+    for (const int k : net.branches_to[u]) {
+      if (k != l) visit(net.branches[k].from);
+    }
+  }
+  return seen[net.branches[l].to] == 0;
+}
+
+std::vector<bool> bridge_branches(const Network& net) {
+  require(net.finalized(), "bridge_branches: network must be finalized");
+  const int nb = net.num_buses();
+  const int nl = net.num_branches();
+  // Undirected multigraph adjacency as (neighbor, branch id); entering an
+  // edge by id (not by parent vertex) keeps parallel branches non-bridges.
+  std::vector<std::vector<std::pair<int, int>>> adj(static_cast<std::size_t>(nb));
+  for (int l = 0; l < nl; ++l) {
+    adj[net.branches[l].from].emplace_back(net.branches[l].to, l);
+    adj[net.branches[l].to].emplace_back(net.branches[l].from, l);
+  }
+
+  // Iterative Tarjan low-link DFS (explicit stack: large cases would blow
+  // the call stack).
+  std::vector<bool> bridges(static_cast<std::size_t>(nl), false);
+  std::vector<int> disc(static_cast<std::size_t>(nb), -1);
+  std::vector<int> low(static_cast<std::size_t>(nb), 0);
+  struct Frame {
+    int bus;
+    int entry_branch;  ///< branch used to reach `bus` (-1 at a root)
+    std::size_t next;  ///< next adjacency entry to visit
+  };
+  std::vector<Frame> stack;
+  int timer = 0;
+  for (int root = 0; root < nb; ++root) {
+    if (disc[root] >= 0) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, -1, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const int u = frame.bus;
+      if (frame.next < adj[u].size()) {
+        const auto [v, l] = adj[u][frame.next++];
+        if (l == frame.entry_branch) continue;  // don't re-walk the tree edge
+        if (disc[v] < 0) {
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, l, 0});
+        } else {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        const int entry_branch = frame.entry_branch;  // frame dies with pop_back
+        stack.pop_back();
+        if (!stack.empty()) {
+          const int parent = stack.back().bus;
+          low[parent] = std::min(low[parent], low[u]);
+          if (low[u] > disc[parent]) bridges[static_cast<std::size_t>(entry_branch)] = true;
+        }
+      }
+    }
+  }
+  return bridges;
 }
 
 double Network::generation_cost(const std::vector<double>& pg) const {

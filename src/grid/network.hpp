@@ -95,4 +95,23 @@ class Network {
 /// shift in radians).
 BranchAdmittance branch_admittance(const Branch& branch);
 
+/// Copy of a *finalized* network with branch `l` removed and the derived
+/// adjacency rebuilt (no per-unit re-conversion). Used for N-1 contingency
+/// scenarios. With `check_connectivity` (the default) throws when removing
+/// the branch disconnects the network (the branch is a bridge); callers
+/// that already screened with `bridge_branches` pass false to skip the
+/// O(buses + branches) re-check.
+Network network_without_branch(const Network& net, int l, bool check_connectivity = true);
+
+/// True when removing branch `l` disconnects the (finalized) network, i.e.
+/// the branch is a bridge of the bus graph. Parallel branches between the
+/// same bus pair are never bridges. O(buses + branches) per query; use
+/// bridge_branches for all-branches screening.
+bool is_bridge(const Network& net, int l);
+
+/// All bridges of the (finalized) network in one DFS pass — flags[l] is
+/// true when branch l is a bridge. O(buses + branches) total; used by N-1
+/// contingency enumeration.
+std::vector<bool> bridge_branches(const Network& net);
+
 }  // namespace gridadmm::grid

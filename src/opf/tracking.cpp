@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "grid/solution.hpp"
+#include "scenario/batch_solver.hpp"
+#include "scenario/scenario_set.hpp"
 
 namespace gridadmm::opf {
 
@@ -107,6 +110,49 @@ std::vector<PeriodRecord> TrackingSimulator::run() {
     records.push_back(rec);
   }
   return records;
+}
+
+BatchTrackingResult run_batched_tracking(const grid::Network& net,
+                                         const admm::AdmmParams& params,
+                                         const TrackingOptions& options, int num_profiles,
+                                         device::Device* dev) {
+  require(num_profiles > 0, "run_batched_tracking: num_profiles must be positive");
+
+  scenario::ScenarioSet set(net);
+  std::vector<int> first_index(static_cast<std::size_t>(num_profiles));
+  for (int p = 0; p < num_profiles; ++p) {
+    grid::LoadProfileSpec spec;
+    spec.periods = options.periods;
+    spec.max_drift = options.max_drift;
+    spec.seed = options.profile_seed + static_cast<std::uint64_t>(p);
+    first_index[static_cast<std::size_t>(p)] =
+        set.add_tracking_sequence(spec, options.ramp_fraction);
+  }
+
+  // One fused batch per period: wave t holds every profile's period t.
+  scenario::BatchAdmmSolver solver(set, params, dev);
+  BatchTrackingResult result;
+  result.report = solver.solve();
+
+  result.profiles.assign(static_cast<std::size_t>(num_profiles), {});
+  for (int p = 0; p < num_profiles; ++p) {
+    auto& periods = result.profiles[static_cast<std::size_t>(p)];
+    periods.reserve(static_cast<std::size_t>(options.periods));
+    for (int t = 0; t < options.periods; ++t) {
+      const auto& rec = result.report.records[static_cast<std::size_t>(
+          first_index[static_cast<std::size_t>(p)] + t)];
+      PeriodRecord period;
+      period.period = t + 1;
+      period.load_scale = set[rec.index].load_scale;
+      period.admm_seconds = rec.seconds;  // shared: the period's fused wave
+      period.admm_iterations = rec.inner_iterations;
+      period.admm_objective = rec.objective;
+      period.admm_violation = rec.max_violation;
+      period.admm_converged = rec.converged;
+      periods.push_back(period);
+    }
+  }
+  return result;
 }
 
 }  // namespace gridadmm::opf

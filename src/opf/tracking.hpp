@@ -18,6 +18,7 @@
 #include "grid/network.hpp"
 #include "ipm/acopf_nlp.hpp"
 #include "ipm/ipm_solver.hpp"
+#include "scenario/report.hpp"
 
 namespace gridadmm::opf {
 
@@ -67,5 +68,26 @@ class TrackingSimulator {
   std::vector<double> profile_;
   std::vector<double> base_pd_, base_qd_;
 };
+
+/// Result of tracking several load-profile variants concurrently.
+struct BatchTrackingResult {
+  /// ADMM period records per profile ([profile][period]; IPM fields zero —
+  /// the baseline is not run in batched mode).
+  std::vector<std::vector<PeriodRecord>> profiles;
+  /// The underlying batch solve report (per-scenario stats, launch counts).
+  scenario::ScenarioReport report;
+};
+
+/// Batched tracking mode: `num_profiles` jittered variants of the load
+/// profile (seeds profile_seed, profile_seed+1, ...) are tracked
+/// concurrently. Each period solves all profiles as ONE fused batch on the
+/// device, warm started from the previous period with the same ramp limits
+/// as the sequential simulator — instead of num_profiles sequential
+/// tracking runs. This is the paper's Section IV-C experiment widened
+/// across scenarios.
+BatchTrackingResult run_batched_tracking(const grid::Network& net,
+                                         const admm::AdmmParams& params,
+                                         const TrackingOptions& options, int num_profiles,
+                                         device::Device* dev = nullptr);
 
 }  // namespace gridadmm::opf

@@ -1,0 +1,172 @@
+#include "scenario/batch_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gridadmm::scenario {
+
+using admm::ModelView;
+using admm::ScenarioView;
+
+void batch_update_generators(device::Device& dev, const ModelView& m,
+                             std::span<const ScenarioView> views, std::span<const int> slots) {
+  const int ng = m.num_gens;
+  dev.launch(static_cast<int>(slots.size()) * ng, [=](int b) {
+    const int s = slots[static_cast<std::size_t>(b / ng)];
+    admm::generator_update_one(m, views[static_cast<std::size_t>(s)], b % ng);
+  });
+}
+
+void batch_update_branches(device::Device& dev, const ModelView& m,
+                           const admm::AdmmParams& params, std::span<const ScenarioView> views,
+                           std::span<const int> slots,
+                           std::vector<admm::BranchWorkspace>& lanes,
+                           admm::BranchUpdateStats* stats) {
+  const int nl = m.num_branches;
+  if (lanes.size() != static_cast<std::size_t>(dev.workers())) {
+    lanes = std::vector<admm::BranchWorkspace>(static_cast<std::size_t>(dev.workers()));
+    for (auto& lane : lanes) lane.solver.options() = params.tron;
+  }
+
+  dev.launch_with_lane(static_cast<int>(slots.size()) * nl,
+                       [&lanes, &params, m, views, slots, nl](int b, int lane_id) {
+                         const int s = slots[static_cast<std::size_t>(b / nl)];
+                         admm::branch_update_one(m, params, views[static_cast<std::size_t>(s)],
+                                                 b % nl, lanes[lane_id]);
+                       });
+
+  for (auto& lane : lanes) {
+    if (stats != nullptr) {
+      stats->tron_iterations += lane.stats.tron_iterations;
+      stats->cg_iterations += lane.stats.cg_iterations;
+      stats->auglag_iterations += lane.stats.auglag_iterations;
+      stats->failures += lane.stats.failures;
+    }
+    lane.stats = admm::BranchUpdateStats{};
+  }
+}
+
+void batch_update_buses(device::Device& dev, const ModelView& m,
+                        std::span<const ScenarioView> views, std::span<const int> slots,
+                        std::span<double> partial_dual, int row_stride) {
+  const int nb = m.num_buses;
+  std::fill(partial_dual.begin(), partial_dual.end(), 0.0);
+  dev.launch_with_lane(static_cast<int>(slots.size()) * nb, [=](int b, int lane) {
+    const int j = b / nb;
+    const int s = slots[static_cast<std::size_t>(j)];
+    double* slot = &partial_dual[static_cast<std::size_t>(lane) * row_stride + j];
+    admm::bus_update_one(m, views[static_cast<std::size_t>(s)], b % nb, slot);
+  });
+}
+
+void batch_update_zy(device::Device& dev, const ModelView& m, bool two_level,
+                     std::span<const ScenarioView> views, std::span<const int> slots,
+                     std::span<double> partial_primal, std::span<double> partial_z,
+                     int row_stride) {
+  const int np = m.num_pairs;
+  std::fill(partial_primal.begin(), partial_primal.end(), 0.0);
+  std::fill(partial_z.begin(), partial_z.end(), 0.0);
+  dev.launch_with_lane(static_cast<int>(slots.size()) * np, [=](int b, int lane) {
+    const int j = b / np;
+    const int s = slots[static_cast<std::size_t>(j)];
+    const std::size_t base = static_cast<std::size_t>(lane) * row_stride + j;
+    admm::zy_update_one(m, views[static_cast<std::size_t>(s)], b % np, two_level,
+                        &partial_primal[base], &partial_z[base]);
+  });
+}
+
+void batch_update_outer_multiplier(device::Device& dev, const ModelView& m,
+                                   std::span<const ScenarioView> views,
+                                   std::span<const int> slots, double lambda_bound) {
+  const int np = m.num_pairs;
+  dev.launch(static_cast<int>(slots.size()) * np, [=](int b) {
+    const int s = slots[static_cast<std::size_t>(b / np)];
+    admm::outer_multiplier_update_one(m, views[static_cast<std::size_t>(s)], b % np,
+                                      lambda_bound);
+  });
+}
+
+void batch_scale_rho(device::Device& dev, const admm::ComponentModel& model,
+                     admm::BatchAdmmState& state, std::span<const int> slots,
+                     std::span<const double> factors) {
+  const int np = model.num_pairs;
+  auto rho = state.rho.span();
+  dev.launch(static_cast<int>(slots.size()) * np, [=](int b) {
+    const int j = b / np;
+    const std::size_t s = static_cast<std::size_t>(slots[static_cast<std::size_t>(j)]);
+    rho[s * static_cast<std::size_t>(np) + static_cast<std::size_t>(b % np)] *=
+        factors[static_cast<std::size_t>(j)];
+  });
+}
+
+void batch_chain_state(device::Device& dev, const admm::ComponentModel& model,
+                       admm::BatchAdmmState& state, std::span<const ChainLink> links) {
+  const int np = model.num_pairs;
+  const int nb = model.num_buses;
+  const int ng = model.num_gens;
+  const int nl = model.num_branches;
+  // num_pairs = 2*ngens + 8*nbranches dominates every other per-scenario
+  // extent on a connected network, so one launch over |links| * num_pairs
+  // blocks covers all arrays (each block guards the shorter extents).
+  auto u = state.u.span();
+  auto v = state.v.span();
+  auto z = state.z.span();
+  auto y = state.y.span();
+  auto lz = state.lz.span();
+  auto rho = state.rho.span();
+  auto bus_w = state.bus_w.span();
+  auto bus_theta = state.bus_theta.span();
+  auto gen_pg = state.gen_pg.span();
+  auto gen_qg = state.gen_qg.span();
+  auto bx = state.branch_x.span();
+  auto bs = state.branch_s.span();
+  auto blam = state.branch_lambda.span();
+  dev.launch(static_cast<int>(links.size()) * np, [=](int b) {
+    const auto& link = links[static_cast<std::size_t>(b / np)];
+    const int k = b % np;
+    const auto dst = static_cast<std::size_t>(link.dst);
+    const auto src = static_cast<std::size_t>(link.src);
+    auto copy = [&](std::span<double> a, int extent, int per) {
+      if (k < extent) {
+        a[dst * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)] =
+            a[src * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)];
+      }
+    };
+    copy(u, np, np);
+    copy(v, np, np);
+    copy(z, np, np);
+    copy(y, np, np);
+    copy(lz, np, np);
+    copy(rho, np, np);
+    copy(bus_w, nb, nb);
+    copy(bus_theta, nb, nb);
+    copy(gen_pg, ng, ng);
+    copy(gen_qg, ng, ng);
+    copy(bx, 4 * nl, 4 * nl);
+    copy(bs, 2 * nl, 2 * nl);
+    copy(blam, 2 * nl, 2 * nl);
+  });
+}
+
+void batch_apply_ramp(device::Device& dev, const admm::ComponentModel& model,
+                      admm::BatchAdmmState& state, std::span<const RampLink> links) {
+  const int ng = model.num_gens;
+  const auto base_pmin = model.gen_pmin.span();
+  const auto base_pmax = model.gen_pmax.span();
+  const auto pg = state.gen_pg.span();
+  auto pmin = state.pmin.span();
+  auto pmax = state.pmax.span();
+  dev.launch(static_cast<int>(links.size()) * ng, [=](int b) {
+    const auto& link = links[static_cast<std::size_t>(b / ng)];
+    const int g = b % ng;
+    const auto dst = static_cast<std::size_t>(link.dst) * static_cast<std::size_t>(ng) +
+                     static_cast<std::size_t>(g);
+    const auto src = static_cast<std::size_t>(link.src) * static_cast<std::size_t>(ng) +
+                     static_cast<std::size_t>(g);
+    const double ramp = link.ramp_fraction * base_pmax[static_cast<std::size_t>(g)];
+    pmin[dst] = std::max(base_pmin[static_cast<std::size_t>(g)], pg[src] - ramp);
+    pmax[dst] = std::min(base_pmax[static_cast<std::size_t>(g)], pg[src] + ramp);
+  });
+}
+
+}  // namespace gridadmm::scenario

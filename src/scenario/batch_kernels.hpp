@@ -1,0 +1,81 @@
+// Fused multi-scenario ADMM kernels.
+//
+// Each kernel launches one grid over |slots| x components blocks: block b
+// serves component b % ncomp of scenario slots[b / ncomp], reusing the
+// per-component update math from admm/kernels_core.hpp. All S scenarios'
+// generator (resp. branch, bus, pair) updates share a single launch, which
+// is where the batch engine's speedup over S sequential solver loops comes
+// from: launch count per fused step is constant in S.
+//
+// Residual reductions are per (worker lane, slot): `partial` arrays hold
+// `lanes` rows of `row_stride` doubles (row_stride >= |slots|, rounded up
+// so rows do not share cache lines); callers take the per-slot max over
+// lanes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "admm/batch_state.hpp"
+#include "admm/branch_kernel.hpp"
+#include "admm/kernels_core.hpp"
+#include "admm/params.hpp"
+#include "device/device.hpp"
+
+namespace gridadmm::scenario {
+
+/// Row stride (in doubles) for per-(lane, slot) partial reductions.
+inline int reduce_row_stride(int num_slots) { return (num_slots + 7) / 8 * 8; }
+
+void batch_update_generators(device::Device& dev, const admm::ModelView& m,
+                             std::span<const admm::ScenarioView> views,
+                             std::span<const int> slots);
+
+/// `lanes` provides one reusable TRON workspace per device worker (resized
+/// and options-bound on first use); hoisting it out of the fused inner loop
+/// avoids per-iteration solver construction. Each call accumulates the
+/// lanes' work into `stats` and clears the lane counters.
+void batch_update_branches(device::Device& dev, const admm::ModelView& m,
+                           const admm::AdmmParams& params,
+                           std::span<const admm::ScenarioView> views, std::span<const int> slots,
+                           std::vector<admm::BranchWorkspace>& lanes,
+                           admm::BranchUpdateStats* stats);
+
+void batch_update_buses(device::Device& dev, const admm::ModelView& m,
+                        std::span<const admm::ScenarioView> views, std::span<const int> slots,
+                        std::span<double> partial_dual, int row_stride);
+
+void batch_update_zy(device::Device& dev, const admm::ModelView& m, bool two_level,
+                     std::span<const admm::ScenarioView> views, std::span<const int> slots,
+                     std::span<double> partial_primal, std::span<double> partial_z,
+                     int row_stride);
+
+void batch_update_outer_multiplier(device::Device& dev, const admm::ModelView& m,
+                                   std::span<const admm::ScenarioView> views,
+                                   std::span<const int> slots, double lambda_bound);
+
+/// Adaptive-penalty rescale: scenario slots[j]'s rho slice *= factors[j].
+void batch_scale_rho(device::Device& dev, const admm::ComponentModel& model,
+                     admm::BatchAdmmState& state, std::span<const int> slots,
+                     std::span<const double> factors);
+
+/// Warm-start chaining: dst's iterate (u, v, z, y, lz, bus, gen, branch
+/// arrays) and rho slice are copied from src, entirely on device.
+struct ChainLink {
+  int dst = -1;
+  int src = -1;
+};
+void batch_chain_state(device::Device& dev, const admm::ComponentModel& model,
+                       admm::BatchAdmmState& state, std::span<const ChainLink> links);
+
+/// Ramp limits: dst's pg bounds become the base bounds tightened around
+/// src's current dispatch, |pg - pg_src| <= ramp_fraction * Pmax_base.
+struct RampLink {
+  int dst = -1;
+  int src = -1;
+  double ramp_fraction = 0.0;
+};
+void batch_apply_ramp(device::Device& dev, const admm::ComponentModel& model,
+                      admm::BatchAdmmState& state, std::span<const RampLink> links);
+
+}  // namespace gridadmm::scenario

@@ -1,0 +1,563 @@
+#include "scenario/batch_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "scenario/batch_kernels.hpp"
+
+namespace gridadmm::scenario {
+
+namespace {
+
+/// Per-slot max over the per-lane partial rows (exact: max is order-free).
+double collect_slot_max(std::span<const double> partial, int j, int row_stride, int lanes) {
+  double result = 0.0;
+  for (int lane = 0; lane < lanes; ++lane) {
+    result = std::max(result, partial[static_cast<std::size_t>(lane) * row_stride +
+                                      static_cast<std::size_t>(j)]);
+  }
+  return result;
+}
+
+grid::OpfSolution slice_solution(const grid::Network& net, std::span<const double> w,
+                                 std::span<const double> theta, std::span<const double> pg,
+                                 std::span<const double> qg, int s) {
+  grid::OpfSolution sol = grid::OpfSolution::zeros(net);
+  const int nb = net.num_buses();
+  const int ng = net.num_generators();
+  const auto bus0 = static_cast<std::size_t>(s) * static_cast<std::size_t>(nb);
+  const auto gen0 = static_cast<std::size_t>(s) * static_cast<std::size_t>(ng);
+  const double ref_angle = theta[bus0 + static_cast<std::size_t>(net.ref_bus)];
+  for (int i = 0; i < nb; ++i) {
+    sol.vm[static_cast<std::size_t>(i)] =
+        std::sqrt(std::max(w[bus0 + static_cast<std::size_t>(i)], 1e-12));
+    sol.va[static_cast<std::size_t>(i)] = theta[bus0 + static_cast<std::size_t>(i)] - ref_angle;
+  }
+  for (int g = 0; g < ng; ++g) {
+    sol.pg[static_cast<std::size_t>(g)] = pg[gen0 + static_cast<std::size_t>(g)];
+    sol.qg[static_cast<std::size_t>(g)] = qg[gen0 + static_cast<std::size_t>(g)];
+  }
+  return sol;
+}
+
+/// Swaps a reusable evaluation copy's loads for the scenario's.
+void apply_scenario_loads(grid::Network& net, const Scenario& sc) {
+  for (int i = 0; i < net.num_buses(); ++i) {
+    net.buses[static_cast<std::size_t>(i)].pd = sc.pd[static_cast<std::size_t>(i)];
+    net.buses[static_cast<std::size_t>(i)].qd = sc.qd[static_cast<std::size_t>(i)];
+  }
+}
+
+/// Quality against the network the scenario is actually constrained by:
+/// `eval_net` (base topology, loads already swapped in) for load-only
+/// scenarios, a reduced copy when a branch is outaged. Outages were
+/// bridge-screened by ScenarioSet::add, so the re-check is skipped.
+grid::SolutionQuality scenario_quality(const grid::Network& eval_net, const Scenario& sc,
+                                       const grid::OpfSolution& sol) {
+  if (sc.outage_branch < 0) return grid::evaluate_solution(eval_net, sol);
+  return grid::evaluate_solution(
+      grid::network_without_branch(eval_net, sc.outage_branch, /*check_connectivity=*/false),
+      sol);
+}
+
+/// One record shape for both engines, so their reports cannot drift.
+ScenarioRecord make_record(int index, const Scenario& sc, const admm::AdmmStats& stats,
+                           const grid::SolutionQuality& quality) {
+  ScenarioRecord rec;
+  rec.index = index;
+  rec.name = sc.name;
+  rec.kind = sc.kind;
+  rec.converged = stats.converged;
+  rec.outer_iterations = stats.outer_iterations;
+  rec.inner_iterations = stats.inner_iterations;
+  rec.primal_residual = stats.primal_residual;
+  rec.dual_residual = stats.dual_residual;
+  rec.objective = quality.objective;
+  rec.max_violation = quality.max_violation;
+  rec.seconds = stats.solve_seconds;
+  return rec;
+}
+
+}  // namespace
+
+BatchAdmmSolver::BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params,
+                                 device::Device* dev)
+    : net_(set.network()),
+      params_(params),
+      dev_(dev != nullptr ? dev : &device::default_device()),
+      scenarios_(set.scenarios()),
+      waves_(set.waves()),
+      model_(admm::build_component_model(net_, params_)),
+      state_(admm::BatchAdmmState::zeros(model_, set.size())),
+      mview_(admm::make_model_view(model_)) {
+  require(!scenarios_.empty(), "BatchAdmmSolver: scenario set is empty");
+  views_.reserve(scenarios_.size());
+  for (int s = 0; s < num_scenarios(); ++s) views_.push_back(state_.view(model_, s));
+}
+
+void BatchAdmmSolver::set_beta(int s, double value) {
+  state_.beta[static_cast<std::size_t>(s)] = value;
+  views_[static_cast<std::size_t>(s)].beta = value;
+}
+
+void BatchAdmmSolver::schedule_inner_tolerance(Control& ctrl) const {
+  // Inexact inner solves: proportional to the outer infeasibility, never
+  // looser than the initial tolerance, never tighter than the final one
+  // (identical to AdmmSolver::solve).
+  const double scheduled = std::isfinite(ctrl.prev_znorm)
+                               ? params_.inner_tolerance_factor * ctrl.prev_znorm
+                               : params_.inner_tolerance_initial;
+  ctrl.eps_primal =
+      std::clamp(scheduled, params_.primal_tolerance, params_.inner_tolerance_initial);
+  ctrl.eps_dual = std::clamp(scheduled, params_.dual_tolerance, params_.inner_tolerance_initial);
+}
+
+void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
+                                          ScenarioReport& report) {
+  const int S = num_scenarios();
+  const auto np = static_cast<std::size_t>(model_.num_pairs);
+  const auto nb = static_cast<std::size_t>(model_.num_buses);
+  const auto ng = static_cast<std::size_t>(model_.num_gens);
+  const auto nl = static_cast<std::size_t>(model_.num_branches);
+
+  std::vector<double> hu(S * np, 0.0), hw(S * nb, 0.0), htheta(S * nb, 0.0);
+  std::vector<double> hpg(S * ng, 0.0), hqg(S * ng, 0.0);
+  std::vector<double> hbx(S * 4 * nl, 0.0), hbs(S * 2 * nl, 0.0);
+  std::vector<double> hrho(S * np, 0.0), hpd(S * nb, 0.0), hqd(S * nb, 0.0);
+  std::vector<double> hpmin(S * ng, 0.0), hpmax(S * ng, 0.0);
+  std::vector<unsigned char> hactive(S * nl, 1);
+
+  const auto rho0 = model_.rho.to_host();
+
+  // One cold-start template serves every slot: it depends only on bounds
+  // and topology, not on loads. Shared with AdmmSolver::cold_start so the
+  // batch cold start cannot drift from the sequential one.
+  const admm::ColdStartTemplate tmpl = admm::make_cold_start(net_, model_);
+  const auto& u0 = tmpl.u;
+  const auto& w0 = tmpl.w;
+  const auto& pg0 = tmpl.pg;
+  const auto& qg0 = tmpl.qg;
+  const auto& bx0 = tmpl.branch_x;
+  const auto& bs0 = tmpl.branch_s;
+
+  for (int s = 0; s < S; ++s) {
+    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+    const auto su = static_cast<std::size_t>(s);
+    std::copy(u0.begin(), u0.end(), hu.begin() + su * np);
+    std::copy(w0.begin(), w0.end(), hw.begin() + su * nb);
+    std::copy(pg0.begin(), pg0.end(), hpg.begin() + su * ng);
+    std::copy(qg0.begin(), qg0.end(), hqg.begin() + su * ng);
+    std::copy(bx0.begin(), bx0.end(), hbx.begin() + su * 4 * nl);
+    std::copy(bs0.begin(), bs0.end(), hbs.begin() + su * 2 * nl);
+    std::copy(rho0.begin(), rho0.end(), hrho.begin() + su * np);
+    std::copy(sc.pd.begin(), sc.pd.end(), hpd.begin() + su * nb);
+    std::copy(sc.qd.begin(), sc.qd.end(), hqd.begin() + su * nb);
+    for (std::size_t g = 0; g < ng; ++g) {
+      hpmin[su * ng + g] = net_.generators[g].pmin;
+      hpmax[su * ng + g] = net_.generators[g].pmax;
+    }
+    if (sc.outage_branch >= 0) {
+      const auto l = static_cast<std::size_t>(sc.outage_branch);
+      hactive[su * nl + l] = 0;
+      // The outaged branch's pairs and variables stay at zero; every kernel
+      // skips them, so they contribute nothing to residuals or balances.
+      const auto base =
+          static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
+      std::fill_n(hu.begin() + su * np + base, 8, 0.0);
+      std::fill_n(hbx.begin() + su * 4 * nl + 4 * l, 4, 0.0);
+      std::fill_n(hbs.begin() + su * 2 * nl + 2 * l, 2, 0.0);
+    }
+    set_beta(s, params_.beta0);
+  }
+
+  // ---- Optional base-case warm start fanned out to chain roots ----
+  if (options.warm_start_from_base) {
+    WallTimer base_timer;
+    admm::AdmmSolver base(net_, params_, dev_);
+    base.solve();
+    report.base_solve_seconds = base_timer.seconds();
+    const auto bu = base.state().u.to_host();
+    const auto bv = base.state().v.to_host();
+    const auto bz = base.state().z.to_host();
+    const auto by = base.state().y.to_host();
+    const auto blz = base.state().lz.to_host();
+    const auto bw = base.state().bus_w.to_host();
+    const auto btheta = base.state().bus_theta.to_host();
+    const auto bpg = base.state().gen_pg.to_host();
+    const auto bqg = base.state().gen_qg.to_host();
+    const auto bbx = base.state().branch_x.to_host();
+    const auto bbs = base.state().branch_s.to_host();
+    const auto bblam = base.state().branch_lambda.to_host();
+    const auto brho = base.model().rho.to_host();
+
+    std::vector<double> hv(S * np, 0.0), hz(S * np, 0.0), hy(S * np, 0.0), hlz(S * np, 0.0);
+    std::vector<double> hblam(S * 2 * nl, 0.0);
+    for (int s = 0; s < S; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      if (scenarios_[su].chain_from >= 0) continue;  // chained slots seed on device
+      std::copy(bu.begin(), bu.end(), hu.begin() + su * np);
+      std::copy(bv.begin(), bv.end(), hv.begin() + su * np);
+      std::copy(bz.begin(), bz.end(), hz.begin() + su * np);
+      std::copy(by.begin(), by.end(), hy.begin() + su * np);
+      std::copy(blz.begin(), blz.end(), hlz.begin() + su * np);
+      std::copy(bw.begin(), bw.end(), hw.begin() + su * nb);
+      std::copy(btheta.begin(), btheta.end(), htheta.begin() + su * nb);
+      std::copy(bpg.begin(), bpg.end(), hpg.begin() + su * ng);
+      std::copy(bqg.begin(), bqg.end(), hqg.begin() + su * ng);
+      std::copy(bbx.begin(), bbx.end(), hbx.begin() + su * 4 * nl);
+      std::copy(bbs.begin(), bbs.end(), hbs.begin() + su * 2 * nl);
+      std::copy(bblam.begin(), bblam.end(), hblam.begin() + su * 2 * nl);
+      std::copy(brho.begin(), brho.end(), hrho.begin() + su * np);
+      // prepare_warm_start semantics: keep the escalated outer penalty and
+      // the adaptive scaling already baked into the copied rho, so the
+      // cumulative scaling bound keeps holding across the warm start.
+      set_beta(s, std::max(base.state().beta, params_.beta0));
+      rho_scale_[su] = base.rho_scale();
+    }
+    state_.v.upload(hv);
+    state_.z.upload(hz);
+    state_.y.upload(hy);
+    state_.lz.upload(hlz);
+    state_.branch_lambda.upload(hblam);
+  } else {
+    // v starts as a copy of u (bus copies consistent with the x side);
+    // z, y, lz, branch_lambda stay zero.
+    state_.v.upload(hu);
+    state_.z.fill(0.0);
+    state_.y.fill(0.0);
+    state_.lz.fill(0.0);
+    state_.branch_lambda.fill(0.0);
+  }
+
+  state_.u.upload(hu);
+  state_.bus_w.upload(hw);
+  state_.bus_theta.upload(htheta);
+  state_.gen_pg.upload(hpg);
+  state_.gen_qg.upload(hqg);
+  state_.branch_x.upload(hbx);
+  state_.branch_s.upload(hbs);
+  state_.rho.upload(hrho);
+  state_.pd.upload(hpd);
+  state_.qd.upload(hqd);
+  state_.pmin.upload(hpmin);
+  state_.pmax.upload(hpmax);
+  state_.branch_active.upload(hactive);
+}
+
+void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptions& options) {
+  std::vector<int> active(wave.begin(), wave.end());
+  for (const int s : active) {
+    ctrl_[static_cast<std::size_t>(s)] = Control{};
+    ctrl_[static_cast<std::size_t>(s)].prev_znorm = std::numeric_limits<double>::infinity();
+    schedule_inner_tolerance(ctrl_[static_cast<std::size_t>(s)]);
+    stats_[static_cast<std::size_t>(s)] = admm::AdmmStats{};
+    stats_[static_cast<std::size_t>(s)].outer_iterations = 1;
+  }
+
+  const int lanes = dev_->workers();
+  std::vector<double> partial_primal, partial_dual, partial_z;
+  std::vector<int> next_active, outer_slots, rho_slots;
+  std::vector<double> rho_factors;
+  std::vector<std::pair<int, double>> beta_updates;
+
+  while (!active.empty()) {
+    const int n = static_cast<int>(active.size());
+    const int row = reduce_row_stride(n);
+    const auto cells = static_cast<std::size_t>(lanes) * static_cast<std::size_t>(row);
+    partial_primal.resize(cells);
+    partial_dual.resize(cells);
+    partial_z.resize(cells);
+
+    // One fused step: every active scenario advances one inner iteration
+    // with a constant number of launches.
+    batch_update_generators(*dev_, mview_, views_, active);
+    batch_update_branches(*dev_, mview_, params_, views_, active, branch_lanes_, &branch_stats_);
+    batch_update_buses(*dev_, mview_, views_, active, partial_dual, row);
+    batch_update_zy(*dev_, mview_, params_.two_level, views_, active, partial_primal, partial_z,
+                    row);
+
+    next_active.clear();
+    outer_slots.clear();
+    rho_slots.clear();
+    rho_factors.clear();
+    beta_updates.clear();
+
+    for (int j = 0; j < n; ++j) {
+      const int s = active[static_cast<std::size_t>(j)];
+      auto& ctrl = ctrl_[static_cast<std::size_t>(s)];
+      auto& stats = stats_[static_cast<std::size_t>(s)];
+      ++stats.inner_iterations;
+      const double primal = collect_slot_max(partial_primal, j, row, lanes);
+      const double dual = collect_slot_max(partial_dual, j, row, lanes);
+      stats.primal_residual = primal;
+      stats.dual_residual = dual;
+      if (options.record_history) {
+        stats.primal_history.push_back(primal);
+        stats.dual_history.push_back(dual);
+      }
+
+      bool inner_done = false;
+      bool inner_converged = false;
+      if (primal <= ctrl.eps_primal && dual <= ctrl.eps_dual) {
+        inner_done = true;
+        inner_converged = true;
+      } else {
+        // Adaptive penalty (residual balancing), first outer iteration only
+        // — identical schedule and budget to AdmmSolver::solve.
+        if (params_.adaptive_rho && ctrl.outer == 0 && ctrl.inner > 0 &&
+            ctrl.inner % params_.adaptive_rho_interval == 0) {
+          double factor = 0.0;
+          if (primal > params_.adaptive_rho_mu * dual) {
+            factor = params_.adaptive_rho_tau;
+          } else if (dual > params_.adaptive_rho_mu * primal) {
+            factor = 1.0 / params_.adaptive_rho_tau;
+          }
+          if (factor != 0.0) {
+            const double proposed = rho_scale_[static_cast<std::size_t>(s)] * factor;
+            if (proposed <= params_.adaptive_rho_max_scale &&
+                proposed >= 1.0 / params_.adaptive_rho_max_scale) {
+              rho_scale_[static_cast<std::size_t>(s)] = proposed;
+              rho_slots.push_back(s);
+              rho_factors.push_back(factor);
+              ++stats.rho_rescales;
+            }
+          }
+        }
+        if (ctrl.inner + 1 >= params_.max_inner_iterations) inner_done = true;
+      }
+
+      if (!inner_done) {
+        ++ctrl.inner;
+        next_active.push_back(s);
+        continue;
+      }
+
+      if (!params_.two_level) {
+        stats.converged = inner_converged;
+        continue;
+      }
+
+      // Outer (augmented Lagrangian) transition for this scenario.
+      const double z_norm = collect_slot_max(partial_z, j, row, lanes);
+      stats.z_norm = z_norm;
+      if (options.record_history) stats.z_history.push_back(z_norm);
+      outer_slots.push_back(s);  // lambda update uses the pre-escalation beta
+      log::debug("batch scenario ", s, " outer ", ctrl.outer + 1, ": |z|=", z_norm,
+                 " primal=", primal, " dual=", dual,
+                 " beta=", state_.beta[static_cast<std::size_t>(s)],
+                 " inner_total=", stats.inner_iterations);
+      if (z_norm <= params_.outer_tolerance && primal <= params_.primal_tolerance &&
+          dual <= params_.dual_tolerance) {
+        stats.converged = true;
+        continue;
+      }
+      // Beta escalation happens on every non-converged outer iteration —
+      // including the last one before the budget exhausts — exactly as in
+      // the sequential loop, so chained children inherit the same beta.
+      if (z_norm > params_.z_shrink * ctrl.prev_znorm) {
+        beta_updates.emplace_back(
+            s, std::min(state_.beta[static_cast<std::size_t>(s)] * params_.beta_factor,
+                        params_.beta_max));
+      }
+      ctrl.prev_znorm = z_norm;
+      if (ctrl.outer + 1 >= params_.max_outer_iterations) {
+        continue;
+      }
+      ++ctrl.outer;
+      ctrl.inner = 0;
+      stats.outer_iterations = ctrl.outer + 1;
+      schedule_inner_tolerance(ctrl);
+      next_active.push_back(s);
+    }
+
+    if (!rho_slots.empty()) batch_scale_rho(*dev_, model_, state_, rho_slots, rho_factors);
+    if (!outer_slots.empty()) {
+      batch_update_outer_multiplier(*dev_, mview_, views_, outer_slots, params_.lambda_bound);
+    }
+    // Beta escalation applies after the multiplier update, exactly as in
+    // the sequential outer loop.
+    for (const auto& [s, beta] : beta_updates) set_beta(s, beta);
+
+    active.swap(next_active);
+  }
+}
+
+ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
+  WallTimer total;
+  ScenarioReport report;
+  const int S = num_scenarios();
+  ctrl_.assign(static_cast<std::size_t>(S), Control{});
+  rho_scale_.assign(static_cast<std::size_t>(S), 1.0);
+  stats_.assign(static_cast<std::size_t>(S), admm::AdmmStats{});
+  branch_stats_ = admm::BranchUpdateStats{};
+
+  stage_initial_state(options, report);
+
+  const auto transfers_before = device::transfer_stats();
+  {
+    device::LaunchStatsScope scope(*dev_, report.launch_stats);
+    WallTimer solve_timer;
+    for (const auto& wave : waves_) {
+      WallTimer wave_timer;
+      std::vector<ChainLink> links;
+      std::vector<RampLink> ramps;
+      for (const int s : wave) {
+        const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+        if (sc.chain_from < 0) continue;
+        links.push_back({s, sc.chain_from});
+        if (sc.ramp_fraction > 0.0) ramps.push_back({s, sc.chain_from, sc.ramp_fraction});
+      }
+      if (!links.empty()) {
+        batch_chain_state(*dev_, model_, state_, links);
+        for (const auto& link : links) {
+          // prepare_warm_start semantics plus inherited adaptive scaling.
+          set_beta(link.dst,
+                   std::max(state_.beta[static_cast<std::size_t>(link.src)], params_.beta0));
+          rho_scale_[static_cast<std::size_t>(link.dst)] =
+              rho_scale_[static_cast<std::size_t>(link.src)];
+        }
+      }
+      if (!ramps.empty()) batch_apply_ramp(*dev_, model_, state_, ramps);
+
+      run_fused(wave, options);
+
+      const double wave_seconds = wave_timer.seconds();
+      for (const int s : wave) stats_[static_cast<std::size_t>(s)].solve_seconds = wave_seconds;
+    }
+    report.solve_seconds = solve_timer.seconds();
+  }
+  const auto transfers_after = device::transfer_stats();
+  report.transfers_during_iterations =
+      (transfers_after.host_to_device - transfers_before.host_to_device) +
+      (transfers_after.device_to_host - transfers_before.device_to_host);
+
+  // ---- Evaluation (downloads happen here, after the solve loop) ----
+  const auto w = state_.bus_w.to_host();
+  const auto theta = state_.bus_theta.to_host();
+  const auto pg = state_.gen_pg.to_host();
+  const auto qg = state_.gen_qg.to_host();
+  report.records.reserve(static_cast<std::size_t>(S));
+  grid::Network eval_net = net_;  // one reusable copy; loads swapped per scenario
+  for (int s = 0; s < S; ++s) {
+    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+    const auto& stats = stats_[static_cast<std::size_t>(s)];
+    const auto sol = slice_solution(net_, w, theta, pg, qg, s);
+    apply_scenario_loads(eval_net, sc);
+    report.records.push_back(make_record(s, sc, stats, scenario_quality(eval_net, sc, sol)));
+  }
+  report.stats = stats_;
+  report.branch = branch_stats_;
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+grid::OpfSolution BatchAdmmSolver::solution(int s) const {
+  require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::solution: scenario out of range");
+  const auto w = state_.bus_w.to_host();
+  const auto theta = state_.bus_theta.to_host();
+  const auto pg = state_.gen_pg.to_host();
+  const auto qg = state_.gen_qg.to_host();
+  return slice_solution(net_, w, theta, pg, qg, s);
+}
+
+std::vector<grid::OpfSolution> BatchAdmmSolver::solutions() const {
+  const auto w = state_.bus_w.to_host();
+  const auto theta = state_.bus_theta.to_host();
+  const auto pg = state_.gen_pg.to_host();
+  const auto qg = state_.gen_qg.to_host();
+  std::vector<grid::OpfSolution> result;
+  result.reserve(static_cast<std::size_t>(num_scenarios()));
+  for (int s = 0; s < num_scenarios(); ++s) {
+    result.push_back(slice_solution(net_, w, theta, pg, qg, s));
+  }
+  return result;
+}
+
+ScenarioReport solve_sequential(const ScenarioSet& set, const admm::AdmmParams& params,
+                                device::Device* dev) {
+  device::Device* device = dev != nullptr ? dev : &device::default_device();
+  const auto& net = set.network();
+  const int S = set.size();
+  require(S > 0, "solve_sequential: scenario set is empty");
+
+  WallTimer total;
+  ScenarioReport report;
+  report.records.reserve(static_cast<std::size_t>(S));
+  report.stats.reserve(static_cast<std::size_t>(S));
+  // A solver is retained only while unconstructed children still need it,
+  // so tracking chains hold O(live parents) solver states, not O(S).
+  std::vector<int> children_left(static_cast<std::size_t>(S), 0);
+  for (int s = 0; s < S; ++s) {
+    if (set[s].chain_from >= 0) ++children_left[static_cast<std::size_t>(set[s].chain_from)];
+  }
+  std::vector<std::unique_ptr<admm::AdmmSolver>> solvers(static_cast<std::size_t>(S));
+  grid::Network eval_net = net;  // one reusable copy; loads swapped per scenario
+
+  // Explicit snapshot rather than a function-scope LaunchStatsScope: the
+  // scope's destructor would run after `return report` has already copied
+  // the (then still zero) launch_stats when NRVO is not performed.
+  const device::LaunchStats launches_before = device->stats();
+  WallTimer solve_timer;
+  for (int s = 0; s < S; ++s) {
+    const auto& sc = set[s];
+    std::unique_ptr<admm::AdmmSolver> solver;
+    if (sc.outage_branch >= 0) {
+      solver = std::make_unique<admm::AdmmSolver>(
+          grid::network_without_branch(net, sc.outage_branch), params, device);
+      solver->set_loads(sc.pd, sc.qd);
+    } else if (sc.chain_from >= 0) {
+      // Warm start from a copy of the parent's solver (full iterate kept).
+      solver =
+          std::make_unique<admm::AdmmSolver>(*solvers[static_cast<std::size_t>(sc.chain_from)]);
+      const int ng = net.num_generators();
+      std::vector<double> pmin(static_cast<std::size_t>(ng)), pmax(static_cast<std::size_t>(ng));
+      const auto prev_pg = solver->solution().pg;
+      for (int g = 0; g < ng; ++g) {
+        const auto& gen = net.generators[static_cast<std::size_t>(g)];
+        if (sc.ramp_fraction > 0.0) {
+          const double ramp = sc.ramp_fraction * gen.pmax;
+          pmin[static_cast<std::size_t>(g)] =
+              std::max(gen.pmin, prev_pg[static_cast<std::size_t>(g)] - ramp);
+          pmax[static_cast<std::size_t>(g)] =
+              std::min(gen.pmax, prev_pg[static_cast<std::size_t>(g)] + ramp);
+        } else {
+          pmin[static_cast<std::size_t>(g)] = gen.pmin;
+          pmax[static_cast<std::size_t>(g)] = gen.pmax;
+        }
+      }
+      solver->set_generator_pg_bounds(pmin, pmax);
+      solver->set_loads(sc.pd, sc.qd);
+      solver->prepare_warm_start();
+      const auto parent = static_cast<std::size_t>(sc.chain_from);
+      if (--children_left[parent] == 0) solvers[parent].reset();
+    } else {
+      solver = std::make_unique<admm::AdmmSolver>(net, params, device);
+      solver->set_loads(sc.pd, sc.qd);
+    }
+
+    auto stats = solver->solve();
+    const auto sol = solver->solution();
+    apply_scenario_loads(eval_net, sc);
+    report.branch.tron_iterations += stats.branch.tron_iterations;
+    report.branch.cg_iterations += stats.branch.cg_iterations;
+    report.branch.auglag_iterations += stats.branch.auglag_iterations;
+    report.branch.failures += stats.branch.failures;
+    report.records.push_back(make_record(s, sc, stats, scenario_quality(eval_net, sc, sol)));
+    report.stats.push_back(std::move(stats));
+    if (children_left[static_cast<std::size_t>(s)] > 0) {
+      solvers[static_cast<std::size_t>(s)] = std::move(solver);
+    }
+  }
+  report.solve_seconds = solve_timer.seconds();
+  report.launch_stats = device->stats() - launches_before;
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace gridadmm::scenario

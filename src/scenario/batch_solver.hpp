@@ -1,0 +1,117 @@
+// BatchAdmmSolver: solves every scenario of a ScenarioSet concurrently on
+// one device with fused kernels.
+//
+// All S scenarios share one ComponentModel (the base topology; N-1 outages
+// are per-scenario branch masks) and one scenario-strided BatchAdmmState.
+// Each fused step launches the four component kernels over
+// active-scenarios x components blocks, so the launch count per step is
+// constant in S — the ExaTron one-block-per-subproblem execution model
+// widened across scenarios.
+//
+// Per-scenario control flow (inexact inner tolerance schedule, outer
+// augmented-Lagrangian transitions, beta escalation, adaptive-rho
+// rescaling, convergence tests) is replicated exactly from AdmmSolver: a
+// scenario that needs an outer-multiplier update or a rho rescale gets it
+// through a fused launch covering just the scenarios in the same phase, and
+// a converged scenario drops out of subsequent launches. The batched solve
+// is therefore iterate-for-iterate identical to S independent AdmmSolver
+// runs (asserted to 1e-6 relative on objectives by tests/test_batch_admm.cpp)
+// while issuing roughly max_s(iterations) instead of sum_s(iterations)
+// launches.
+//
+// Warm-start seeding: with `warm_start_from_base` the base case is solved
+// once and its full iterate fans out to every chain-root scenario; tracking
+// sequences chain period-to-period on device (state copy + ramp-bound
+// kernels), wave by wave.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "admm/batch_state.hpp"
+#include "admm/params.hpp"
+#include "admm/solver.hpp"
+#include "device/device.hpp"
+#include "grid/solution.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario_set.hpp"
+
+namespace gridadmm::scenario {
+
+struct BatchSolveOptions {
+  /// Solve the unmodified base case first (sequentially) and fan its full
+  /// iterate out to every chain-root scenario as a warm start.
+  bool warm_start_from_base = false;
+  /// Record per-iteration residual histories in the per-scenario stats.
+  bool record_history = false;
+};
+
+class BatchAdmmSolver {
+ public:
+  /// Copies the set's network and scenarios; `dev` defaults to the
+  /// process-wide device.
+  BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params,
+                  device::Device* dev = nullptr);
+  // Non-copyable/movable: the cached ScenarioViews alias this instance's
+  // device buffers.
+  BatchAdmmSolver(const BatchAdmmSolver&) = delete;
+  BatchAdmmSolver& operator=(const BatchAdmmSolver&) = delete;
+
+  /// Solves every scenario (fused, wave by wave along warm-start chains).
+  ScenarioReport solve(const BatchSolveOptions& options = {});
+
+  /// Extracts scenario s's solution (valid after solve()). Downloads the
+  /// full batch state; extracting many scenarios is cheaper via solutions().
+  [[nodiscard]] grid::OpfSolution solution(int s) const;
+
+  /// Extracts every scenario's solution with one download per buffer.
+  [[nodiscard]] std::vector<grid::OpfSolution> solutions() const;
+
+  [[nodiscard]] const grid::Network& network() const { return net_; }
+  [[nodiscard]] const admm::ComponentModel& model() const { return model_; }
+  [[nodiscard]] const std::vector<Scenario>& scenarios() const { return scenarios_; }
+  [[nodiscard]] int num_scenarios() const { return static_cast<int>(scenarios_.size()); }
+  [[nodiscard]] const admm::AdmmParams& params() const { return params_; }
+
+ private:
+  /// Per-scenario replica of AdmmSolver::solve's loop-control state.
+  /// Termination is expressed by dropping the scenario from the next fused
+  /// step's active list.
+  struct Control {
+    int outer = 0;  ///< current outer iteration (0-based)
+    int inner = 0;  ///< inner iterations completed within the current outer
+    double prev_znorm = 0.0;
+    double eps_primal = 0.0;
+    double eps_dual = 0.0;
+  };
+
+  void stage_initial_state(const BatchSolveOptions& options, ScenarioReport& report);
+  void run_fused(std::span<const int> wave, const BatchSolveOptions& options);
+  void schedule_inner_tolerance(Control& ctrl) const;
+  void set_beta(int s, double value);
+
+  grid::Network net_;
+  admm::AdmmParams params_;
+  device::Device* dev_;
+  std::vector<Scenario> scenarios_;
+  std::vector<std::vector<int>> waves_;
+  admm::ComponentModel model_;
+  admm::BatchAdmmState state_;
+  std::vector<admm::ScenarioView> views_;
+  admm::ModelView mview_;
+  std::vector<Control> ctrl_;
+  std::vector<double> rho_scale_;  ///< cumulative adaptive-penalty scaling
+  std::vector<admm::AdmmStats> stats_;
+  admm::BranchUpdateStats branch_stats_;
+  std::vector<admm::BranchWorkspace> branch_lanes_;  ///< reused across fused steps
+};
+
+/// Reference implementation: solves the set scenario-by-scenario with
+/// independent AdmmSolver instances (chained scenarios warm start from a
+/// copy of their parent's solver; contingencies solve the reduced network).
+/// Used by tests and benchmarks as the ground truth the batch engine must
+/// match.
+ScenarioReport solve_sequential(const ScenarioSet& set, const admm::AdmmParams& params,
+                                device::Device* dev = nullptr);
+
+}  // namespace gridadmm::scenario

@@ -1,0 +1,49 @@
+// Per-scenario convergence/quality records plus batch-level throughput and
+// kernel-launch attribution for one multi-scenario solve.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "admm/branch_kernel.hpp"
+#include "admm/solver.hpp"
+#include "device/device.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gridadmm::scenario {
+
+struct ScenarioRecord {
+  int index = 0;
+  std::string name;
+  ScenarioKind kind = ScenarioKind::kBase;
+  bool converged = false;
+  int outer_iterations = 0;
+  int inner_iterations = 0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  double objective = 0.0;      ///< generation cost ($/h)
+  double max_violation = 0.0;  ///< ||c(x)||_inf against the scenario's network
+  /// Wall time of the fused wave this scenario was solved in. Scenarios in
+  /// the same wave share one solve, so this is a shared (not additive)
+  /// figure; sum unique waves or use ScenarioReport::solve_seconds.
+  double seconds = 0.0;
+};
+
+struct ScenarioReport {
+  std::vector<ScenarioRecord> records;
+  std::vector<admm::AdmmStats> stats;  ///< full per-scenario solver stats
+
+  double solve_seconds = 0.0;   ///< wall time of the fused iteration loop
+  double total_seconds = 0.0;   ///< including staging, uploads, evaluation
+  device::LaunchStats launch_stats;  ///< launches attributed to the solve loop
+  admm::BranchUpdateStats branch;    ///< aggregate branch work (batch level)
+  std::uint64_t transfers_during_iterations = 0;  ///< host<->device transfers in the loop
+  double base_solve_seconds = 0.0;   ///< warm-start base solve, when requested
+
+  [[nodiscard]] int num_converged() const;
+  [[nodiscard]] double scenarios_per_second() const;
+  void print(std::FILE* out = stdout) const;
+};
+
+}  // namespace gridadmm::scenario

@@ -1,0 +1,170 @@
+#include "scenario/scenario_set.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gridadmm::scenario {
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kBase: return "base";
+    case ScenarioKind::kLoadScale: return "load-scale";
+    case ScenarioKind::kStochasticLoad: return "stochastic";
+    case ScenarioKind::kContingency: return "contingency";
+    case ScenarioKind::kTracking: return "tracking";
+  }
+  return "unknown";
+}
+
+ScenarioSet::ScenarioSet(grid::Network base) : net_(std::move(base)) {
+  require(net_.finalized(), "ScenarioSet: base network must be finalized");
+  base_pd_.reserve(net_.buses.size());
+  base_qd_.reserve(net_.buses.size());
+  for (const auto& bus : net_.buses) {
+    base_pd_.push_back(bus.pd);
+    base_qd_.push_back(bus.qd);
+  }
+}
+
+void ScenarioSet::scaled_loads(double scale, std::vector<double>& pd,
+                               std::vector<double>& qd) const {
+  pd.resize(base_pd_.size());
+  qd.resize(base_qd_.size());
+  for (std::size_t i = 0; i < base_pd_.size(); ++i) {
+    pd[i] = base_pd_[i] * scale;
+    qd[i] = base_qd_[i] * scale;
+  }
+}
+
+int ScenarioSet::append(Scenario sc) {
+  if (sc.pd.empty()) sc.pd = base_pd_;
+  if (sc.qd.empty()) sc.qd = base_qd_;
+  require(sc.pd.size() == base_pd_.size() && sc.qd.size() == base_qd_.size(),
+          "ScenarioSet: load vector size mismatch");
+  scenarios_.push_back(std::move(sc));
+  return size() - 1;
+}
+
+int ScenarioSet::add(Scenario sc) {
+  require(sc.outage_branch >= -1 && sc.outage_branch < net_.num_branches(),
+          "ScenarioSet::add: outage branch out of range");
+  // A bridge outage would island the network: the sequential reference
+  // throws at construction and the batch mask would iterate on NaNs, so
+  // reject it up front (add_n1_contingencies already skips bridges).
+  require(sc.outage_branch < 0 || !grid::is_bridge(net_, sc.outage_branch),
+          "ScenarioSet::add: outage branch is a bridge (would disconnect the network)");
+  require(sc.chain_from >= -1 && sc.chain_from < size(),
+          "ScenarioSet::add: chain_from must reference an earlier scenario");
+  // Warm-start chains run on the full topology: mixing chaining with
+  // contingencies is rejected because the batch engine (per-scenario branch
+  // mask) and the sequential reference (reduced network per contingency)
+  // would resolve the combination differently.
+  require(sc.chain_from < 0 || sc.outage_branch < 0,
+          "ScenarioSet::add: a chained scenario cannot carry a branch outage");
+  require(sc.chain_from < 0 ||
+              scenarios_[static_cast<std::size_t>(sc.chain_from)].outage_branch < 0,
+          "ScenarioSet::add: cannot chain from a contingency scenario");
+  return append(std::move(sc));
+}
+
+int ScenarioSet::add_base() {
+  Scenario sc;
+  sc.name = net_.name + "/base";
+  sc.kind = ScenarioKind::kBase;
+  return append(std::move(sc));
+}
+
+void ScenarioSet::add_load_scale(int count, double min_scale, double max_scale) {
+  require(count > 0, "add_load_scale: count must be positive");
+  require(min_scale > 0.0 && max_scale >= min_scale, "add_load_scale: invalid scale range");
+  for (int i = 0; i < count; ++i) {
+    const double t = count == 1 ? 0.5 : static_cast<double>(i) / (count - 1);
+    const double scale = min_scale + (max_scale - min_scale) * t;
+    Scenario sc;
+    sc.name = net_.name + "/scale-" + std::to_string(i);
+    sc.kind = ScenarioKind::kLoadScale;
+    sc.load_scale = scale;
+    scaled_loads(scale, sc.pd, sc.qd);
+    append(std::move(sc));
+  }
+}
+
+void ScenarioSet::add_stochastic_load(int count, double sigma, std::uint64_t seed) {
+  require(count > 0, "add_stochastic_load: count must be positive");
+  require(sigma >= 0.0, "add_stochastic_load: sigma must be non-negative");
+  // One independent stream per scenario, derived from the seed, so a set is
+  // reproducible regardless of how many scenarios preceded it.
+  std::uint64_t stream = seed;
+  for (int i = 0; i < count; ++i) {
+    Rng rng(splitmix64(stream));
+    Scenario sc;
+    sc.name = net_.name + "/stoch-" + std::to_string(i);
+    sc.kind = ScenarioKind::kStochasticLoad;
+    sc.pd.resize(base_pd_.size());
+    sc.qd.resize(base_qd_.size());
+    for (std::size_t b = 0; b < base_pd_.size(); ++b) {
+      const double factor = std::clamp(1.0 + sigma * rng.normal(), 0.1, 2.0);
+      sc.pd[b] = base_pd_[b] * factor;
+      sc.qd[b] = base_qd_[b] * factor;
+    }
+    append(std::move(sc));
+  }
+}
+
+int ScenarioSet::add_n1_contingencies(int max_count) {
+  // One DFS finds every bridge; per-branch is_bridge queries would make the
+  // enumeration quadratic on large cases.
+  const auto bridges = grid::bridge_branches(net_);
+  int appended = 0;
+  for (int l = 0; l < net_.num_branches(); ++l) {
+    if (max_count >= 0 && appended >= max_count) break;
+    if (!net_.branches[l].on) continue;  // already out of service
+    if (bridges[static_cast<std::size_t>(l)]) continue;  // would island the network
+    Scenario sc;
+    sc.name = net_.name + "/n1-branch-" + std::to_string(l);
+    sc.kind = ScenarioKind::kContingency;
+    sc.outage_branch = l;
+    append(std::move(sc));
+    ++appended;
+  }
+  return appended;
+}
+
+int ScenarioSet::add_tracking_sequence(const grid::LoadProfileSpec& spec, double ramp_fraction) {
+  require(spec.periods > 0, "add_tracking_sequence: periods must be positive");
+  require(ramp_fraction >= 0.0, "add_tracking_sequence: ramp_fraction must be non-negative");
+  const auto profile = grid::make_load_profile(spec);
+  const int first = size();
+  for (int t = 0; t < spec.periods; ++t) {
+    Scenario sc;
+    sc.name = net_.name + "/track-seed" + std::to_string(spec.seed) + "-t" + std::to_string(t);
+    sc.kind = ScenarioKind::kTracking;
+    sc.load_scale = profile[static_cast<std::size_t>(t)];
+    scaled_loads(sc.load_scale, sc.pd, sc.qd);
+    if (t > 0) {
+      sc.chain_from = first + t - 1;
+      sc.ramp_fraction = ramp_fraction;
+    }
+    append(std::move(sc));
+  }
+  return first;
+}
+
+std::vector<std::vector<int>> ScenarioSet::waves() const {
+  std::vector<int> depth(scenarios_.size(), 0);
+  int max_depth = 0;
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    const int parent = scenarios_[s].chain_from;
+    if (parent >= 0) depth[s] = depth[static_cast<std::size_t>(parent)] + 1;
+    max_depth = std::max(max_depth, depth[s]);
+  }
+  std::vector<std::vector<int>> result(static_cast<std::size_t>(max_depth + 1));
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    result[static_cast<std::size_t>(depth[s])].push_back(static_cast<int>(s));
+  }
+  return result;
+}
+
+}  // namespace gridadmm::scenario

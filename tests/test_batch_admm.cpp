@@ -1,0 +1,223 @@
+// Batched multi-scenario solve versus independent sequential solves: the
+// fused engine must reproduce the sequential results while issuing fewer
+// kernel launches (the subsystem's reason to exist).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/buffer.hpp"
+#include "device/device.hpp"
+#include "grid/cases.hpp"
+#include "opf/tracking.hpp"
+#include "scenario/batch_solver.hpp"
+#include "scenario/scenario_set.hpp"
+
+namespace gridadmm::scenario {
+namespace {
+
+double rel_diff(double a, double b) {
+  return std::abs(a - b) / std::max(1.0, std::abs(b));
+}
+
+TEST(BatchAdmm, SixteenLoadScenariosMatchSequentialWithFewerLaunches) {
+  // The acceptance bar: S=16 case9 load scenarios, per-scenario objectives
+  // within 1e-6 relative of sequential AdmmSolver runs, strictly fewer
+  // total kernel launches (device::LaunchStats attribution).
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(16, 0.92, 1.08);
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+
+  ASSERT_EQ(batched.records.size(), 16u);
+  ASSERT_EQ(sequential.records.size(), 16u);
+  for (int s = 0; s < 16; ++s) {
+    SCOPED_TRACE("scenario " + std::to_string(s));
+    EXPECT_TRUE(batched.records[s].converged);
+    EXPECT_EQ(batched.records[s].converged, sequential.records[s].converged);
+    EXPECT_LT(rel_diff(batched.records[s].objective, sequential.records[s].objective), 1e-6);
+    EXPECT_LT(rel_diff(batched.records[s].max_violation, sequential.records[s].max_violation),
+              1e-6);
+  }
+  EXPECT_GT(batched.launch_stats.launches, 0u);
+  EXPECT_LT(batched.launch_stats.launches, sequential.launch_stats.launches);
+}
+
+TEST(BatchAdmm, ControlFlowReplicaMatchesIterationCounts) {
+  // Stronger than the objective bar: the per-scenario control-flow replica
+  // must walk the exact same iteration sequence as the sequential solver.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(6, 0.95, 1.05);
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE("scenario " + std::to_string(s));
+    EXPECT_EQ(batched.records[s].inner_iterations, sequential.records[s].inner_iterations);
+    EXPECT_EQ(batched.records[s].outer_iterations, sequential.records[s].outer_iterations);
+    EXPECT_DOUBLE_EQ(batched.records[s].primal_residual, sequential.records[s].primal_residual);
+    EXPECT_DOUBLE_EQ(batched.records[s].dual_residual, sequential.records[s].dual_residual);
+  }
+}
+
+TEST(BatchAdmm, ContingencyMaskMatchesReducedNetworkSolve) {
+  // A masked-out branch in the batch must behave exactly like solving the
+  // network with that branch removed (what the sequential reference does).
+  const auto net = grid::load_embedded_case("case30");
+  const auto params = admm::params_for_case("case30", net.num_buses());
+  ScenarioSet set(net);
+  ASSERT_GE(set.add_n1_contingencies(4), 2);
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE(set[s].name);
+    EXPECT_EQ(batched.records[s].inner_iterations, sequential.records[s].inner_iterations);
+    EXPECT_LT(rel_diff(batched.records[s].objective, sequential.records[s].objective), 1e-6);
+    EXPECT_LT(rel_diff(batched.records[s].max_violation, sequential.records[s].max_violation),
+              1e-6);
+  }
+}
+
+TEST(BatchAdmm, TrackingChainMatchesSequentialWarmStarts) {
+  // Time-coupled sequence: period-to-period warm starts with ramp limits,
+  // chained on device, must match the sequential warm-start chain.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  grid::LoadProfileSpec spec;
+  spec.periods = 4;
+  spec.seed = 11;
+  set.add_tracking_sequence(spec, 0.02);
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+  for (int t = 0; t < 4; ++t) {
+    SCOPED_TRACE("period " + std::to_string(t));
+    EXPECT_EQ(batched.records[t].inner_iterations, sequential.records[t].inner_iterations);
+    EXPECT_LT(rel_diff(batched.records[t].objective, sequential.records[t].objective), 1e-6);
+  }
+  // Warm-started periods must be cheaper than the cold first period.
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_LT(batched.records[t].inner_iterations, batched.records[0].inner_iterations);
+  }
+}
+
+TEST(BatchAdmm, NonConvergedChainParentStillMatchesSequential) {
+  // The sequential solver escalates beta even on its final outer iteration;
+  // a chained child inherits that beta, so a parent that exhausts its outer
+  // budget must still hand the child the identical warm start.
+  const auto net = grid::load_embedded_case("case9");
+  auto params = admm::params_for_case("case9", net.num_buses());
+  params.max_outer_iterations = 2;
+  params.max_inner_iterations = 20;  // parent cannot converge in this budget
+  ScenarioSet set(net);
+  grid::LoadProfileSpec spec;
+  spec.periods = 3;
+  set.add_tracking_sequence(spec, 0.02);
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+  ASSERT_FALSE(sequential.records[0].converged);  // the premise of the test
+  for (int t = 0; t < 3; ++t) {
+    SCOPED_TRACE("period " + std::to_string(t));
+    EXPECT_EQ(batched.records[t].inner_iterations, sequential.records[t].inner_iterations);
+    EXPECT_DOUBLE_EQ(batched.records[t].primal_residual, sequential.records[t].primal_residual);
+    EXPECT_LT(rel_diff(batched.records[t].objective, sequential.records[t].objective), 1e-6);
+  }
+}
+
+TEST(BatchAdmm, NoTransfersDuringFusedIterations) {
+  // The paper's device-residency claim, extended to the batch: staging and
+  // evaluation move data, the fused iteration loop does not.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(4, 0.95, 1.05);
+  BatchAdmmSolver solver(set, params);
+  const auto report = solver.solve();
+  EXPECT_EQ(report.transfers_during_iterations, 0u);
+}
+
+TEST(BatchAdmm, BaseFanOutWarmStartReducesIterations) {
+  // Base-case solution fanned out to all scenarios: every scenario close to
+  // the base point should converge in fewer inner iterations than cold.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(6, 0.98, 1.02);
+
+  BatchAdmmSolver cold(set, params);
+  const auto cold_report = cold.solve();
+  BatchAdmmSolver warm(set, params);
+  BatchSolveOptions options;
+  options.warm_start_from_base = true;
+  const auto warm_report = warm.solve(options);
+
+  ASSERT_EQ(warm_report.records.size(), cold_report.records.size());
+  int cold_total = 0, warm_total = 0;
+  for (std::size_t s = 0; s < cold_report.records.size(); ++s) {
+    EXPECT_TRUE(warm_report.records[s].converged);
+    cold_total += cold_report.records[s].inner_iterations;
+    warm_total += warm_report.records[s].inner_iterations;
+  }
+  EXPECT_LT(warm_total, cold_total);
+  EXPECT_GT(warm_report.base_solve_seconds, 0.0);
+}
+
+TEST(BatchAdmm, MixedFamilyBatchSolvesEveryScenario) {
+  // One batch mixing all four scenario families.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_base();
+  set.add_load_scale(2, 0.97, 1.03);
+  set.add_stochastic_load(2, 0.03, 5);
+  set.add_n1_contingencies(2);
+  grid::LoadProfileSpec spec;
+  spec.periods = 2;
+  set.add_tracking_sequence(spec, 0.02);
+
+  BatchAdmmSolver solver(set, params);
+  const auto report = solver.solve();
+  ASSERT_EQ(report.records.size(), static_cast<std::size_t>(set.size()));
+  for (const auto& rec : report.records) {
+    SCOPED_TRACE(rec.name);
+    EXPECT_TRUE(rec.converged);
+    EXPECT_LT(rec.max_violation, 5e-3);
+    EXPECT_GT(rec.objective, 0.0);
+  }
+  EXPECT_EQ(report.num_converged(), set.size());
+  EXPECT_GT(report.scenarios_per_second(), 0.0);
+}
+
+TEST(BatchAdmm, RunBatchedTrackingProducesPerProfileRecords) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  opf::TrackingOptions options;
+  options.periods = 3;
+  options.run_ipm = false;
+  const auto result = opf::run_batched_tracking(net, params, options, 2);
+  ASSERT_EQ(result.profiles.size(), 2u);
+  for (const auto& periods : result.profiles) {
+    ASSERT_EQ(periods.size(), 3u);
+    for (const auto& rec : periods) {
+      EXPECT_TRUE(rec.admm_converged);
+      EXPECT_GT(rec.admm_objective, 0.0);
+    }
+    // Warm-started periods are cheaper than the cold first period.
+    EXPECT_LT(periods[1].admm_iterations, periods[0].admm_iterations);
+  }
+}
+
+}  // namespace
+}  // namespace gridadmm::scenario
