@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,15 @@ struct CaseBudget {
 };
 
 inline bool full_mode() { return Options::env_flag("GRIDADMM_FULL"); }
+
+/// CI smoke mode (`--smoke` or GRIDADMM_SMOKE=1): shrink the protocol to
+/// seconds so every harness can run on every push and its JSON records can
+/// be archived as workflow artifacts. Smoke numbers validate that the
+/// harness runs and the qualitative ordering holds — they are not the
+/// paper protocol.
+inline bool smoke_mode(const Options& opts) {
+  return opts.get_bool("smoke", false) || Options::env_flag("GRIDADMM_SMOKE");
+}
 
 /// The Table II / Figure case list. Reduced mode trims the case list and
 /// iteration budgets so the whole harness finishes quickly on a CPU.
@@ -57,6 +67,17 @@ inline std::vector<std::string> tracking_cases() {
 }
 
 inline int tracking_periods() { return full_mode() ? 30 : 10; }
+
+/// Splits a --key=a,b,c option value (empty items dropped).
+inline std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
 
 inline void print_mode_banner(const char* what) {
   std::printf("# %s — %s mode (set GRIDADMM_FULL=1 for the full paper protocol)\n", what,

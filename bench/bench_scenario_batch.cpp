@@ -4,9 +4,8 @@
 // (case, S, engine) measurement (bench_common.hpp JsonRecord format) plus a
 // summary table.
 //
-//   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64]
+//   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64] [--smoke]
 #include <cstdio>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,28 +15,18 @@
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 
-namespace {
-
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::stringstream stream(text);
-  std::string item;
-  while (std::getline(stream, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace gridadmm;
+  using bench::split_csv;
   const Options opts(argc, argv);
+  const bool smoke = bench::smoke_mode(opts);
   bench::print_mode_banner("Scenario batch: fused vs sequential multi-scenario solve");
 
-  const auto case_names = split_csv(opts.get("cases", "case9,case30"));
+  const auto case_names = split_csv(opts.get("cases", smoke ? "case9" : "case9,case30"));
   std::vector<int> sizes;
-  for (const auto& s : split_csv(opts.get("sizes", "1,4,16,64"))) sizes.push_back(std::stoi(s));
+  for (const auto& s : split_csv(opts.get("sizes", smoke ? "1,8" : "1,4,16,64"))) {
+    sizes.push_back(std::stoi(s));
+  }
 
   Table table({"case", "S", "seq (s)", "batch (s)", "speedup", "seq launches",
                "batch launches", "batch scen/s"});

@@ -1,0 +1,184 @@
+// Solve-service throughput: coalesced micro-batches versus per-request
+// sequential solves, and the warm-start cache's iteration savings.
+//
+// Protocol per (case, concurrency) point:
+//   1. `sequential` — N requests solved back to back with independent
+//      AdmmSolver instances on a dedicated device (what a naive per-request
+//      server would do).
+//   2. `service-cold` — the same N requests submitted concurrently to a
+//      SolveService with an empty cache; the dispatcher coalesces them into
+//      fused micro-batches. Records requests/sec and total kernel launches
+//      (fewer than sequential is the point of coalescing).
+//   3. `service-warm` — the same loads perturbed by 1% submitted again, now
+//      hitting the warm-start cache; records the cache hit rate and the
+//      iteration savings versus the cold wave.
+//
+// One JSON record per measurement (bench_common.hpp JsonRecord), plus a
+// summary table.
+//
+//   ./bench_serve_throughput [--cases=case9,case30] [--concurrency=8,16]
+//                            [--smoke]
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "admm/solver.hpp"
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "grid/cases.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+struct Wave {
+  double seconds = 0.0;
+  int total_inner_iterations = 0;
+  int converged = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridadmm;
+  using bench::split_csv;
+  const Options opts(argc, argv);
+  const bool smoke = bench::smoke_mode(opts);
+  std::printf("# Serve throughput: coalescing service vs per-request solves%s\n",
+              smoke ? " — SMOKE mode" : "");
+
+  const auto case_names = split_csv(opts.get("cases", smoke ? "case9" : "case9,case30"));
+  std::vector<int> concurrencies;
+  for (const auto& c : split_csv(opts.get("concurrency", smoke ? "8" : "8,16"))) {
+    concurrencies.push_back(std::stoi(c));
+  }
+
+  Table table({"case", "N", "seq (s)", "service (s)", "req/s", "seq launches",
+               "svc launches", "warm hit rate", "iter savings"});
+  for (const auto& case_name : case_names) {
+    const auto net = grid::load_case(case_name);
+    const auto params = admm::params_for_case(case_name, net.num_buses());
+    std::vector<double> base_pd, base_qd;
+    for (const auto& bus : net.buses) {
+      base_pd.push_back(bus.pd);
+      base_qd.push_back(bus.qd);
+    }
+    auto loads_at = [&](int i, int n, double perturb) {
+      const double f = perturb * (0.94 + 0.12 * i / std::max(1, n - 1));
+      std::pair<std::vector<double>, std::vector<double>> loads{base_pd, base_qd};
+      for (double& v : loads.first) v *= f;
+      for (double& v : loads.second) v *= f;
+      return loads;
+    };
+
+    for (const int n : concurrencies) {
+      // ---- 1. per-request sequential baseline ----
+      device::Device sequential_device;
+      Wave sequential;
+      {
+        WallTimer timer;
+        for (int i = 0; i < n; ++i) {
+          admm::AdmmSolver solver(net, params, &sequential_device);
+          auto [pd, qd] = loads_at(i, n, 1.0);
+          solver.set_loads(pd, qd);
+          const auto stats = solver.solve();
+          sequential.total_inner_iterations += stats.inner_iterations;
+          sequential.converged += stats.converged ? 1 : 0;
+        }
+        sequential.seconds = timer.seconds();
+      }
+      const auto sequential_launches = sequential_device.stats().launches;
+
+      // ---- 2 + 3. coalescing service, cold wave then warm wave ----
+      serve::ServiceOptions service_options;
+      service_options.max_batch_size = n;
+      service_options.batching_window_seconds = 0.05;
+      service_options.cache.capacity = 2 * n;
+      serve::SolveService service(net, params, service_options);
+
+      auto run_wave = [&](double perturb) {
+        Wave wave;
+        const auto hits_before = service.stats().cache_hits;
+        WallTimer timer;
+        std::vector<std::future<serve::SolveResult>> futures;
+        futures.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          serve::SolveRequest request;
+          auto [pd, qd] = loads_at(i, n, perturb);
+          request.pd = std::move(pd);
+          request.qd = std::move(qd);
+          futures.push_back(service.submit(std::move(request)));
+        }
+        for (auto& future : futures) {
+          const auto result = future.get();
+          wave.total_inner_iterations += result.stats.inner_iterations;
+          wave.converged += result.converged ? 1 : 0;
+        }
+        wave.seconds = timer.seconds();
+        wave.cache_hits = service.stats().cache_hits - hits_before;
+        return wave;
+      };
+
+      const Wave cold = run_wave(1.0);
+      const auto cold_launches = service.stats().launch_stats.launches;
+      const Wave warm = run_wave(1.01);
+      service.drain();
+      const auto stats = service.stats();
+
+      const double requests_per_second = cold.seconds > 0.0 ? n / cold.seconds : 0.0;
+      const double hit_rate = n > 0 ? static_cast<double>(warm.cache_hits) / n : 0.0;
+      const double iteration_savings =
+          cold.total_inner_iterations > 0
+              ? 1.0 - static_cast<double>(warm.total_inner_iterations) /
+                          cold.total_inner_iterations
+              : 0.0;
+
+      table.add_row({case_name, std::to_string(n), Table::fixed(sequential.seconds, 3),
+                     Table::fixed(cold.seconds, 3), Table::fixed(requests_per_second, 1),
+                     std::to_string(sequential_launches),
+                     std::to_string(cold_launches), Table::fixed(hit_rate, 2),
+                     Table::fixed(iteration_savings, 2)});
+
+      bench::JsonRecord seq_record("serve_throughput");
+      seq_record.field("case", case_name)
+          .field("concurrency", n)
+          .field("engine", "sequential")
+          .field("seconds", sequential.seconds)
+          .field("launches", static_cast<long long>(sequential_launches))
+          .field("inner_iterations", sequential.total_inner_iterations)
+          .field("converged", sequential.converged);
+      seq_record.emit();
+
+      bench::JsonRecord cold_record("serve_throughput");
+      cold_record.field("case", case_name)
+          .field("concurrency", n)
+          .field("engine", "service-cold")
+          .field("seconds", cold.seconds)
+          .field("launches", static_cast<long long>(cold_launches))
+          .field("requests_per_second", requests_per_second)
+          .field("mean_batch_occupancy", stats.mean_batch_occupancy())
+          .field("inner_iterations", cold.total_inner_iterations)
+          .field("converged", cold.converged);
+      cold_record.emit();
+
+      bench::JsonRecord warm_record("serve_throughput");
+      warm_record.field("case", case_name)
+          .field("concurrency", n)
+          .field("engine", "service-warm")
+          .field("seconds", warm.seconds)
+          .field("cache_hit_rate", hit_rate)
+          .field("inner_iterations", warm.total_inner_iterations)
+          .field("iteration_savings", iteration_savings)
+          .field("p50_latency", stats.p50_latency)
+          .field("p95_latency", stats.p95_latency)
+          .field("converged", warm.converged);
+      warm_record.emit();
+    }
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

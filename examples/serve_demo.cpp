@@ -1,0 +1,72 @@
+// Solve service demo: a burst of concurrent load-perturbed requests is
+// coalesced into fused micro-batches, then a second wave of nearby loads
+// hits the warm-start cache and converges in fewer iterations.
+//
+//   ./serve_demo [--case=case9] [--requests=8]
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "opf/service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridadmm;
+  const Options opts(argc, argv);
+  const std::string case_name = opts.get("case", "case9");
+  const int requests = opts.get_int("requests", 8);
+
+  serve::ServiceOptions options;
+  options.max_batch_size = requests;
+  options.batching_window_seconds = 0.05;  // generous: let the burst coalesce
+  opf::OpfService service(case_name, options);
+
+  std::printf("== wave 1: %d cold requests around the base load\n", requests);
+  std::vector<std::future<serve::SolveResult>> wave1;
+  for (int i = 0; i < requests; ++i) {
+    wave1.push_back(service.solve_scaled(0.96 + 0.08 * i / std::max(1, requests - 1)));
+  }
+  int cold_iterations = 0;
+  for (auto& future : wave1) {
+    const auto result = future.get();
+    cold_iterations += result.stats.inner_iterations;
+    std::printf("  batch %llu occupancy %d  converged=%d  obj=%.2f  iters=%d  cache_hit=%d\n",
+                static_cast<unsigned long long>(result.batch_id), result.batch_occupancy,
+                result.converged, result.objective, result.stats.inner_iterations,
+                result.cache_hit);
+  }
+
+  std::printf("== wave 2: the same loads perturbed by 1%% (warm-start cache hits)\n");
+  std::vector<std::future<serve::SolveResult>> wave2;
+  for (int i = 0; i < requests; ++i) {
+    wave2.push_back(service.solve_scaled(1.01 * (0.96 + 0.08 * i / std::max(1, requests - 1))));
+  }
+  int warm_iterations = 0;
+  for (auto& future : wave2) {
+    const auto result = future.get();
+    warm_iterations += result.stats.inner_iterations;
+    std::printf("  batch %llu occupancy %d  converged=%d  obj=%.2f  iters=%d  cache_hit=%d\n",
+                static_cast<unsigned long long>(result.batch_id), result.batch_occupancy,
+                result.converged, result.objective, result.stats.inner_iterations,
+                result.cache_hit);
+  }
+
+  service.drain();
+  const auto stats = service.stats();
+  std::printf("\n== service stats\n");
+  std::printf("  submitted=%llu completed=%llu shed=%llu batches=%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("  mean batch occupancy=%.2f  cache hit rate=%.2f  cache entries=%llu\n",
+              stats.mean_batch_occupancy(), stats.cache_hit_rate(),
+              static_cast<unsigned long long>(stats.cache_entries));
+  std::printf("  launches=%llu  p50 latency=%.3fs  p95 latency=%.3fs\n",
+              static_cast<unsigned long long>(stats.launch_stats.launches), stats.p50_latency,
+              stats.p95_latency);
+  std::printf("  wave1 iterations=%d  wave2 iterations=%d (warm start should be fewer)\n",
+              cold_iterations, warm_iterations);
+  return 0;
+}

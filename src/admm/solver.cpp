@@ -101,6 +101,45 @@ void AdmmSolver::cold_start() {
   state_.beta = params_.beta0;
 }
 
+WarmStartIterate AdmmSolver::export_iterate() const {
+  WarmStartIterate it;
+  it.u = state_.u.to_host();
+  it.v = state_.v.to_host();
+  it.z = state_.z.to_host();
+  it.y = state_.y.to_host();
+  it.lz = state_.lz.to_host();
+  it.bus_w = state_.bus_w.to_host();
+  it.bus_theta = state_.bus_theta.to_host();
+  it.gen_pg = state_.gen_pg.to_host();
+  it.gen_qg = state_.gen_qg.to_host();
+  it.branch_x = state_.branch_x.to_host();
+  it.branch_s = state_.branch_s.to_host();
+  it.branch_lambda = state_.branch_lambda.to_host();
+  it.rho = model_.rho.to_host();
+  it.beta = state_.beta;
+  it.rho_scale = rho_scale_;
+  return it;
+}
+
+void AdmmSolver::import_iterate(const WarmStartIterate& it) {
+  require_matches(it, model_, "AdmmSolver::import_iterate");
+  state_.u.upload(it.u);
+  state_.v.upload(it.v);
+  state_.z.upload(it.z);
+  state_.y.upload(it.y);
+  state_.lz.upload(it.lz);
+  state_.bus_w.upload(it.bus_w);
+  state_.bus_theta.upload(it.bus_theta);
+  state_.gen_pg.upload(it.gen_pg);
+  state_.gen_qg.upload(it.gen_qg);
+  state_.branch_x.upload(it.branch_x);
+  state_.branch_s.upload(it.branch_s);
+  state_.branch_lambda.upload(it.branch_lambda);
+  model_.rho.upload(it.rho);
+  state_.beta = std::max(it.beta, params_.beta0);
+  rho_scale_ = it.rho_scale;
+}
+
 void AdmmSolver::prepare_warm_start() {
   // Keep the escalated outer penalty: the kept multiplier lz was accumulated
   // against it, and re-shrinking beta would let the z-update throw the
@@ -137,10 +176,14 @@ AdmmStats AdmmSolver::solve() {
     const double scheduled = std::isfinite(prev_znorm)
                                  ? params_.inner_tolerance_factor * prev_znorm
                                  : params_.inner_tolerance_initial;
-    const double eps_primal = std::clamp(scheduled, params_.primal_tolerance,
-                                         params_.inner_tolerance_initial);
+    // A final tolerance looser than the initial one (possible via caller
+    // overrides) must not invert the clamp bounds (UB when lo > hi).
+    const double eps_primal =
+        std::clamp(scheduled, params_.primal_tolerance,
+                   std::max(params_.inner_tolerance_initial, params_.primal_tolerance));
     const double eps_dual =
-        std::clamp(scheduled, params_.dual_tolerance, params_.inner_tolerance_initial);
+        std::clamp(scheduled, params_.dual_tolerance,
+                   std::max(params_.inner_tolerance_initial, params_.dual_tolerance));
     bool inner_converged = false;
     for (int inner = 0; inner < params_.max_inner_iterations; ++inner) {
       ++stats.inner_iterations;

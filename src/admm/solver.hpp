@@ -18,6 +18,7 @@
 #include "admm/component_model.hpp"
 #include "admm/params.hpp"
 #include "admm/state.hpp"
+#include "admm/warm_start.hpp"
 #include "device/device.hpp"
 #include "grid/network.hpp"
 #include "grid/solution.hpp"
@@ -75,6 +76,17 @@ class AdmmSolver {
   /// components, voltages from bus components (angles shifted so the
   /// reference bus is zero).
   [[nodiscard]] grid::OpfSolution solution() const;
+
+  /// Snapshots the full iterate (primal values, every multiplier, penalty
+  /// state) as portable host arrays — the unit of exchange for the warm-start
+  /// cache and cross-solver seeding.
+  [[nodiscard]] WarmStartIterate export_iterate() const;
+
+  /// Restores a previously exported iterate (dimensions must match this
+  /// solver's model; throws ValidationError otherwise) and applies
+  /// prepare_warm_start semantics: the iterate's penalties are kept, beta is
+  /// only raised to at least beta0.
+  void import_iterate(const WarmStartIterate& it);
 
   /// Updates loads (per-unit, one entry per bus); used by tracking.
   void set_loads(std::span<const double> pd, std::span<const double> qd);

@@ -1,0 +1,26 @@
+#include "admm/warm_start.hpp"
+
+#include "common/error.hpp"
+
+namespace gridadmm::admm {
+
+bool WarmStartIterate::matches(const ComponentModel& model) const {
+  const auto np = static_cast<std::size_t>(model.num_pairs);
+  const auto nb = static_cast<std::size_t>(model.num_buses);
+  const auto ng = static_cast<std::size_t>(model.num_gens);
+  const auto nl = static_cast<std::size_t>(model.num_branches);
+  return u.size() == np && v.size() == np && z.size() == np && y.size() == np &&
+         lz.size() == np && rho.size() == np && bus_w.size() == nb && bus_theta.size() == nb &&
+         gen_pg.size() == ng && gen_qg.size() == ng && branch_x.size() == 4 * nl &&
+         branch_s.size() == 2 * nl && branch_lambda.size() == 2 * nl;
+}
+
+void require_matches(const WarmStartIterate& it, const ComponentModel& model,
+                     const char* where) {
+  if (!it.matches(model)) {
+    throw ValidationError(std::string(where) +
+                          ": warm-start iterate dimensions do not match the model");
+  }
+}
+
+}  // namespace gridadmm::admm

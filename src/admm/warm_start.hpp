@@ -1,0 +1,43 @@
+// Portable full-iterate snapshot for warm starting.
+//
+// The paper's tracking result rests on reusing the *entire* ADMM iterate —
+// primal values and every multiplier — across solves of nearby instances.
+// WarmStartIterate packages that iterate as plain host arrays so it can
+// move between solvers, into the serve layer's SolutionCache, and across
+// batch slots: AdmmSolver::export_iterate / import_iterate round-trip a
+// single solver, BatchAdmmSolver::export_iterate slices one scenario out of
+// a batch, and BatchSolveOptions::initial_iterates seeds batch slots from
+// previously exported iterates.
+#pragma once
+
+#include <vector>
+
+#include "admm/component_model.hpp"
+
+namespace gridadmm::admm {
+
+struct WarmStartIterate {
+  // Consensus pairs and multipliers (num_pairs each).
+  std::vector<double> u, v, z, y, lz;
+  // Component variables.
+  std::vector<double> bus_w, bus_theta;        ///< num_buses each
+  std::vector<double> gen_pg, gen_qg;          ///< num_gens each
+  std::vector<double> branch_x;                ///< 4 * num_branches
+  std::vector<double> branch_s;                ///< 2 * num_branches
+  std::vector<double> branch_lambda;           ///< 2 * num_branches
+  // Penalty state the iterate was produced under. Importers must keep it:
+  // the multipliers were accumulated against these penalties, and re-basing
+  // them measurably slows the warm start (see AdmmSolver::prepare_warm_start).
+  std::vector<double> rho;                     ///< num_pairs
+  double beta = 0.0;                           ///< outer penalty on z = 0
+  double rho_scale = 1.0;                      ///< cumulative adaptive scaling
+
+  /// True when every array length matches `model`'s dimensions.
+  [[nodiscard]] bool matches(const ComponentModel& model) const;
+};
+
+/// Throws ValidationError unless `it.matches(model)`.
+void require_matches(const WarmStartIterate& it, const ComponentModel& model,
+                     const char* where);
+
+}  // namespace gridadmm::admm

@@ -30,10 +30,34 @@ class NumericalError : public GridError {
   explicit NumericalError(const std::string& what) : GridError(what) {}
 };
 
+/// Raised when caller-supplied inputs fail validation (negative load scale,
+/// out-of-range branch index, non-finite loads, ...). Distinct from
+/// ModelError so callers can tell "your request is malformed" apart from
+/// "the network itself is broken".
+class ValidationError : public GridError {
+ public:
+  explicit ValidationError(const std::string& what) : GridError(what) {}
+};
+
+/// Raised when a bounded resource is exhausted and the work is shed rather
+/// than queued — the solve service's admission-control error. Callers may
+/// retry later; nothing was accepted.
+class CapacityError : public GridError {
+ public:
+  explicit CapacityError(const std::string& what) : GridError(what) {}
+};
+
 /// Throws GridError with `msg` if `cond` is false. Used for precondition
 /// checks that must stay active in release builds.
 inline void require(bool cond, const std::string& msg) {
   if (!cond) throw GridError(msg);
+}
+
+/// Throws ValidationError with `msg` if `cond` is false. Used for checks on
+/// caller-supplied inputs (scenario definitions, solve requests), so
+/// clients can distinguish malformed requests from internal faults.
+inline void require_valid(bool cond, const std::string& msg) {
+  if (!cond) throw ValidationError(msg);
 }
 
 }  // namespace gridadmm

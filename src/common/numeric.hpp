@@ -1,0 +1,16 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gridadmm {
+
+/// True when every entry is finite (no NaN/inf) — the input-validation
+/// gate for caller-supplied load vectors.
+inline bool all_finite(const std::vector<double>& values) {
+  return std::all_of(values.begin(), values.end(), [](double v) { return std::isfinite(v); });
+}
+
+}  // namespace gridadmm

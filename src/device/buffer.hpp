@@ -5,6 +5,7 @@
 // snapshotting transfer_stats() around the solve loop.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -70,6 +71,17 @@ class DeviceBuffer {
     return host;
   }
 
+  /// Device -> host copy of the contiguous slice [offset, offset + host.size())
+  /// (counted as one transfer of host.size_bytes()). Lets scenario-strided
+  /// batch buffers extract one scenario without moving the whole batch.
+  void download_slice(std::size_t offset, std::span<T> host) const {
+    require(offset + host.size() <= data_.size(), "DeviceBuffer::download_slice out of range");
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), host.size(), host.begin());
+    auto& stats = transfer_stats();
+    stats.device_to_host += 1;
+    stats.bytes += host.size_bytes();
+  }
+
  private:
   std::vector<T> data_;
 };
@@ -78,5 +90,26 @@ inline TransferStats& transfer_stats() {
   static TransferStats stats;
   return stats;
 }
+
+/// Snapshot of the process-wide transfer counters at construction; delta()
+/// returns the traffic that happened since. Used by tests to assert exact
+/// transfer counts (e.g. that a per-scenario solution extraction moves one
+/// scenario's slices, not the whole batch).
+class TransferStatsScope {
+ public:
+  TransferStatsScope() : start_(transfer_stats()) {}
+
+  [[nodiscard]] TransferStats delta() const {
+    const TransferStats& now = transfer_stats();
+    TransferStats d;
+    d.host_to_device = now.host_to_device - start_.host_to_device;
+    d.device_to_host = now.device_to_host - start_.device_to_host;
+    d.bytes = now.bytes - start_.bytes;
+    return d;
+  }
+
+ private:
+  TransferStats start_;
+};
 
 }  // namespace gridadmm::device

@@ -238,6 +238,64 @@ std::vector<bool> bridge_branches(const Network& net) {
   return bridges;
 }
 
+namespace {
+
+/// FNV-1a accumulation over raw bytes (doubles hashed by bit pattern, so
+/// the fingerprint is exact, not tolerance-based).
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void fnv_double(std::uint64_t& h, double value) { fnv_bytes(h, &value, sizeof(value)); }
+
+void fnv_int(std::uint64_t& h, std::int64_t value) { fnv_bytes(h, &value, sizeof(value)); }
+
+}  // namespace
+
+std::uint64_t network_fingerprint(const Network& net) {
+  require(net.finalized(), "network_fingerprint: network must be finalized");
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_int(h, net.num_buses());
+  fnv_int(h, net.num_branches());
+  fnv_int(h, net.num_generators());
+  fnv_int(h, net.ref_bus);
+  fnv_double(h, net.base_mva);
+  for (const auto& bus : net.buses) {
+    fnv_int(h, static_cast<std::int64_t>(bus.type));
+    fnv_double(h, bus.gs);
+    fnv_double(h, bus.bs);
+    fnv_double(h, bus.vmin);
+    fnv_double(h, bus.vmax);
+  }
+  for (const auto& branch : net.branches) {
+    fnv_int(h, branch.from);
+    fnv_int(h, branch.to);
+    fnv_int(h, branch.on ? 1 : 0);
+    fnv_double(h, branch.r);
+    fnv_double(h, branch.x);
+    fnv_double(h, branch.b);
+    fnv_double(h, branch.tap);
+    fnv_double(h, branch.shift);
+    fnv_double(h, branch.rate);
+  }
+  for (const auto& gen : net.generators) {
+    fnv_int(h, gen.bus);
+    fnv_int(h, gen.on ? 1 : 0);
+    fnv_double(h, gen.pmin);
+    fnv_double(h, gen.pmax);
+    fnv_double(h, gen.qmin);
+    fnv_double(h, gen.qmax);
+    fnv_double(h, gen.c2);
+    fnv_double(h, gen.c1);
+    fnv_double(h, gen.c0);
+  }
+  return h;
+}
+
 double Network::generation_cost(const std::vector<double>& pg) const {
   require(pg.size() == generators.size(), "generation_cost: dispatch size mismatch");
   double total = 0.0;

@@ -3,6 +3,7 @@
 // branch admittances of the paper's formulation (1) are available.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -113,5 +114,13 @@ bool is_bridge(const Network& net, int l);
 /// true when branch l is a bridge. O(buses + branches) total; used by N-1
 /// contingency enumeration.
 std::vector<bool> bridge_branches(const Network& net);
+
+/// Structural fingerprint of a finalized network: a 64-bit FNV-1a hash over
+/// everything that shapes the ACOPF *other than the load vector* — bus
+/// bounds and shunts, branch topology/impedances/ratings/status, generator
+/// bounds and costs. Two networks with the same fingerprint define the same
+/// solve up to loads, which is exactly the warm-start cache's key: loads
+/// are matched separately by nearest-neighbor distance.
+std::uint64_t network_fingerprint(const Network& net);
 
 }  // namespace gridadmm::grid

@@ -1,0 +1,55 @@
+#include "opf/service.hpp"
+
+#include <utility>
+
+#include "grid/cases.hpp"
+#include "opf/opf.hpp"
+
+namespace gridadmm::opf {
+
+OpfService::OpfService(const std::string& case_name, serve::ServiceOptions options)
+    : OpfService(
+          [&case_name]() -> CaseBundle {
+            CaseBundle bundle{load_case(case_name), {}};
+            bundle.params = admm::params_for_case(case_name, bundle.net.num_buses());
+            return bundle;
+          }(),
+          std::move(options)) {}
+
+OpfService::OpfService(CaseBundle bundle, serve::ServiceOptions options)
+    : service_(std::move(bundle.net), bundle.params, std::move(options)) {}
+
+OpfService::OpfService(grid::Network net, admm::AdmmParams params, serve::ServiceOptions options)
+    : service_(std::move(net), params, std::move(options)) {}
+
+std::future<serve::SolveResult> OpfService::solve(std::vector<double> pd,
+                                                  std::vector<double> qd) {
+  serve::SolveRequest request;
+  request.pd = std::move(pd);
+  request.qd = std::move(qd);
+  return service_.submit(std::move(request));
+}
+
+std::future<serve::SolveResult> OpfService::solve_scaled(double factor) {
+  const auto& net = service_.base_network();
+  std::vector<double> pd, qd;
+  pd.reserve(net.buses.size());
+  qd.reserve(net.buses.size());
+  for (const auto& bus : net.buses) {
+    pd.push_back(bus.pd * factor);
+    qd.push_back(bus.qd * factor);
+  }
+  return solve(std::move(pd), std::move(qd));
+}
+
+std::future<serve::SolveResult> OpfService::solve_contingency(int outage_branch) {
+  serve::SolveRequest request;
+  request.outage_branch = outage_branch;
+  return service_.submit(std::move(request));
+}
+
+std::future<serve::SolveResult> OpfService::submit(serve::SolveRequest request) {
+  return service_.submit(std::move(request));
+}
+
+}  // namespace gridadmm::opf

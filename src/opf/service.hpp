@@ -1,0 +1,59 @@
+// OpfService: the one-liner entry to the serve layer.
+//
+// Wraps serve::SolveService for the common deployment shape — one case, the
+// Table I parameter preset — so a caller goes from a case name to async
+// warm-start-cached solves without touching ScenarioSet or BatchAdmmSolver:
+//
+//   opf::OpfService service("case9");
+//   auto future = service.solve_scaled(1.03);
+//   auto result = future.get();
+#pragma once
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "admm/params.hpp"
+#include "serve/service.hpp"
+
+namespace gridadmm::opf {
+
+class OpfService {
+ public:
+  /// Loads `case_name` (embedded, synthetic preset, or MATPOWER path) and
+  /// starts the service with the case's parameter preset.
+  explicit OpfService(const std::string& case_name, serve::ServiceOptions options = {});
+
+  /// Uses an explicit network and params (network must be finalized).
+  OpfService(grid::Network net, admm::AdmmParams params, serve::ServiceOptions options = {});
+
+  /// Solves the case at explicit per-bus loads (per-unit).
+  std::future<serve::SolveResult> solve(std::vector<double> pd, std::vector<double> qd);
+
+  /// Solves the case with every load scaled by `factor`.
+  std::future<serve::SolveResult> solve_scaled(double factor);
+
+  /// Solves the case with branch `outage_branch` dropped (N-1 screen).
+  std::future<serve::SolveResult> solve_contingency(int outage_branch);
+
+  /// Full request form (heterogeneous controls, cache bypass, ...).
+  std::future<serve::SolveResult> submit(serve::SolveRequest request);
+
+  void drain() { service_.drain(); }
+  [[nodiscard]] serve::ServiceStats stats() const { return service_.stats(); }
+  [[nodiscard]] const grid::Network& network() const { return service_.base_network(); }
+  [[nodiscard]] serve::SolveService& service() { return service_; }
+
+ private:
+  /// Loaded case bundled with its parameter preset, so the delegating
+  /// case-name constructor can derive params from the loaded network.
+  struct CaseBundle {
+    grid::Network net;
+    admm::AdmmParams params;
+  };
+  OpfService(CaseBundle bundle, serve::ServiceOptions options);
+
+  serve::SolveService service_;
+};
+
+}  // namespace gridadmm::opf

@@ -99,6 +99,22 @@ BatchAdmmSolver::BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params
   require(!scenarios_.empty(), "BatchAdmmSolver: scenario set is empty");
   views_.reserve(scenarios_.size());
   for (int s = 0; s < num_scenarios(); ++s) views_.push_back(state_.view(model_, s));
+  eff_.reserve(scenarios_.size());
+  for (const auto& sc : scenarios_) {
+    const admm::AdmmParams p = effective_params(params_, sc.controls);
+    eff_.push_back({p.primal_tolerance, p.dual_tolerance, p.outer_tolerance,
+                    p.max_inner_iterations, p.max_outer_iterations});
+  }
+}
+
+admm::AdmmParams effective_params(const admm::AdmmParams& base, const ScenarioControls& controls) {
+  admm::AdmmParams p = base;
+  if (controls.primal_tolerance >= 0.0) p.primal_tolerance = controls.primal_tolerance;
+  if (controls.dual_tolerance >= 0.0) p.dual_tolerance = controls.dual_tolerance;
+  if (controls.outer_tolerance >= 0.0) p.outer_tolerance = controls.outer_tolerance;
+  if (controls.max_inner_iterations >= 0) p.max_inner_iterations = controls.max_inner_iterations;
+  if (controls.max_outer_iterations >= 0) p.max_outer_iterations = controls.max_outer_iterations;
+  return p;
 }
 
 void BatchAdmmSolver::set_beta(int s, double value) {
@@ -106,16 +122,21 @@ void BatchAdmmSolver::set_beta(int s, double value) {
   views_[static_cast<std::size_t>(s)].beta = value;
 }
 
-void BatchAdmmSolver::schedule_inner_tolerance(Control& ctrl) const {
+void BatchAdmmSolver::schedule_inner_tolerance(int s, Control& ctrl) const {
   // Inexact inner solves: proportional to the outer infeasibility, never
   // looser than the initial tolerance, never tighter than the final one
-  // (identical to AdmmSolver::solve).
+  // (identical to AdmmSolver::solve; final tolerances are per-scenario).
+  const auto& eff = eff_[static_cast<std::size_t>(s)];
   const double scheduled = std::isfinite(ctrl.prev_znorm)
                                ? params_.inner_tolerance_factor * ctrl.prev_znorm
                                : params_.inner_tolerance_initial;
+  // Same bound guard as AdmmSolver::solve: a per-scenario final tolerance
+  // looser than the initial one must not invert the clamp (UB when lo > hi).
   ctrl.eps_primal =
-      std::clamp(scheduled, params_.primal_tolerance, params_.inner_tolerance_initial);
-  ctrl.eps_dual = std::clamp(scheduled, params_.dual_tolerance, params_.inner_tolerance_initial);
+      std::clamp(scheduled, eff.primal_tolerance,
+                 std::max(params_.inner_tolerance_initial, eff.primal_tolerance));
+  ctrl.eps_dual = std::clamp(scheduled, eff.dual_tolerance,
+                             std::max(params_.inner_tolerance_initial, eff.dual_tolerance));
 }
 
 void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
@@ -127,8 +148,9 @@ void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
   const auto nl = static_cast<std::size_t>(model_.num_branches);
 
   std::vector<double> hu(S * np, 0.0), hw(S * nb, 0.0), htheta(S * nb, 0.0);
+  std::vector<double> hv(S * np, 0.0), hz(S * np, 0.0), hy(S * np, 0.0), hlz(S * np, 0.0);
   std::vector<double> hpg(S * ng, 0.0), hqg(S * ng, 0.0);
-  std::vector<double> hbx(S * 4 * nl, 0.0), hbs(S * 2 * nl, 0.0);
+  std::vector<double> hbx(S * 4 * nl, 0.0), hbs(S * 2 * nl, 0.0), hblam(S * 2 * nl, 0.0);
   std::vector<double> hrho(S * np, 0.0), hpd(S * nb, 0.0), hqd(S * nb, 0.0);
   std::vector<double> hpmin(S * ng, 0.0), hpmax(S * ng, 0.0);
   std::vector<unsigned char> hactive(S * nl, 1);
@@ -162,19 +184,12 @@ void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
       hpmin[su * ng + g] = net_.generators[g].pmin;
       hpmax[su * ng + g] = net_.generators[g].pmax;
     }
-    if (sc.outage_branch >= 0) {
-      const auto l = static_cast<std::size_t>(sc.outage_branch);
-      hactive[su * nl + l] = 0;
-      // The outaged branch's pairs and variables stay at zero; every kernel
-      // skips them, so they contribute nothing to residuals or balances.
-      const auto base =
-          static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
-      std::fill_n(hu.begin() + su * np + base, 8, 0.0);
-      std::fill_n(hbx.begin() + su * 4 * nl + 4 * l, 4, 0.0);
-      std::fill_n(hbs.begin() + su * 2 * nl + 2 * l, 2, 0.0);
-    }
+    if (sc.outage_branch >= 0) hactive[su * nl + static_cast<std::size_t>(sc.outage_branch)] = 0;
     set_beta(s, params_.beta0);
   }
+  // v starts as a copy of u (bus copies consistent with the x side);
+  // z, y, lz, branch_lambda stay zero unless a warm start overwrites them.
+  hv = hu;
 
   // ---- Optional base-case warm start fanned out to chain roots ----
   if (options.warm_start_from_base) {
@@ -196,8 +211,6 @@ void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
     const auto bblam = base.state().branch_lambda.to_host();
     const auto brho = base.model().rho.to_host();
 
-    std::vector<double> hv(S * np, 0.0), hz(S * np, 0.0), hy(S * np, 0.0), hlz(S * np, 0.0);
-    std::vector<double> hblam(S * 2 * nl, 0.0);
     for (int s = 0; s < S; ++s) {
       const auto su = static_cast<std::size_t>(s);
       if (scenarios_[su].chain_from >= 0) continue;  // chained slots seed on device
@@ -220,21 +233,57 @@ void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
       set_beta(s, std::max(base.state().beta, params_.beta0));
       rho_scale_[su] = base.rho_scale();
     }
-    state_.v.upload(hv);
-    state_.z.upload(hz);
-    state_.y.upload(hy);
-    state_.lz.upload(hlz);
-    state_.branch_lambda.upload(hblam);
-  } else {
-    // v starts as a copy of u (bus copies consistent with the x side);
-    // z, y, lz, branch_lambda stay zero.
-    state_.v.upload(hu);
-    state_.z.fill(0.0);
-    state_.y.fill(0.0);
-    state_.lz.fill(0.0);
-    state_.branch_lambda.fill(0.0);
   }
 
+  // ---- Externally-supplied initial iterates (serve-layer cache hits) ----
+  if (!options.initial_iterates.empty()) {
+    for (int s = 0; s < S; ++s) {
+      const admm::WarmStartIterate* it = options.initial_iterates[static_cast<std::size_t>(s)];
+      if (it == nullptr) continue;
+      const auto su = static_cast<std::size_t>(s);
+      std::copy(it->u.begin(), it->u.end(), hu.begin() + su * np);
+      std::copy(it->v.begin(), it->v.end(), hv.begin() + su * np);
+      std::copy(it->z.begin(), it->z.end(), hz.begin() + su * np);
+      std::copy(it->y.begin(), it->y.end(), hy.begin() + su * np);
+      std::copy(it->lz.begin(), it->lz.end(), hlz.begin() + su * np);
+      std::copy(it->bus_w.begin(), it->bus_w.end(), hw.begin() + su * nb);
+      std::copy(it->bus_theta.begin(), it->bus_theta.end(), htheta.begin() + su * nb);
+      std::copy(it->gen_pg.begin(), it->gen_pg.end(), hpg.begin() + su * ng);
+      std::copy(it->gen_qg.begin(), it->gen_qg.end(), hqg.begin() + su * ng);
+      std::copy(it->branch_x.begin(), it->branch_x.end(), hbx.begin() + su * 4 * nl);
+      std::copy(it->branch_s.begin(), it->branch_s.end(), hbs.begin() + su * 2 * nl);
+      std::copy(it->branch_lambda.begin(), it->branch_lambda.end(), hblam.begin() + su * 2 * nl);
+      std::copy(it->rho.begin(), it->rho.end(), hrho.begin() + su * np);
+      // prepare_warm_start semantics: keep the iterate's escalated beta and
+      // adaptive scaling, only raise beta to at least beta0.
+      set_beta(s, std::max(it->beta, params_.beta0));
+      rho_scale_[su] = it->rho_scale;
+    }
+  }
+
+  // Outage zeroing runs last so no warm start can reintroduce values on an
+  // outaged branch: its pairs and variables stay at zero, every kernel
+  // skips them, and they contribute nothing to residuals or balances.
+  for (int s = 0; s < S; ++s) {
+    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+    if (sc.outage_branch < 0) continue;
+    const auto su = static_cast<std::size_t>(s);
+    const auto l = static_cast<std::size_t>(sc.outage_branch);
+    const auto base =
+        static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
+    for (auto* arr : {&hu, &hv, &hz, &hy, &hlz}) {
+      std::fill_n(arr->begin() + su * np + base, 8, 0.0);
+    }
+    std::fill_n(hbx.begin() + su * 4 * nl + 4 * l, 4, 0.0);
+    std::fill_n(hbs.begin() + su * 2 * nl + 2 * l, 2, 0.0);
+    std::fill_n(hblam.begin() + su * 2 * nl + 2 * l, 2, 0.0);
+  }
+
+  state_.v.upload(hv);
+  state_.z.upload(hz);
+  state_.y.upload(hy);
+  state_.lz.upload(hlz);
+  state_.branch_lambda.upload(hblam);
   state_.u.upload(hu);
   state_.bus_w.upload(hw);
   state_.bus_theta.upload(htheta);
@@ -255,7 +304,7 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
   for (const int s : active) {
     ctrl_[static_cast<std::size_t>(s)] = Control{};
     ctrl_[static_cast<std::size_t>(s)].prev_znorm = std::numeric_limits<double>::infinity();
-    schedule_inner_tolerance(ctrl_[static_cast<std::size_t>(s)]);
+    schedule_inner_tolerance(s, ctrl_[static_cast<std::size_t>(s)]);
     stats_[static_cast<std::size_t>(s)] = admm::AdmmStats{};
     stats_[static_cast<std::size_t>(s)].outer_iterations = 1;
   }
@@ -292,6 +341,7 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
       const int s = active[static_cast<std::size_t>(j)];
       auto& ctrl = ctrl_[static_cast<std::size_t>(s)];
       auto& stats = stats_[static_cast<std::size_t>(s)];
+      const auto& eff = eff_[static_cast<std::size_t>(s)];
       ++stats.inner_iterations;
       const double primal = collect_slot_max(partial_primal, j, row, lanes);
       const double dual = collect_slot_max(partial_dual, j, row, lanes);
@@ -329,7 +379,7 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
             }
           }
         }
-        if (ctrl.inner + 1 >= params_.max_inner_iterations) inner_done = true;
+        if (ctrl.inner + 1 >= eff.max_inner_iterations) inner_done = true;
       }
 
       if (!inner_done) {
@@ -352,8 +402,8 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
                  " primal=", primal, " dual=", dual,
                  " beta=", state_.beta[static_cast<std::size_t>(s)],
                  " inner_total=", stats.inner_iterations);
-      if (z_norm <= params_.outer_tolerance && primal <= params_.primal_tolerance &&
-          dual <= params_.dual_tolerance) {
+      if (z_norm <= eff.outer_tolerance && primal <= eff.primal_tolerance &&
+          dual <= eff.dual_tolerance) {
         stats.converged = true;
         continue;
       }
@@ -366,13 +416,13 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
                         params_.beta_max));
       }
       ctrl.prev_znorm = z_norm;
-      if (ctrl.outer + 1 >= params_.max_outer_iterations) {
+      if (ctrl.outer + 1 >= eff.max_outer_iterations) {
         continue;
       }
       ++ctrl.outer;
       ctrl.inner = 0;
       stats.outer_iterations = ctrl.outer + 1;
-      schedule_inner_tolerance(ctrl);
+      schedule_inner_tolerance(s, ctrl);
       next_active.push_back(s);
     }
 
@@ -396,6 +446,18 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   rho_scale_.assign(static_cast<std::size_t>(S), 1.0);
   stats_.assign(static_cast<std::size_t>(S), admm::AdmmStats{});
   branch_stats_ = admm::BranchUpdateStats{};
+
+  if (!options.initial_iterates.empty()) {
+    require(static_cast<int>(options.initial_iterates.size()) == S,
+            "BatchAdmmSolver::solve: initial_iterates must have one slot per scenario");
+    for (int s = 0; s < S; ++s) {
+      const auto* it = options.initial_iterates[static_cast<std::size_t>(s)];
+      if (it == nullptr) continue;
+      admm::require_matches(*it, model_, "BatchAdmmSolver::solve");
+      require(scenarios_[static_cast<std::size_t>(s)].chain_from < 0,
+              "BatchAdmmSolver::solve: a chained scenario cannot take an initial iterate");
+    }
+  }
 
   stage_initial_state(options, report);
 
@@ -459,11 +521,57 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
 
 grid::OpfSolution BatchAdmmSolver::solution(int s) const {
   require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::solution: scenario out of range");
-  const auto w = state_.bus_w.to_host();
-  const auto theta = state_.bus_theta.to_host();
-  const auto pg = state_.gen_pg.to_host();
-  const auto qg = state_.gen_qg.to_host();
-  return slice_solution(net_, w, theta, pg, qg, s);
+  // Strided slice download: move only scenario s's data, not the batch.
+  const auto nb = static_cast<std::size_t>(model_.num_buses);
+  const auto ng = static_cast<std::size_t>(model_.num_gens);
+  const auto su = static_cast<std::size_t>(s);
+  std::vector<double> w(nb), theta(nb), pg(ng), qg(ng);
+  state_.bus_w.download_slice(su * nb, w);
+  state_.bus_theta.download_slice(su * nb, theta);
+  state_.gen_pg.download_slice(su * ng, pg);
+  state_.gen_qg.download_slice(su * ng, qg);
+  return slice_solution(net_, w, theta, pg, qg, /*s=*/0);
+}
+
+admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
+  require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::export_iterate: scenario out of range");
+  require(rho_scale_.size() == scenarios_.size(),
+          "BatchAdmmSolver::export_iterate: valid only after solve()");
+  const auto np = static_cast<std::size_t>(model_.num_pairs);
+  const auto nb = static_cast<std::size_t>(model_.num_buses);
+  const auto ng = static_cast<std::size_t>(model_.num_gens);
+  const auto nl = static_cast<std::size_t>(model_.num_branches);
+  const auto su = static_cast<std::size_t>(s);
+  admm::WarmStartIterate it;
+  it.u.resize(np);
+  it.v.resize(np);
+  it.z.resize(np);
+  it.y.resize(np);
+  it.lz.resize(np);
+  it.bus_w.resize(nb);
+  it.bus_theta.resize(nb);
+  it.gen_pg.resize(ng);
+  it.gen_qg.resize(ng);
+  it.branch_x.resize(4 * nl);
+  it.branch_s.resize(2 * nl);
+  it.branch_lambda.resize(2 * nl);
+  it.rho.resize(np);
+  state_.u.download_slice(su * np, it.u);
+  state_.v.download_slice(su * np, it.v);
+  state_.z.download_slice(su * np, it.z);
+  state_.y.download_slice(su * np, it.y);
+  state_.lz.download_slice(su * np, it.lz);
+  state_.bus_w.download_slice(su * nb, it.bus_w);
+  state_.bus_theta.download_slice(su * nb, it.bus_theta);
+  state_.gen_pg.download_slice(su * ng, it.gen_pg);
+  state_.gen_qg.download_slice(su * ng, it.gen_qg);
+  state_.branch_x.download_slice(su * 4 * nl, it.branch_x);
+  state_.branch_s.download_slice(su * 2 * nl, it.branch_s);
+  state_.branch_lambda.download_slice(su * 2 * nl, it.branch_lambda);
+  state_.rho.download_slice(su * np, it.rho);
+  it.beta = state_.beta[su];
+  it.rho_scale = rho_scale_[su];
+  return it;
 }
 
 std::vector<grid::OpfSolution> BatchAdmmSolver::solutions() const {
@@ -540,6 +648,10 @@ ScenarioReport solve_sequential(const ScenarioSet& set, const admm::AdmmParams& 
       solver = std::make_unique<admm::AdmmSolver>(net, params, device);
       solver->set_loads(sc.pd, sc.qd);
     }
+    // Heterogeneous termination knobs resolve against the batch-wide base
+    // params — not a chained parent's possibly-overridden copy — exactly as
+    // the batch engine does, so the assignment is unconditional.
+    solver->params() = effective_params(params, sc.controls);
 
     auto stats = solver->solve();
     const auto sol = solver->solution();

@@ -31,6 +31,7 @@
 #include "admm/batch_state.hpp"
 #include "admm/params.hpp"
 #include "admm/solver.hpp"
+#include "admm/warm_start.hpp"
 #include "device/device.hpp"
 #include "grid/solution.hpp"
 #include "scenario/report.hpp"
@@ -44,6 +45,13 @@ struct BatchSolveOptions {
   bool warm_start_from_base = false;
   /// Record per-iteration residual histories in the per-scenario stats.
   bool record_history = false;
+  /// Externally-supplied initial iterates, one slot per scenario (empty =
+  /// none; null entries cold start). A non-null entry seeds that scenario's
+  /// full iterate — including rho and beta, with prepare_warm_start
+  /// semantics — before the solve; it overrides warm_start_from_base for
+  /// that slot. Chained scenarios cannot take one (the chain copy would
+  /// overwrite it). This is the serve layer's cache-hit entry point.
+  std::vector<const admm::WarmStartIterate*> initial_iterates;
 };
 
 class BatchAdmmSolver {
@@ -60,9 +68,16 @@ class BatchAdmmSolver {
   /// Solves every scenario (fused, wave by wave along warm-start chains).
   ScenarioReport solve(const BatchSolveOptions& options = {});
 
-  /// Extracts scenario s's solution (valid after solve()). Downloads the
-  /// full batch state; extracting many scenarios is cheaper via solutions().
+  /// Extracts scenario s's solution (valid after solve()). Downloads only
+  /// scenario s's strided slices (4 transfers of one scenario's data, not
+  /// the whole batch); extracting every scenario is still cheaper via
+  /// solutions(), which amortizes one full download per buffer.
   [[nodiscard]] grid::OpfSolution solution(int s) const;
+
+  /// Snapshots scenario s's full iterate (slice downloads only) as a
+  /// portable WarmStartIterate — what the serve layer's SolutionCache
+  /// stores after a batch completes.
+  [[nodiscard]] admm::WarmStartIterate export_iterate(int s) const;
 
   /// Extracts every scenario's solution with one download per buffer.
   [[nodiscard]] std::vector<grid::OpfSolution> solutions() const;
@@ -85,9 +100,19 @@ class BatchAdmmSolver {
     double eps_dual = 0.0;
   };
 
+  /// Per-scenario termination knobs: batch params with the scenario's
+  /// ScenarioControls overrides resolved (heterogeneous batches).
+  struct EffectiveControls {
+    double primal_tolerance = 0.0;
+    double dual_tolerance = 0.0;
+    double outer_tolerance = 0.0;
+    int max_inner_iterations = 0;
+    int max_outer_iterations = 0;
+  };
+
   void stage_initial_state(const BatchSolveOptions& options, ScenarioReport& report);
   void run_fused(std::span<const int> wave, const BatchSolveOptions& options);
-  void schedule_inner_tolerance(Control& ctrl) const;
+  void schedule_inner_tolerance(int s, Control& ctrl) const;
   void set_beta(int s, double value);
 
   grid::Network net_;
@@ -100,11 +125,17 @@ class BatchAdmmSolver {
   std::vector<admm::ScenarioView> views_;
   admm::ModelView mview_;
   std::vector<Control> ctrl_;
+  std::vector<EffectiveControls> eff_;  ///< resolved per-scenario termination knobs
   std::vector<double> rho_scale_;  ///< cumulative adaptive-penalty scaling
   std::vector<admm::AdmmStats> stats_;
   admm::BranchUpdateStats branch_stats_;
   std::vector<admm::BranchWorkspace> branch_lanes_;  ///< reused across fused steps
 };
+
+/// Batch params with one scenario's ScenarioControls overrides applied.
+/// Shared by the batch engine and the sequential reference so heterogeneous
+/// batches resolve overrides identically in both.
+admm::AdmmParams effective_params(const admm::AdmmParams& base, const ScenarioControls& controls);
 
 /// Reference implementation: solves the set scenario-by-scenario with
 /// independent AdmmSolver instances (chained scenarios warm start from a

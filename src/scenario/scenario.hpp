@@ -19,6 +19,24 @@ enum class ScenarioKind {
 
 const char* to_string(ScenarioKind kind);
 
+/// Per-scenario convergence-control overrides, so one batch can mix
+/// heterogeneous requests (e.g. a fast approximate screen next to an
+/// accurate solve). Negative values inherit the batch-wide AdmmParams.
+/// Only termination knobs are overridable: penalties and branch-subproblem
+/// controls shape the shared ComponentModel and stay batch-wide.
+struct ScenarioControls {
+  double primal_tolerance = -1.0;  ///< final ||u - v + z||_inf target
+  double dual_tolerance = -1.0;    ///< final dual residual target
+  double outer_tolerance = -1.0;   ///< ||z||_inf target
+  int max_inner_iterations = -1;   ///< per outer iteration
+  int max_outer_iterations = -1;
+
+  [[nodiscard]] bool any_set() const {
+    return primal_tolerance >= 0.0 || dual_tolerance >= 0.0 || outer_tolerance >= 0.0 ||
+           max_inner_iterations >= 0 || max_outer_iterations >= 0;
+  }
+};
+
 struct Scenario {
   std::string name;
   ScenarioKind kind = ScenarioKind::kBase;
@@ -41,6 +59,9 @@ struct Scenario {
 
   /// Bookkeeping for reports: the uniform load multiplier where applicable.
   double load_scale = 1.0;
+
+  /// Heterogeneous per-scenario termination overrides (default: inherit).
+  ScenarioControls controls;
 };
 
 }  // namespace gridadmm::scenario

@@ -1,11 +1,22 @@
 #include "scenario/scenario_set.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
+#include "common/numeric.hpp"
 #include "common/rng.hpp"
 
 namespace gridadmm::scenario {
+
+namespace {
+
+/// Input validation: throws ValidationError (not the generic GridError) so
+/// callers — the serve layer in particular — can map "your request is
+/// malformed" to a client error instead of a server fault.
+constexpr auto validate = require_valid;
+
+}  // namespace
 
 const char* to_string(ScenarioKind kind) {
   switch (kind) {
@@ -41,31 +52,41 @@ void ScenarioSet::scaled_loads(double scale, std::vector<double>& pd,
 int ScenarioSet::append(Scenario sc) {
   if (sc.pd.empty()) sc.pd = base_pd_;
   if (sc.qd.empty()) sc.qd = base_qd_;
-  require(sc.pd.size() == base_pd_.size() && sc.qd.size() == base_qd_.size(),
-          "ScenarioSet: load vector size mismatch");
+  validate(sc.pd.size() == base_pd_.size() && sc.qd.size() == base_qd_.size(),
+           "ScenarioSet: load vector size mismatch");
   scenarios_.push_back(std::move(sc));
   return size() - 1;
 }
 
 int ScenarioSet::add(Scenario sc) {
-  require(sc.outage_branch >= -1 && sc.outage_branch < net_.num_branches(),
-          "ScenarioSet::add: outage branch out of range");
+  validate(sc.outage_branch >= -1 && sc.outage_branch < net_.num_branches(),
+           "ScenarioSet::add: outage branch index out of range");
   // A bridge outage would island the network: the sequential reference
   // throws at construction and the batch mask would iterate on NaNs, so
   // reject it up front (add_n1_contingencies already skips bridges).
-  require(sc.outage_branch < 0 || !grid::is_bridge(net_, sc.outage_branch),
-          "ScenarioSet::add: outage branch is a bridge (would disconnect the network)");
-  require(sc.chain_from >= -1 && sc.chain_from < size(),
-          "ScenarioSet::add: chain_from must reference an earlier scenario");
+  validate(sc.outage_branch < 0 || !grid::is_bridge(net_, sc.outage_branch),
+           "ScenarioSet::add: outage branch is a bridge (would disconnect the network)");
+  validate(sc.chain_from >= -1 && sc.chain_from < size(),
+           "ScenarioSet::add: chain_from must reference an earlier scenario");
   // Warm-start chains run on the full topology: mixing chaining with
   // contingencies is rejected because the batch engine (per-scenario branch
   // mask) and the sequential reference (reduced network per contingency)
   // would resolve the combination differently.
-  require(sc.chain_from < 0 || sc.outage_branch < 0,
-          "ScenarioSet::add: a chained scenario cannot carry a branch outage");
-  require(sc.chain_from < 0 ||
-              scenarios_[static_cast<std::size_t>(sc.chain_from)].outage_branch < 0,
-          "ScenarioSet::add: cannot chain from a contingency scenario");
+  validate(sc.chain_from < 0 || sc.outage_branch < 0,
+           "ScenarioSet::add: a chained scenario cannot carry a branch outage");
+  validate(sc.chain_from < 0 ||
+               scenarios_[static_cast<std::size_t>(sc.chain_from)].outage_branch < 0,
+           "ScenarioSet::add: cannot chain from a contingency scenario");
+  validate(std::isfinite(sc.load_scale), "ScenarioSet::add: load_scale must be finite");
+  validate(std::isfinite(sc.ramp_fraction) && sc.ramp_fraction >= 0.0,
+           "ScenarioSet::add: ramp_fraction must be finite and non-negative");
+  validate(all_finite(sc.pd) && all_finite(sc.qd),
+           "ScenarioSet::add: loads must be finite (no NaN/inf entries)");
+  const auto& c = sc.controls;
+  validate((c.primal_tolerance < 0.0 || std::isfinite(c.primal_tolerance)) &&
+               (c.dual_tolerance < 0.0 || std::isfinite(c.dual_tolerance)) &&
+               (c.outer_tolerance < 0.0 || std::isfinite(c.outer_tolerance)),
+           "ScenarioSet::add: control tolerances must be finite");
   return append(std::move(sc));
 }
 
@@ -77,8 +98,11 @@ int ScenarioSet::add_base() {
 }
 
 void ScenarioSet::add_load_scale(int count, double min_scale, double max_scale) {
-  require(count > 0, "add_load_scale: count must be positive");
-  require(min_scale > 0.0 && max_scale >= min_scale, "add_load_scale: invalid scale range");
+  validate(count > 0, "add_load_scale: count must be positive");
+  validate(std::isfinite(min_scale) && std::isfinite(max_scale),
+           "add_load_scale: scale range must be finite");
+  validate(min_scale > 0.0, "add_load_scale: load scale must be positive");
+  validate(max_scale >= min_scale, "add_load_scale: max_scale must be >= min_scale");
   for (int i = 0; i < count; ++i) {
     const double t = count == 1 ? 0.5 : static_cast<double>(i) / (count - 1);
     const double scale = min_scale + (max_scale - min_scale) * t;
@@ -92,8 +116,9 @@ void ScenarioSet::add_load_scale(int count, double min_scale, double max_scale) 
 }
 
 void ScenarioSet::add_stochastic_load(int count, double sigma, std::uint64_t seed) {
-  require(count > 0, "add_stochastic_load: count must be positive");
-  require(sigma >= 0.0, "add_stochastic_load: sigma must be non-negative");
+  validate(count > 0, "add_stochastic_load: count must be positive");
+  validate(std::isfinite(sigma) && sigma >= 0.0,
+           "add_stochastic_load: sigma must be finite and non-negative");
   // One independent stream per scenario, derived from the seed, so a set is
   // reproducible regardless of how many scenarios preceded it.
   std::uint64_t stream = seed;
@@ -133,8 +158,9 @@ int ScenarioSet::add_n1_contingencies(int max_count) {
 }
 
 int ScenarioSet::add_tracking_sequence(const grid::LoadProfileSpec& spec, double ramp_fraction) {
-  require(spec.periods > 0, "add_tracking_sequence: periods must be positive");
-  require(ramp_fraction >= 0.0, "add_tracking_sequence: ramp_fraction must be non-negative");
+  validate(spec.periods > 0, "add_tracking_sequence: periods must be positive");
+  validate(std::isfinite(ramp_fraction) && ramp_fraction >= 0.0,
+           "add_tracking_sequence: ramp_fraction must be finite and non-negative");
   const auto profile = grid::make_load_profile(spec);
   const int first = size();
   for (int t = 0; t < spec.periods; ++t) {

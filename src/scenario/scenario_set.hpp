@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
 #include "grid/load_profile.hpp"
 #include "grid/network.hpp"
 #include "scenario/scenario.hpp"
@@ -25,13 +26,16 @@ class ScenarioSet {
   [[nodiscard]] const grid::Network& network() const { return net_; }
   [[nodiscard]] const std::vector<Scenario>& scenarios() const { return scenarios_; }
   [[nodiscard]] const Scenario& operator[](int s) const {
+    if (s < 0 || s >= size()) throw ValidationError("ScenarioSet: scenario index out of range");
     return scenarios_[static_cast<std::size_t>(s)];
   }
   [[nodiscard]] int size() const { return static_cast<int>(scenarios_.size()); }
   [[nodiscard]] bool empty() const { return scenarios_.empty(); }
 
   /// Appends a hand-built scenario (loads default to the base case's when
-  /// empty; chain_from is validated). Returns its index.
+  /// empty). Throws ValidationError on malformed input — out-of-range or
+  /// bridge outage branch, bad chain_from, non-finite loads or controls —
+  /// instead of letting bad data reach the solvers. Returns its index.
   int add(Scenario sc);
 
   /// Appends the unmodified base case.

@@ -1,0 +1,52 @@
+// Injectable clock for service telemetry.
+//
+// The dispatcher's *scheduling* (batching-window timeouts, condition-variable
+// waits) always runs on std::chrono::steady_clock — a fake clock there would
+// stall real threads. The injected clock feeds *telemetry only*: request
+// latencies and ServiceStats percentiles, so tests can assert exact latency
+// accounting without sleeping.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+
+namespace gridadmm::serve {
+
+/// Monotonic seconds source. Implementations must be thread-safe: now() is
+/// called from submitter threads and the dispatcher concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock (the default).
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+  }
+};
+
+/// Hand-advanced clock for tests: time moves only when advance() is called.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : now_(start) {}
+
+  [[nodiscard]] double now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  void advance(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += seconds;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double now_;
+};
+
+}  // namespace gridadmm::serve

@@ -1,0 +1,57 @@
+// Request/response types of the solve service.
+//
+// A SolveRequest is one ACOPF instance phrased the way a serving client
+// thinks: "this case, these loads, maybe this outage, this accuracy". The
+// service coalesces concurrently-pending requests into fused micro-batches
+// (scenario/BatchAdmmSolver) and fulfills each request's future with a
+// SolveResult carrying the solution, solver stats, and serving metadata.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "admm/solver.hpp"
+#include "grid/network.hpp"
+#include "grid/solution.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gridadmm::serve {
+
+struct SolveRequest {
+  /// Case to solve. Null = the service's base network. Requests against
+  /// different networks are batched separately (grouped by structural
+  /// fingerprint), so one service can front several cases.
+  std::shared_ptr<const grid::Network> network;
+
+  /// Per-bus loads in per-unit (full vectors). Empty = the case's own loads.
+  std::vector<double> pd, qd;
+
+  /// N-1 contingency: index of the dropped branch (-1 = full topology).
+  int outage_branch = -1;
+
+  /// Heterogeneous per-request termination overrides (default: inherit the
+  /// service's AdmmParams).
+  scenario::ScenarioControls controls;
+
+  /// Opt out of the warm-start cache for this request (no lookup, no
+  /// insertion) — e.g. for a calibration solve that must be cold.
+  bool bypass_cache = false;
+};
+
+struct SolveResult {
+  grid::OpfSolution solution;
+  admm::AdmmStats stats;      ///< full per-request solver stats
+  bool converged = false;
+  double objective = 0.0;     ///< generation cost ($/h)
+  double max_violation = 0.0; ///< ||c(x)||_inf against the request's network
+
+  // ---- Serving metadata ----
+  std::uint64_t batch_id = 0;   ///< which micro-batch served this request
+  int batch_occupancy = 0;      ///< how many requests shared that batch
+  bool cache_hit = false;       ///< seeded from a cached nearby iterate
+  double cache_distance = 0.0;  ///< load distance to the seed (when cache_hit)
+  double wait_seconds = 0.0;    ///< submit -> dispatch (injected clock)
+  double total_seconds = 0.0;   ///< submit -> future fulfilled (injected clock)
+};
+
+}  // namespace gridadmm::serve

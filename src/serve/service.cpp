@@ -1,0 +1,319 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/numeric.hpp"
+#include "grid/solution.hpp"
+#include "scenario/batch_solver.hpp"
+#include "scenario/scenario_set.hpp"
+
+namespace gridadmm::serve {
+
+namespace {
+
+/// Structural cache/batch key: the case fingerprint with the outage branch
+/// mixed in, so "case9 minus branch 3" never shares a batch slot shape or a
+/// warm-start neighborhood with intact case9.
+std::uint64_t request_key(std::uint64_t fingerprint, int outage_branch) {
+  return fingerprint ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(outage_branch + 2));
+}
+
+constexpr auto validate = require_valid;
+
+}  // namespace
+
+SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceOptions options)
+    : base_(std::move(base)),
+      params_(params),
+      options_(std::move(options)),
+      cache_(options_.cache) {
+  require(base_.finalized(), "SolveService: base network must be finalized");
+  require(options_.max_batch_size > 0, "SolveService: max_batch_size must be positive");
+  require(options_.max_queue_depth > 0, "SolveService: max_queue_depth must be positive");
+  require(std::isfinite(options_.batching_window_seconds) &&
+              options_.batching_window_seconds >= 0.0,
+          "SolveService: batching_window_seconds must be finite and non-negative");
+  require(options_.latency_sample_capacity > 0,
+          "SolveService: latency_sample_capacity must be positive");
+  // Aliasing shared_ptr: requests that carry no network reference the
+  // service's own copy without another Network allocation.
+  base_shared_ = std::shared_ptr<const grid::Network>(std::shared_ptr<void>(), &base_);
+  base_fingerprint_ = grid::network_fingerprint(base_);
+  base_bridges_ = grid::bridge_branches(base_);
+  clock_ = options_.clock != nullptr ? options_.clock : std::make_shared<SteadyClock>();
+  device_ = std::make_unique<device::Device>(options_.device_workers);
+  live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+SolveService::~SolveService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  dispatcher_.join();
+}
+
+std::uint64_t SolveService::fingerprint_of(const std::shared_ptr<const grid::Network>& network) {
+  if (network.get() == &base_) return base_fingerprint_;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  auto memo = fingerprint_memo_.find(network.get());
+  if (memo == fingerprint_memo_.end()) {
+    constexpr std::size_t kMemoBound = 64;
+    if (fingerprint_memo_.size() >= kMemoBound) fingerprint_memo_.clear();
+    memo = fingerprint_memo_
+               .emplace(network.get(),
+                        std::make_pair(network, grid::network_fingerprint(*network)))
+               .first;
+  }
+  return memo->second.second;
+}
+
+std::future<SolveResult> SolveService::submit(SolveRequest request) {
+  if (request.network == nullptr) request.network = base_shared_;
+  const grid::Network& net = *request.network;
+  validate(net.finalized(), "SolveService::submit: network must be finalized");
+  const auto nb = static_cast<std::size_t>(net.num_buses());
+  // Resolve default loads against the request's own case, up front, so a
+  // batch never substitutes another network's base loads.
+  if (request.pd.empty()) {
+    request.pd.reserve(nb);
+    for (const auto& bus : net.buses) request.pd.push_back(bus.pd);
+  }
+  if (request.qd.empty()) {
+    request.qd.reserve(nb);
+    for (const auto& bus : net.buses) request.qd.push_back(bus.qd);
+  }
+  validate(request.pd.size() == nb && request.qd.size() == nb,
+           "SolveService::submit: load vector size mismatch");
+  validate(all_finite(request.pd) && all_finite(request.qd),
+           "SolveService::submit: loads must be finite (no NaN/inf entries)");
+  validate(request.outage_branch >= -1 && request.outage_branch < net.num_branches(),
+           "SolveService::submit: outage branch index out of range");
+  if (request.outage_branch >= 0) {
+    // Base-case requests hit the precomputed bitmap; foreign networks pay
+    // one DFS per contingency submit (the rare path).
+    const bool bridge = request.network.get() == &base_
+                            ? base_bridges_[static_cast<std::size_t>(request.outage_branch)]
+                            : grid::is_bridge(net, request.outage_branch);
+    validate(!bridge,
+             "SolveService::submit: outage branch is a bridge (would disconnect the network)");
+  }
+
+  Pending pending;
+  pending.fingerprint = request_key(fingerprint_of(request.network), request.outage_branch);
+  pending.request = std::move(request);
+  pending.submit_time = clock_->now();
+  pending.arrival = std::chrono::steady_clock::now();
+  auto future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || shutdown_) {
+      ++live_.shed;
+      throw CapacityError("SolveService::submit: service is draining, request shed");
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+      ++live_.shed;
+      throw CapacityError("SolveService::submit: queue full (max_queue_depth reached), "
+                          "request shed");
+    }
+    queue_.push_back(std::move(pending));
+    ++live_.submitted;
+  }
+  cv_work_.notify_all();
+  return future;
+}
+
+void SolveService::dispatcher_main() {
+  const auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.batching_window_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    // Dynamic micro-batching: hold the batch open (up to the window,
+    // measured from the oldest pending arrival) while it fills; flush
+    // immediately once full, on drain, or on shutdown. The fill test uses
+    // the whole queue depth — a cheap proxy that only ever flushes early
+    // when fingerprints are mixed, and early means smaller batches, never
+    // starvation.
+    const auto deadline = queue_.front().arrival + window;
+    while (!shutdown_ && !draining_ &&
+           static_cast<int>(queue_.size()) < options_.max_batch_size &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_work_.wait_until(lock, deadline);
+    }
+    auto batch = pop_batch_locked();
+    live_.in_flight = static_cast<int>(batch.size());
+    lock.unlock();
+    process_batch(std::move(batch));
+    lock.lock();
+    live_.in_flight = 0;
+    if (queue_.empty()) cv_idle_.notify_all();
+  }
+}
+
+std::vector<SolveService::Pending> SolveService::pop_batch_locked() {
+  std::vector<Pending> batch;
+  const std::uint64_t key = queue_.front().fingerprint;
+  std::deque<Pending> rest;
+  while (!queue_.empty()) {
+    Pending& front = queue_.front();
+    if (front.fingerprint == key && static_cast<int>(batch.size()) < options_.max_batch_size) {
+      batch.push_back(std::move(front));
+    } else {
+      rest.push_back(std::move(front));
+    }
+    queue_.pop_front();
+  }
+  queue_.swap(rest);
+  return batch;
+}
+
+void SolveService::record_latency_locked(double seconds) {
+  ++live_.latency_samples;
+  const auto capacity = static_cast<std::size_t>(options_.latency_sample_capacity);
+  if (latency_samples_.size() < capacity) {
+    latency_samples_.push_back(seconds);
+  } else {
+    latency_samples_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % capacity;
+  }
+}
+
+void SolveService::process_batch(std::vector<Pending> batch) {
+  const double dispatch_time = clock_->now();
+  const std::uint64_t batch_id = next_batch_id_++;
+  const bool use_cache = options_.cache.capacity > 0;
+
+  // ---- Stage the batch as one ScenarioSet ----
+  scenario::ScenarioSet set(*batch.front().request.network);
+  std::vector<std::size_t> accepted;          // batch index per scenario slot
+  std::vector<CacheHit> seeds;                // parallel to scenario slots
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    scenario::Scenario sc;
+    sc.name = "serve/batch-" + std::to_string(batch_id) + "-req-" + std::to_string(i);
+    sc.kind = p.request.outage_branch >= 0 ? scenario::ScenarioKind::kContingency
+                                           : scenario::ScenarioKind::kBase;
+    sc.pd = p.request.pd;
+    sc.qd = p.request.qd;
+    sc.outage_branch = p.request.outage_branch;
+    sc.controls = p.request.controls;
+    try {
+      set.add(std::move(sc));
+    } catch (...) {
+      p.promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      ++live_.failed;
+      continue;
+    }
+    CacheHit seed;
+    if (use_cache && !p.request.bypass_cache) {
+      seed = cache_.lookup(p.fingerprint, p.request.pd, p.request.qd);
+    }
+    seeds.push_back(std::move(seed));
+    accepted.push_back(i);
+  }
+  if (accepted.empty()) return;
+
+  // ---- Fused micro-batch solve on the service-owned device ----
+  device::LaunchStats batch_launches;
+  scenario::ScenarioReport report;
+  std::vector<grid::OpfSolution> solutions;
+  try {
+    scenario::BatchAdmmSolver solver(set, params_, device_.get());
+    scenario::BatchSolveOptions solve_options;
+    solve_options.initial_iterates.assign(accepted.size(), nullptr);
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();
+    }
+    {
+      device::LaunchStatsScope scope(*device_, batch_launches);
+      report = solver.solve(solve_options);
+    }
+    solutions = solver.solutions();
+    // ---- Refresh the warm-start cache with converged iterates ----
+    for (std::size_t s = 0; s < accepted.size(); ++s) {
+      const Pending& p = batch[accepted[s]];
+      if (!use_cache || p.request.bypass_cache) continue;
+      if (!report.records[s].converged) continue;
+      cache_.insert(p.fingerprint, p.request.pd, p.request.qd,
+                    std::make_shared<admm::WarmStartIterate>(
+                        solver.export_iterate(static_cast<int>(s))));
+    }
+  } catch (...) {
+    const auto error = std::current_exception();
+    for (const std::size_t i : accepted) batch[i].promise.set_exception(error);
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.failed += accepted.size();
+    ++live_.batches;
+    live_.launch_stats += batch_launches;
+    const auto slot = std::min(accepted.size(), static_cast<std::size_t>(options_.max_batch_size));
+    ++live_.batch_occupancy[slot - 1];
+    return;
+  }
+
+  // ---- Fulfill futures ----
+  const double completion_time = clock_->now();
+  std::vector<double> latencies;
+  latencies.reserve(accepted.size());
+  for (std::size_t s = 0; s < accepted.size(); ++s) {
+    Pending& p = batch[accepted[s]];
+    SolveResult result;
+    result.solution = std::move(solutions[s]);
+    result.stats = report.stats[s];
+    result.converged = report.records[s].converged;
+    result.objective = report.records[s].objective;
+    result.max_violation = report.records[s].max_violation;
+    result.batch_id = batch_id;
+    result.batch_occupancy = static_cast<int>(accepted.size());
+    result.cache_hit = seeds[s].iterate != nullptr;
+    result.cache_distance = seeds[s].distance;
+    result.wait_seconds = dispatch_time - p.submit_time;
+    result.total_seconds = completion_time - p.submit_time;
+    latencies.push_back(result.total_seconds);
+    p.promise.set_value(std::move(result));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.completed += accepted.size();
+  ++live_.batches;
+  live_.launch_stats += batch_launches;
+  ++live_.batch_occupancy[accepted.size() - 1];
+  for (const double latency : latencies) record_latency_locked(latency);
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_work_.notify_all();
+  cv_idle_.wait(lock, [&] { return queue_.empty() && live_.in_flight == 0; });
+}
+
+ServiceStats SolveService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = live_;
+  snapshot.queue_depth = static_cast<int>(queue_.size());
+  snapshot.cache_hits = cache_.hits();
+  snapshot.cache_misses = cache_.misses();
+  snapshot.cache_entries = static_cast<std::uint64_t>(cache_.size());
+  snapshot.p50_latency = latency_quantile(latency_samples_, 0.50);
+  snapshot.p95_latency = latency_quantile(latency_samples_, 0.95);
+  return snapshot;
+}
+
+}  // namespace gridadmm::serve

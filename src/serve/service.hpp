@@ -1,0 +1,154 @@
+// Asynchronous ACOPF solve service: request queue -> dynamic micro-batching
+// -> fused batch solve -> futures.
+//
+// Callers submit individual SolveRequests and get std::futures back. A
+// background dispatcher thread coalesces concurrently-pending requests into
+// fused BatchAdmmSolver micro-batches: it waits up to `batching_window` from
+// the moment the oldest pending request arrived for the batch to fill to
+// `max_batch_size`, pops the largest same-fingerprint group (requests
+// against different cases never share a batch), and solves the group as one
+// ScenarioSet. Per-step kernel-launch cost of the fused solve is constant
+// in the batch size (PR 1), which is what makes coalescing pay: B requests
+// in one batch issue roughly max(iterations) instead of sum(iterations)
+// launches.
+//
+// Warm starting: unless a request bypasses the cache, the dispatcher looks
+// its loads up in a SolutionCache (nearest-load-neighbor under the case's
+// structural fingerprint) and seeds the batch slot from the cached iterate
+// — the paper's tracking warm start applied to serving. Converged results
+// are exported back into the cache.
+//
+// Admission control: the queue is bounded; submit() throws CapacityError
+// once `max_queue_depth` requests are pending (shed-on-arrival, so
+// backpressure reaches the caller synchronously and nothing half-accepted
+// lingers). drain() stops admission and blocks until every accepted request
+// is fulfilled; the destructor drains then joins the dispatcher.
+//
+// The service owns its Device: kernel launches of its batch solves are
+// attributed to the service (ServiceStats::launch_stats) and never mix with
+// other solvers' work in process-wide counters.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "admm/params.hpp"
+#include "device/device.hpp"
+#include "grid/network.hpp"
+#include "serve/clock.hpp"
+#include "serve/request.hpp"
+#include "serve/solution_cache.hpp"
+#include "serve/stats.hpp"
+
+namespace gridadmm::serve {
+
+struct ServiceOptions {
+  /// Most requests one micro-batch may coalesce.
+  int max_batch_size = 16;
+  /// How long the dispatcher waits (from the oldest pending request's
+  /// arrival) for a batch to fill before dispatching a partial one.
+  double batching_window_seconds = 0.002;
+  /// Admission bound: submit() sheds with CapacityError beyond this many
+  /// pending requests.
+  int max_queue_depth = 256;
+  /// Warm-start cache sizing and neighbor distance.
+  CacheOptions cache;
+  /// Worker threads for the service-owned Device (0 = hardware concurrency).
+  int device_workers = 0;
+  /// Telemetry clock (null = steady clock). Scheduling always uses the
+  /// steady clock; see serve/clock.hpp.
+  std::shared_ptr<const Clock> clock;
+  /// Bound on retained latency samples for the percentile telemetry.
+  int latency_sample_capacity = 4096;
+};
+
+class SolveService {
+ public:
+  /// `base` is the default case requests solve when they carry no network;
+  /// `params` the batch-wide ADMM controls (per-request ScenarioControls
+  /// override termination knobs).
+  SolveService(grid::Network base, admm::AdmmParams params, ServiceOptions options = {});
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+  /// Drains accepted work, then stops the dispatcher.
+  ~SolveService();
+
+  /// Enqueues one request. Throws CapacityError when the queue is full and
+  /// ValidationError on malformed input (bad load vector size, out-of-range
+  /// outage branch); both are synchronous, nothing is enqueued. The future
+  /// is fulfilled by the dispatcher (with a SolveResult, or the exception
+  /// the batch solve raised).
+  std::future<SolveResult> submit(SolveRequest request);
+
+  /// Stops admission and blocks until every accepted request is fulfilled.
+  /// Subsequent submits throw CapacityError; drain() is idempotent.
+  void drain();
+
+  /// Value snapshot of the telemetry (thread-safe).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const grid::Network& base_network() const { return base_; }
+  [[nodiscard]] const admm::AdmmParams& params() const { return params_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] device::Device& device() { return *device_; }
+  [[nodiscard]] SolutionCache& cache() { return cache_; }
+
+ private:
+  struct Pending {
+    SolveRequest request;
+    std::promise<SolveResult> promise;
+    std::uint64_t fingerprint = 0;  ///< structural key incl. outage branch
+    double submit_time = 0.0;       ///< injected clock
+    std::chrono::steady_clock::time_point arrival;  ///< scheduling clock
+  };
+
+  void dispatcher_main();
+  /// Pops the front request's fingerprint group, up to max_batch_size, in
+  /// arrival order. Caller holds mu_.
+  std::vector<Pending> pop_batch_locked();
+  void process_batch(std::vector<Pending> batch);
+  void record_latency_locked(double seconds);
+  /// Memoized structural fingerprint for a request's network (the base
+  /// case's is precomputed; foreign networks are hashed once and pinned).
+  std::uint64_t fingerprint_of(const std::shared_ptr<const grid::Network>& network);
+
+  grid::Network base_;
+  admm::AdmmParams params_;
+  ServiceOptions options_;
+  std::shared_ptr<const grid::Network> base_shared_;  ///< aliases base_
+  std::uint64_t base_fingerprint_ = 0;
+  std::vector<bool> base_bridges_;  ///< bridge bitmap for outage validation
+
+  /// Fingerprints memoized by Network address; the shared_ptr pin keeps the
+  /// address from being reused while the memo entry lives. Bounded (cleared
+  /// wholesale past the bound) so a client churning networks cannot grow it
+  /// without limit.
+  std::mutex memo_mu_;
+  std::unordered_map<const grid::Network*,
+                     std::pair<std::shared_ptr<const grid::Network>, std::uint64_t>>
+      fingerprint_memo_;
+  std::shared_ptr<const Clock> clock_;
+  std::unique_ptr<device::Device> device_;
+  SolutionCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< queue became non-empty / state change
+  std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
+  std::deque<Pending> queue_;
+  ServiceStats live_;                 ///< counters (percentiles filled on snapshot)
+  std::vector<double> latency_samples_;
+  std::size_t latency_next_ = 0;      ///< ring-buffer cursor
+  std::uint64_t next_batch_id_ = 1;
+  bool draining_ = false;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace gridadmm::serve

@@ -1,0 +1,120 @@
+#include "serve/solution_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gridadmm::serve {
+
+SolutionCache::SolutionCache(CacheOptions options) : options_(options) {
+  require(options_.capacity >= 0, "SolutionCache: capacity must be non-negative");
+  require(std::isfinite(options_.max_distance) && options_.max_distance >= 0.0,
+          "SolutionCache: max_distance must be finite and non-negative");
+}
+
+double SolutionCache::load_distance(std::span<const double> pd_a, std::span<const double> qd_a,
+                                    std::span<const double> pd_b, std::span<const double> qd_b) {
+  if (pd_a.size() != pd_b.size() || qd_a.size() != qd_b.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < pd_a.size(); ++i) d = std::max(d, std::abs(pd_a[i] - pd_b[i]));
+  for (std::size_t i = 0; i < qd_a.size(); ++i) d = std::max(d, std::abs(qd_a[i] - qd_b[i]));
+  return d;
+}
+
+CacheHit SolutionCache::lookup(std::uint64_t key, std::span<const double> pd,
+                               std::span<const double> qd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheHit hit;
+  auto bucket = entries_.find(key);
+  if (bucket != entries_.end()) {
+    Entry* best = nullptr;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (auto& entry : bucket->second) {
+      const double d = load_distance(pd, qd, entry.pd, entry.qd);
+      if (d < best_distance) {
+        best_distance = d;
+        best = &entry;
+      }
+    }
+    if (best != nullptr && best_distance <= options_.max_distance) {
+      best->last_used = ++tick_;
+      hit.iterate = best->iterate;
+      hit.distance = best_distance;
+    }
+  }
+  if (hit.iterate != nullptr) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return hit;
+}
+
+void SolutionCache::insert(std::uint64_t key, std::vector<double> pd, std::vector<double> qd,
+                           std::shared_ptr<const admm::WarmStartIterate> iterate) {
+  require(iterate != nullptr, "SolutionCache::insert: null iterate");
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto bucket = entries_.find(key); bucket != entries_.end()) {
+    for (auto& entry : bucket->second) {
+      if (entry.pd == pd && entry.qd == qd) {
+        entry.iterate = std::move(iterate);
+        entry.last_used = ++tick_;
+        return;
+      }
+    }
+  }
+  // Evict before touching the key's bucket: the LRU victim may be that very
+  // bucket's only entry, in which case eviction erases the map node and any
+  // earlier-acquired bucket reference would dangle.
+  if (size_ >= options_.capacity) evict_lru_locked();
+  Entry entry;
+  entry.pd = std::move(pd);
+  entry.qd = std::move(qd);
+  entry.iterate = std::move(iterate);
+  entry.last_used = ++tick_;
+  entries_[key].push_back(std::move(entry));
+  ++size_;
+}
+
+void SolutionCache::evict_lru_locked() {
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  std::unordered_map<std::uint64_t, std::vector<Entry>>::iterator victim_bucket = entries_.end();
+  std::size_t victim_index = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].last_used < oldest) {
+        oldest = it->second[i].last_used;
+        victim_bucket = it;
+        victim_index = i;
+      }
+    }
+  }
+  if (victim_bucket == entries_.end()) return;
+  auto& vec = victim_bucket->second;
+  vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  if (vec.empty()) entries_.erase(victim_bucket);
+  --size_;
+}
+
+int SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::uint64_t SolutionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t SolutionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace gridadmm::serve

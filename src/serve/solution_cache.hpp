@@ -1,0 +1,84 @@
+// Warm-start solution cache: the paper's tracking warm start applied to
+// serving.
+//
+// Entries are keyed by a structural key (grid::network_fingerprint of the
+// request's case, mixed with its outage branch) and store the load vector
+// the solve ran at plus the exported full ADMM iterate. A lookup scans the
+// key's entries for the nearest load vector (L-infinity distance in per-unit
+// over pd and qd) and returns its iterate when the distance is within
+// `max_distance` — close enough that seeding from it converges in fewer
+// iterations than a cold start, exactly the paper's perturbed-instance
+// tracking result. Eviction is LRU over all keys with a bounded entry count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "admm/warm_start.hpp"
+
+namespace gridadmm::serve {
+
+struct CacheOptions {
+  /// Maximum resident entries across all keys (0 disables the cache).
+  int capacity = 64;
+  /// Maximum per-bus load distance (L-infinity over pd and qd, per-unit) for
+  /// a cached iterate to count as a warm-start neighbor.
+  double max_distance = 0.1;
+};
+
+/// One successful lookup: the iterate plus how far away its loads were.
+struct CacheHit {
+  std::shared_ptr<const admm::WarmStartIterate> iterate;
+  double distance = 0.0;
+};
+
+/// Thread-safe (single mutex; lookups and insertions are O(entries-per-key)
+/// linear scans, which is the right trade at serving cache sizes).
+class SolutionCache {
+ public:
+  explicit SolutionCache(CacheOptions options);
+
+  /// Nearest-load-neighbor lookup under `key`. Returns an empty optional-like
+  /// hit (null iterate) when no entry is within max_distance. Counts toward
+  /// hit/miss statistics and refreshes the winning entry's LRU stamp.
+  [[nodiscard]] CacheHit lookup(std::uint64_t key, std::span<const double> pd,
+                                std::span<const double> qd);
+
+  /// Inserts a solved instance's iterate. An entry under the same key whose
+  /// loads are identical is replaced in place; otherwise the LRU entry is
+  /// evicted once capacity is reached.
+  void insert(std::uint64_t key, std::vector<double> pd, std::vector<double> qd,
+              std::shared_ptr<const admm::WarmStartIterate> iterate);
+
+  [[nodiscard]] int size() const;
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] const CacheOptions& options() const { return options_; }
+
+  /// L-infinity distance between two load pairs (max over pd and qd).
+  static double load_distance(std::span<const double> pd_a, std::span<const double> qd_a,
+                              std::span<const double> pd_b, std::span<const double> qd_b);
+
+ private:
+  struct Entry {
+    std::vector<double> pd, qd;
+    std::shared_ptr<const admm::WarmStartIterate> iterate;
+    std::uint64_t last_used = 0;  ///< logical LRU stamp
+  };
+
+  void evict_lru_locked();
+
+  CacheOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  int size_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gridadmm::serve

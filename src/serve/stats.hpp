@@ -1,0 +1,69 @@
+// Service telemetry: one coherent snapshot of queue, batching, cache, and
+// latency behavior. SolveService fills a live copy under its mutex and
+// returns value snapshots, so readers never race the dispatcher.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace gridadmm::serve {
+
+struct ServiceStats {
+  // ---- Admission ----
+  std::uint64_t submitted = 0;  ///< accepted into the queue
+  std::uint64_t shed = 0;       ///< rejected by admission control (CapacityError)
+  std::uint64_t completed = 0;  ///< futures fulfilled with a result
+  std::uint64_t failed = 0;     ///< futures fulfilled with an exception
+  int queue_depth = 0;          ///< pending requests at snapshot time
+  int in_flight = 0;            ///< requests inside the current batch solve
+
+  // ---- Batching ----
+  std::uint64_t batches = 0;  ///< dispatched micro-batches
+  /// batch_occupancy[k] counts batches that coalesced k+1 requests; the
+  /// vector is sized max_batch_size, so full batches land in the last slot.
+  std::vector<std::uint64_t> batch_occupancy;
+
+  // ---- Warm-start cache ----
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;  ///< entries resident at snapshot time
+
+  // ---- Device attribution (the service owns its Device) ----
+  device::LaunchStats launch_stats;  ///< launches across all batch solves
+
+  // ---- Latency (injected-clock seconds, submit -> future fulfilled) ----
+  std::uint64_t latency_samples = 0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+
+  [[nodiscard]] double mean_batch_occupancy() const {
+    std::uint64_t batches_seen = 0, requests = 0;
+    for (std::size_t k = 0; k < batch_occupancy.size(); ++k) {
+      batches_seen += batch_occupancy[k];
+      requests += batch_occupancy[k] * (k + 1);
+    }
+    return batches_seen == 0 ? 0.0
+                             : static_cast<double>(requests) / static_cast<double>(batches_seen);
+  }
+};
+
+/// The q-quantile (0 <= q <= 1) of a sample vector, nearest-rank method.
+/// Takes a copy because nth_element reorders; empty input returns 0.
+inline double latency_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  const auto nth = samples.begin() + static_cast<std::ptrdiff_t>(rank);
+  std::nth_element(samples.begin(), nth, samples.end());
+  return *nth;
+}
+
+}  // namespace gridadmm::serve

@@ -200,6 +200,155 @@ TEST(BatchAdmm, MixedFamilyBatchSolvesEveryScenario) {
   EXPECT_GT(report.scenarios_per_second(), 0.0);
 }
 
+TEST(BatchAdmm, SolutionSliceDownloadsOnlyOneScenario) {
+  // solution(s) must move exactly scenario s's strided slices — four
+  // transfers of one scenario's data — not the whole batch state.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(4, 0.95, 1.05);
+  BatchAdmmSolver solver(set, params);
+  solver.solve();
+
+  device::TransferStatsScope scope;
+  const auto sliced = solver.solution(2);
+  const auto delta = scope.delta();
+  EXPECT_EQ(delta.device_to_host, 4u);  // bus_w, bus_theta, gen_pg, gen_qg
+  EXPECT_EQ(delta.host_to_device, 0u);
+  const auto expected_bytes =
+      sizeof(double) * (2u * static_cast<std::size_t>(net.num_buses()) +
+                        2u * static_cast<std::size_t>(net.num_generators()));
+  EXPECT_EQ(delta.bytes, expected_bytes);  // one scenario, not S of them
+
+  // And the slice matches the bulk extraction bit for bit.
+  const auto all = solver.solutions();
+  for (int b = 0; b < net.num_buses(); ++b) {
+    EXPECT_DOUBLE_EQ(sliced.vm[static_cast<std::size_t>(b)], all[2].vm[static_cast<std::size_t>(b)]);
+    EXPECT_DOUBLE_EQ(sliced.va[static_cast<std::size_t>(b)], all[2].va[static_cast<std::size_t>(b)]);
+  }
+  for (int g = 0; g < net.num_generators(); ++g) {
+    EXPECT_DOUBLE_EQ(sliced.pg[static_cast<std::size_t>(g)], all[2].pg[static_cast<std::size_t>(g)]);
+    EXPECT_DOUBLE_EQ(sliced.qg[static_cast<std::size_t>(g)], all[2].qg[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST(BatchAdmm, InitialIterateMatchesSingleSolverImportExactly) {
+  // A batch slot seeded through BatchSolveOptions::initial_iterates must
+  // walk the identical iteration sequence as an AdmmSolver that imports the
+  // same WarmStartIterate — the serve layer's cache-hit path equals the
+  // paper's single-solver warm start.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  admm::AdmmSolver base(net, params);
+  base.solve();
+  const auto iterate = base.export_iterate();
+
+  std::vector<double> pd, qd;
+  for (const auto& bus : net.buses) {
+    pd.push_back(bus.pd * 1.03);
+    qd.push_back(bus.qd * 1.03);
+  }
+
+  // Reference: single solver, imported iterate, perturbed loads.
+  admm::AdmmSolver reference(net, params);
+  reference.import_iterate(iterate);
+  reference.set_loads(pd, qd);
+  const auto reference_stats = reference.solve();
+
+  // Batch: one scenario with the same loads, seeded with the same iterate.
+  ScenarioSet set(net);
+  Scenario sc;
+  sc.name = "perturbed";
+  sc.pd = pd;
+  sc.qd = qd;
+  set.add(std::move(sc));
+  BatchAdmmSolver solver(set, params);
+  BatchSolveOptions options;
+  options.initial_iterates = {&iterate};
+  const auto report = solver.solve(options);
+
+  EXPECT_EQ(report.records[0].inner_iterations, reference_stats.inner_iterations);
+  EXPECT_EQ(report.records[0].outer_iterations, reference_stats.outer_iterations);
+  EXPECT_DOUBLE_EQ(report.records[0].primal_residual, reference_stats.primal_residual);
+  EXPECT_DOUBLE_EQ(report.records[0].dual_residual, reference_stats.dual_residual);
+  EXPECT_EQ(report.records[0].converged, reference_stats.converged);
+
+  // And the warm start beats a cold start on the same instance.
+  BatchAdmmSolver cold(set, params);
+  const auto cold_report = cold.solve();
+  EXPECT_LT(report.records[0].inner_iterations, cold_report.records[0].inner_iterations);
+}
+
+TEST(BatchAdmm, ExportedBatchIterateRoundTripsIntoSingleSolver) {
+  // export_iterate(s) from a solved batch must seed an AdmmSolver exactly
+  // like that scenario's own continuation (the cache-insertion path).
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(3, 0.97, 1.03);
+  BatchAdmmSolver solver(set, params);
+  solver.solve();
+
+  const auto iterate = solver.export_iterate(1);
+  EXPECT_TRUE(iterate.matches(solver.model()));
+  admm::AdmmSolver continuation(net, params);
+  continuation.import_iterate(iterate);
+  continuation.set_loads(set[1].pd, set[1].qd);
+  const auto stats = continuation.solve();
+  EXPECT_TRUE(stats.converged);
+  // Re-solving from the converged iterate beats a cold start on the same
+  // instance by a wide margin.
+  admm::AdmmSolver cold(net, params);
+  cold.set_loads(set[1].pd, set[1].qd);
+  const auto cold_stats = cold.solve();
+  EXPECT_LT(stats.inner_iterations, cold_stats.inner_iterations / 2);
+}
+
+TEST(BatchAdmm, HeterogeneousControlsMatchSequential) {
+  // A batch mixing per-scenario termination overrides must replicate the
+  // sequential reference with the same overrides, scenario for scenario.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(3, 0.95, 1.05);
+  Scenario loose;
+  loose.name = "loose";
+  loose.load_scale = 1.01;
+  // Looser than inner_tolerance_initial (1e-2): exercises the clamp-bound
+  // guard in the inexact inner schedule as well as the override plumbing.
+  loose.controls.primal_tolerance = 2e-2;
+  loose.controls.dual_tolerance = 2e-2;
+  loose.controls.outer_tolerance = 2e-2;
+  for (const auto& bus : net.buses) {
+    loose.pd.push_back(bus.pd * 1.01);
+    loose.qd.push_back(bus.qd * 1.01);
+  }
+  set.add(std::move(loose));
+  Scenario capped;
+  capped.name = "capped";
+  capped.controls.max_inner_iterations = 15;
+  capped.controls.max_outer_iterations = 2;
+  set.add(std::move(capped));
+
+  const auto sequential = solve_sequential(set, params);
+  BatchAdmmSolver solver(set, params);
+  const auto batched = solver.solve();
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE(set[s].name);
+    EXPECT_EQ(batched.records[s].inner_iterations, sequential.records[s].inner_iterations);
+    EXPECT_EQ(batched.records[s].outer_iterations, sequential.records[s].outer_iterations);
+    EXPECT_EQ(batched.records[s].converged, sequential.records[s].converged);
+    EXPECT_DOUBLE_EQ(batched.records[s].primal_residual, sequential.records[s].primal_residual);
+  }
+  // The loose-tolerance scenario really did stop earlier than its twin
+  // solved to full accuracy (scenario 1 has a nearby load scale).
+  EXPECT_LT(batched.records[3].inner_iterations, batched.records[1].inner_iterations);
+  // The capped scenario exhausted its tiny budget without converging.
+  EXPECT_FALSE(batched.records[4].converged);
+  EXPECT_LE(batched.records[4].inner_iterations, 30);
+}
+
 TEST(BatchAdmm, RunBatchedTrackingProducesPerProfileRecords) {
   const auto net = grid::load_embedded_case("case9");
   const auto params = admm::params_for_case("case9", net.num_buses());

@@ -1,6 +1,9 @@
 // Scenario generation: determinism, N-1 topology rules, chaining structure.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "grid/cases.hpp"
 #include "grid/network.hpp"
@@ -203,6 +206,64 @@ TEST(Scenario, AddRejectsChainedContingencies) {
   Scenario chained_from_outage;
   chained_from_outage.chain_from = 0;  // scenario 0 is a contingency
   EXPECT_THROW(set.add(chained_from_outage), GridError);
+}
+
+TEST(Scenario, MalformedInputsRaiseValidationError) {
+  // Malformed caller input surfaces as ValidationError at add time instead
+  // of NaN-poisoned iterates or out-of-bounds masks downstream.
+  const auto net = grid::load_embedded_case("case9");
+  ScenarioSet set(net);
+
+  // Negative / non-finite load scale ranges.
+  EXPECT_THROW(set.add_load_scale(3, -0.5, 1.0), ValidationError);
+  EXPECT_THROW(set.add_load_scale(3, 0.0, 1.0), ValidationError);
+  EXPECT_THROW(set.add_load_scale(3, 1.0, 0.5), ValidationError);
+  EXPECT_THROW(set.add_load_scale(0, 0.9, 1.1), ValidationError);
+  EXPECT_THROW(set.add_load_scale(3, std::nan(""), 1.0), ValidationError);
+
+  // Out-of-range branch index.
+  Scenario bad_outage;
+  bad_outage.outage_branch = net.num_branches();
+  EXPECT_THROW(set.add(bad_outage), ValidationError);
+  bad_outage.outage_branch = -7;
+  EXPECT_THROW(set.add(bad_outage), ValidationError);
+
+  // Non-finite loads and annotations.
+  Scenario nan_load;
+  nan_load.pd.assign(static_cast<std::size_t>(net.num_buses()), 0.1);
+  nan_load.qd.assign(static_cast<std::size_t>(net.num_buses()), 0.1);
+  nan_load.pd[3] = std::nan("");
+  EXPECT_THROW(set.add(nan_load), ValidationError);
+  Scenario bad_scale;
+  bad_scale.load_scale = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(set.add(bad_scale), ValidationError);
+  Scenario bad_ramp;
+  bad_ramp.ramp_fraction = -0.5;
+  EXPECT_THROW(set.add(bad_ramp), ValidationError);
+  Scenario bad_control;
+  bad_control.controls.primal_tolerance = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(set.add(bad_control), ValidationError);
+
+  // Wrong-size load vectors.
+  Scenario short_loads;
+  short_loads.pd = {1.0};
+  short_loads.qd = {1.0};
+  EXPECT_THROW(set.add(short_loads), ValidationError);
+
+  // Other generator arguments.
+  EXPECT_THROW(set.add_stochastic_load(2, -0.1, 1), ValidationError);
+  grid::LoadProfileSpec spec;
+  spec.periods = 3;
+  EXPECT_THROW(set.add_tracking_sequence(spec, -1.0), ValidationError);
+
+  // Nothing half-appended by any rejected call.
+  EXPECT_TRUE(set.empty());
+
+  // Bounds-checked indexing.
+  set.add_base();
+  EXPECT_EQ(set[0].kind, ScenarioKind::kBase);
+  EXPECT_THROW(static_cast<void>(set[1]), ValidationError);
+  EXPECT_THROW(static_cast<void>(set[-1]), ValidationError);
 }
 
 }  // namespace

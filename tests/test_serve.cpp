@@ -1,0 +1,506 @@
+// Solve service semantics: coalescing correctness (batched == direct),
+// warm-start cache behavior, admission control, drain under concurrency,
+// telemetry, and the launch-count acceptance bar for >= 8 concurrent
+// requests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "admm/solver.hpp"
+#include "common/error.hpp"
+#include "grid/cases.hpp"
+#include "opf/service.hpp"
+#include "serve/service.hpp"
+#include "serve/solution_cache.hpp"
+#include "serve/stats.hpp"
+
+namespace gridadmm::serve {
+namespace {
+
+double rel_diff(double a, double b) { return std::abs(a - b) / std::max(1.0, std::abs(b)); }
+
+std::vector<double> scaled(const std::vector<double>& base, double factor) {
+  std::vector<double> out = base;
+  for (double& v : out) v *= factor;
+  return out;
+}
+
+struct CaseLoads {
+  std::vector<double> pd, qd;
+};
+
+CaseLoads base_loads(const grid::Network& net) {
+  CaseLoads loads;
+  for (const auto& bus : net.buses) {
+    loads.pd.push_back(bus.pd);
+    loads.qd.push_back(bus.qd);
+  }
+  return loads;
+}
+
+TEST(SolveService, BatchedRequestsMatchDirectSolves) {
+  // Requests coalesced into one fused micro-batch must reproduce direct
+  // single-instance AdmmSolver results to 1e-6 relative.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 6;
+  options.batching_window_seconds = 0.25;
+  options.cache.capacity = 0;  // this test is about the solver path alone
+  SolveService service(net, params, options);
+
+  const std::vector<double> factors = {0.94, 0.97, 1.0, 1.02, 1.05, 1.08};
+  std::vector<std::future<SolveResult>> futures;
+  for (const double f : factors) {
+    SolveRequest request;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const auto result = futures[i].get();
+    EXPECT_TRUE(result.converged);
+
+    admm::AdmmSolver direct(net, params);
+    direct.set_loads(scaled(loads.pd, factors[i]), scaled(loads.qd, factors[i]));
+    const auto direct_stats = direct.solve();
+    const auto quality = grid::evaluate_solution(
+        [&] {
+          grid::Network eval = net;
+          for (int b = 0; b < eval.num_buses(); ++b) {
+            eval.buses[static_cast<std::size_t>(b)].pd = loads.pd[static_cast<std::size_t>(b)] * factors[i];
+            eval.buses[static_cast<std::size_t>(b)].qd = loads.qd[static_cast<std::size_t>(b)] * factors[i];
+          }
+          return eval;
+        }(),
+        direct.solution());
+    SCOPED_TRACE("factor " + std::to_string(factors[i]));
+    EXPECT_EQ(result.stats.inner_iterations, direct_stats.inner_iterations);
+    EXPECT_LT(rel_diff(result.objective, quality.objective), 1e-6);
+    EXPECT_LT(rel_diff(result.max_violation, quality.max_violation), 1e-6);
+  }
+}
+
+TEST(SolveService, CoalescingIssuesFewerLaunchesThanSequentialForEightRequests) {
+  // The acceptance bar: >= 8 concurrent requests coalesced by the service
+  // must issue fewer total kernel launches than per-request sequential
+  // solves (LaunchStats attribution on dedicated devices).
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  constexpr int kRequests = 8;
+
+  ServiceOptions options;
+  options.max_batch_size = kRequests;
+  options.batching_window_seconds = 1.0;  // generous: the burst must coalesce
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+
+  std::vector<std::future<SolveResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    SolveRequest request;
+    const double f = 0.94 + 0.02 * i;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const auto result = future.get();
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.batch_occupancy, kRequests);  // one batch served all 8
+  }
+  service.drain();
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.batches, 1u);
+
+  // Per-request sequential baseline on its own device.
+  device::Device sequential_device(options.device_workers);
+  for (int i = 0; i < kRequests; ++i) {
+    admm::AdmmSolver solver(net, params, &sequential_device);
+    const double f = 0.94 + 0.02 * i;
+    solver.set_loads(scaled(loads.pd, f), scaled(loads.qd, f));
+    solver.solve();
+  }
+  EXPECT_GT(stats.launch_stats.launches, 0u);
+  EXPECT_LT(stats.launch_stats.launches, sequential_device.stats().launches);
+}
+
+TEST(SolveService, CacheHitWarmStartReducesIterations) {
+  // A request whose loads sit near a cached solve is seeded from that
+  // iterate and must converge in fewer ADMM iterations than a cold start
+  // on the same perturbed load (the paper's tracking warm start, served).
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 1;  // isolate requests: one batch each
+  options.batching_window_seconds = 0.0;
+  options.cache.capacity = 8;
+  options.cache.max_distance = 0.1;
+  SolveService service(net, params, options);
+
+  SolveRequest first;
+  first.pd = loads.pd;
+  first.qd = loads.qd;
+  const auto cold = service.submit(std::move(first)).get();
+  ASSERT_TRUE(cold.converged);
+  EXPECT_FALSE(cold.cache_hit);
+
+  SolveRequest second;
+  second.pd = scaled(loads.pd, 1.02);
+  second.qd = scaled(loads.qd, 1.02);
+  const auto warm = service.submit(std::move(second)).get();
+  ASSERT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_GT(warm.cache_distance, 0.0);
+
+  // Cold-start reference for the same perturbed instance.
+  admm::AdmmSolver reference(net, params);
+  reference.set_loads(scaled(loads.pd, 1.02), scaled(loads.qd, 1.02));
+  const auto reference_stats = reference.solve();
+  ASSERT_TRUE(reference_stats.converged);
+  EXPECT_LT(warm.stats.inner_iterations, reference_stats.inner_iterations);
+
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.5);
+}
+
+TEST(SolveService, BypassCacheSkipsLookupAndInsertion) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  ServiceOptions options;
+  options.max_batch_size = 1;
+  options.batching_window_seconds = 0.0;
+  SolveService service(net, params, options);
+
+  SolveRequest request;
+  request.bypass_cache = true;
+  const auto result = service.submit(std::move(request)).get();
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.cache_hit);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+TEST(SolveService, BoundedQueueShedsWithCapacityError) {
+  // Admission control: beyond max_queue_depth pending requests, submit()
+  // sheds synchronously with CapacityError and nothing is enqueued.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  ServiceOptions options;
+  options.max_batch_size = 8;
+  options.batching_window_seconds = 30.0;  // hold the batch open: queue fills
+  options.max_queue_depth = 3;
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+
+  std::vector<std::future<SolveResult>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(service.submit(SolveRequest{}));
+  EXPECT_THROW(service.submit(SolveRequest{}), CapacityError);
+  EXPECT_THROW(service.submit(SolveRequest{}), CapacityError);
+
+  service.drain();  // flushes the held batch immediately
+  for (auto& future : futures) EXPECT_TRUE(future.get().converged);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(SolveService, DrainCompletesAllAcceptedUnderConcurrentSubmitters) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.005;
+  options.max_queue_depth = 1024;  // nothing sheds in this test
+  SolveService service(net, params, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::vector<std::vector<std::future<SolveResult>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SolveRequest request;
+        const double f = 0.95 + 0.002 * (t * kPerThread + i);
+        request.pd = scaled(loads.pd, f);
+        request.qd = scaled(loads.qd, f);
+        futures[static_cast<std::size_t>(t)].push_back(service.submit(std::move(request)));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0);
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+      EXPECT_TRUE(future.get().converged);
+    }
+  }
+  // Every request landed in some batch; occupancies account for all of them.
+  std::uint64_t served = 0;
+  for (std::size_t k = 0; k < stats.batch_occupancy.size(); ++k) {
+    served += stats.batch_occupancy[k] * (k + 1);
+  }
+  EXPECT_EQ(served, stats.submitted);
+
+  // Draining is permanent: later submissions shed.
+  EXPECT_THROW(service.submit(SolveRequest{}), CapacityError);
+}
+
+TEST(SolveService, HeterogeneousControlsApplyPerRequest) {
+  // One batch mixing a budget-capped request with a default one: the capped
+  // request must stop inside its own budget without affecting its neighbor.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  ServiceOptions options;
+  options.max_batch_size = 2;
+  options.batching_window_seconds = 0.5;
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+
+  SolveRequest capped;
+  capped.controls.max_inner_iterations = 10;
+  capped.controls.max_outer_iterations = 2;
+  SolveRequest standard;
+  auto capped_future = service.submit(std::move(capped));
+  auto standard_future = service.submit(std::move(standard));
+
+  const auto capped_result = capped_future.get();
+  const auto standard_result = standard_future.get();
+  EXPECT_EQ(capped_result.batch_id, standard_result.batch_id);
+  EXPECT_FALSE(capped_result.converged);
+  EXPECT_LE(capped_result.stats.inner_iterations, 20);
+  EXPECT_TRUE(standard_result.converged);
+}
+
+TEST(SolveService, RejectsMalformedRequestsSynchronously) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ServiceOptions options;
+  options.batching_window_seconds = 0.0;
+  SolveService service(net, params, options);
+
+  SolveRequest wrong_size;
+  wrong_size.pd = {1.0, 2.0};
+  wrong_size.qd = {1.0, 2.0};
+  EXPECT_THROW(service.submit(std::move(wrong_size)), ValidationError);
+
+  SolveRequest bad_outage;
+  bad_outage.outage_branch = 999;
+  EXPECT_THROW(service.submit(std::move(bad_outage)), ValidationError);
+
+  SolveRequest nan_load;
+  nan_load.pd.assign(static_cast<std::size_t>(net.num_buses()), 0.1);
+  nan_load.qd.assign(static_cast<std::size_t>(net.num_buses()), 0.1);
+  nan_load.pd[0] = std::nan("");
+  EXPECT_THROW(service.submit(std::move(nan_load)), ValidationError);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+}
+
+TEST(SolveService, ManualClockFeedsLatencyTelemetry) {
+  // The injected clock drives latency accounting only: advance it while the
+  // batching window holds the request, and the recorded wait/total latency
+  // reflect the manual time exactly.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  auto clock = std::make_shared<ManualClock>();
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  // A window the test never waits out: the batch stays open (1 < 4 pending)
+  // until drain() flushes it, so advance() below is deterministically
+  // ordered before the dispatch-time clock read.
+  options.batching_window_seconds = 3600.0;
+  options.clock = clock;
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+
+  auto future = service.submit(SolveRequest{});
+  clock->advance(2.5);  // while the window holds the batch open
+  service.drain();      // flushes the held batch immediately
+  const auto result = future.get();
+  EXPECT_DOUBLE_EQ(result.wait_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(result.total_seconds, 2.5);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.latency_samples, 1u);
+  EXPECT_DOUBLE_EQ(stats.p50_latency, 2.5);
+  EXPECT_DOUBLE_EQ(stats.p95_latency, 2.5);
+}
+
+TEST(SolveService, RequestsAgainstDifferentCasesNeverShareABatch) {
+  const auto net9 = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net9.num_buses());
+  auto net14 = std::make_shared<grid::Network>(grid::load_embedded_case("case14"));
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.3;
+  options.cache.capacity = 0;
+  SolveService service(net9, params, options);
+
+  auto base_future = service.submit(SolveRequest{});
+  SolveRequest other;
+  other.network = net14;
+  auto other_future = service.submit(std::move(other));
+
+  const auto base_result = base_future.get();
+  const auto other_result = other_future.get();
+  EXPECT_NE(base_result.batch_id, other_result.batch_id);
+  EXPECT_EQ(base_result.batch_occupancy, 1);
+  EXPECT_EQ(other_result.batch_occupancy, 1);
+  EXPECT_TRUE(base_result.converged);
+  EXPECT_TRUE(other_result.converged);
+  EXPECT_EQ(static_cast<int>(other_result.solution.vm.size()), net14->num_buses());
+}
+
+TEST(SolutionCache, NearestNeighborWithinMaxDistance) {
+  CacheOptions options;
+  options.capacity = 4;
+  options.max_distance = 0.05;
+  SolutionCache cache(options);
+
+  auto iterate_a = std::make_shared<admm::WarmStartIterate>();
+  iterate_a->beta = 1.0;
+  auto iterate_b = std::make_shared<admm::WarmStartIterate>();
+  iterate_b->beta = 2.0;
+  cache.insert(7, {1.0, 1.0}, {0.2, 0.2}, iterate_a);
+  cache.insert(7, {1.10, 1.10}, {0.2, 0.2}, iterate_b);
+
+  // Nearest to (1.04, ...) is iterate_a at distance 0.04.
+  const auto hit = cache.lookup(7, std::vector<double>{1.04, 1.0}, std::vector<double>{0.2, 0.2});
+  ASSERT_NE(hit.iterate, nullptr);
+  EXPECT_DOUBLE_EQ(hit.iterate->beta, 1.0);
+  EXPECT_NEAR(hit.distance, 0.04, 1e-12);
+
+  // Beyond max_distance from both entries: miss.
+  const auto miss = cache.lookup(7, std::vector<double>{1.3, 1.3}, std::vector<double>{0.2, 0.2});
+  EXPECT_EQ(miss.iterate, nullptr);
+
+  // Different key: miss even at distance zero.
+  const auto wrong_key =
+      cache.lookup(8, std::vector<double>{1.0, 1.0}, std::vector<double>{0.2, 0.2});
+  EXPECT_EQ(wrong_key.iterate, nullptr);
+
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(SolutionCache, LruEvictionRespectsCapacity) {
+  CacheOptions options;
+  options.capacity = 2;
+  options.max_distance = 0.01;
+  SolutionCache cache(options);
+  auto iterate = std::make_shared<admm::WarmStartIterate>();
+
+  cache.insert(1, {1.0}, {0.0}, iterate);
+  cache.insert(1, {2.0}, {0.0}, iterate);
+  // Touch entry {1.0} so {2.0} is the LRU victim.
+  ASSERT_NE(cache.lookup(1, std::vector<double>{1.0}, std::vector<double>{0.0}).iterate, nullptr);
+  cache.insert(1, {3.0}, {0.0}, iterate);
+
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_NE(cache.lookup(1, std::vector<double>{1.0}, std::vector<double>{0.0}).iterate, nullptr);
+  EXPECT_EQ(cache.lookup(1, std::vector<double>{2.0}, std::vector<double>{0.0}).iterate, nullptr);
+  EXPECT_NE(cache.lookup(1, std::vector<double>{3.0}, std::vector<double>{0.0}).iterate, nullptr);
+
+  // Identical loads replace in place instead of growing the cache.
+  auto newer = std::make_shared<admm::WarmStartIterate>();
+  newer->beta = 42.0;
+  cache.insert(1, {3.0}, {0.0}, newer);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_DOUBLE_EQ(
+      cache.lookup(1, std::vector<double>{3.0}, std::vector<double>{0.0}).iterate->beta, 42.0);
+}
+
+TEST(SolutionCache, EvictingTheInsertKeysOwnSoleEntryIsSafe) {
+  // Regression: at capacity, inserting different loads under a key whose
+  // sole entry is the global LRU victim must evict that entry (erasing the
+  // key's bucket) and then insert cleanly — not write through a dangling
+  // bucket reference.
+  CacheOptions options;
+  options.capacity = 1;
+  options.max_distance = 0.01;
+  SolutionCache cache(options);
+  auto iterate = std::make_shared<admm::WarmStartIterate>();
+
+  cache.insert(5, {1.0}, {0.0}, iterate);
+  cache.insert(5, {2.0}, {0.0}, iterate);  // evicts {1.0}, the same key's bucket
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.lookup(5, std::vector<double>{1.0}, std::vector<double>{0.0}).iterate, nullptr);
+  EXPECT_NE(cache.lookup(5, std::vector<double>{2.0}, std::vector<double>{0.0}).iterate, nullptr);
+}
+
+TEST(ServeStats, LatencyQuantileNearestRank) {
+  EXPECT_DOUBLE_EQ(latency_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({3.0}, 0.95), 3.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({5.0, 1.0, 4.0, 2.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(latency_quantile({5.0, 1.0, 4.0, 2.0, 3.0}, 1.0), 5.0);
+}
+
+TEST(NetworkFingerprint, InvariantToLoadsSensitiveToStructure) {
+  const auto net = grid::load_embedded_case("case9");
+  auto loaded = net;
+  for (auto& bus : loaded.buses) bus.pd *= 1.5;
+  EXPECT_EQ(grid::network_fingerprint(net), grid::network_fingerprint(loaded));
+
+  auto rerated = net;
+  rerated.branches[0].rate *= 0.5;
+  EXPECT_NE(grid::network_fingerprint(net), grid::network_fingerprint(rerated));
+
+  const auto net14 = grid::load_embedded_case("case14");
+  EXPECT_NE(grid::network_fingerprint(net), grid::network_fingerprint(net14));
+}
+
+TEST(OpfService, FacadeServesScaledAndContingencyRequests) {
+  serve::ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.05;
+  opf::OpfService service("case9", options);
+
+  auto scaled_future = service.solve_scaled(1.03);
+  auto outage_future = service.solve_contingency(4);
+  const auto scaled_result = scaled_future.get();
+  const auto outage_result = outage_future.get();
+  EXPECT_TRUE(scaled_result.converged);
+  EXPECT_TRUE(outage_result.converged);
+  EXPECT_GT(scaled_result.objective, 0.0);
+  // The outage solves a different structural key: never the same batch.
+  EXPECT_NE(scaled_result.batch_id, outage_result.batch_id);
+
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_GE(stats.p95_latency, stats.p50_latency);
+}
+
+}  // namespace
+}  // namespace gridadmm::serve
