@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "admm/params.hpp"
 #include "common/options.hpp"
+#include "device/device.hpp"
 #include "grid/cases.hpp"
 #include "grid/synthetic.hpp"
 
@@ -68,6 +71,17 @@ inline std::vector<std::string> tracking_cases() {
 
 inline int tracking_periods() { return full_mode() ? 30 : 10; }
 
+/// Integer environment knob (e.g. GRIDADMM_SHARDS for the CI sharded-smoke
+/// job); returns `fallback` when unset or unparsable.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
 /// Splits a --key=a,b,c option value (empty items dropped).
 inline std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
@@ -92,12 +106,20 @@ inline admm::AdmmParams budgeted_params(const CaseBudget& budget, int num_buses)
 }
 
 /// One machine-readable result record: a single-line JSON object
-/// `{"bench": <name>, <key>: <value>, ...}` on stdout, one per
-/// measurement, so harness output can be collected with grep + jq.
+/// `{"bench": <name>, "workers": W, "shards": D, <key>: <value>, ...}` on
+/// stdout, one per measurement, so harness output can be collected with
+/// grep + jq. Every record carries the machine's worker parallelism and
+/// the device/shard count of the measurement, so BENCH_*.jsonl
+/// trajectories stay comparable across machines and shard configs.
 class JsonRecord {
  public:
-  explicit JsonRecord(const std::string& bench) {
+  /// `shards` is the device count of the measurement (1 = single device);
+  /// `workers` the total worker-thread parallelism backing it (0 = the
+  /// machine's hardware concurrency, the default every Device uses).
+  explicit JsonRecord(const std::string& bench, int shards = 1, int workers = 0) {
     line_ = "{\"bench\": \"" + bench + "\"";
+    field("workers", workers > 0 ? workers : device::default_worker_count());
+    field("shards", shards);
   }
   JsonRecord& field(const std::string& key, const std::string& value) {
     line_ += ", \"" + key + "\": \"" + escaped(value) + "\"";

@@ -4,14 +4,22 @@
 // (case, S, engine) measurement (bench_common.hpp JsonRecord format) plus a
 // summary table.
 //
-//   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64] [--smoke]
+//   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64]
+//                          [--shards=N] [--smoke]
+//
+// --shards=N (or GRIDADMM_SHARDS=N) runs the batched engine over an
+// N-device pool instead of one device; the sequential baseline always runs
+// on a single device.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/options.hpp"
 #include "common/table.hpp"
+#include "device/pool.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 
@@ -27,6 +35,12 @@ int main(int argc, char** argv) {
   for (const auto& s : split_csv(opts.get("sizes", smoke ? "1,8" : "1,4,16,64"))) {
     sizes.push_back(std::stoi(s));
   }
+  const int shards = std::max(1, opts.get_int("shards", bench::env_int("GRIDADMM_SHARDS", 1)));
+  std::unique_ptr<device::DevicePool> pool;
+  if (shards > 1) pool = std::make_unique<device::DevicePool>(shards);
+  // Actual worker parallelism behind the batched engine: the pool splits
+  // the machine's workers across its devices (0 = default single device).
+  const int batch_workers = pool != nullptr ? shards * pool->device(0).workers() : 0;
 
   Table table({"case", "S", "seq (s)", "batch (s)", "speedup", "seq launches",
                "batch launches", "batch scen/s"});
@@ -38,8 +52,10 @@ int main(int argc, char** argv) {
       set.add_load_scale(S, 0.92, 1.08);
 
       const auto sequential = scenario::solve_sequential(set, params);
-      scenario::BatchAdmmSolver solver(set, params);
-      const auto batched = solver.solve();
+      auto solver = pool != nullptr
+                        ? std::make_unique<scenario::BatchAdmmSolver>(set, params, *pool)
+                        : std::make_unique<scenario::BatchAdmmSolver>(set, params);
+      const auto batched = solver->solve();
 
       const double speedup =
           batched.solve_seconds > 0.0 ? sequential.solve_seconds / batched.solve_seconds : 0.0;
@@ -50,8 +66,10 @@ int main(int argc, char** argv) {
                      Table::fixed(batched.scenarios_per_second(), 1)});
 
       for (const char* engine : {"sequential", "batched"}) {
-        const auto& report = engine[0] == 's' ? sequential : batched;
-        bench::JsonRecord record("scenario_batch");
+        const bool is_batched = engine[0] == 'b';
+        const auto& report = is_batched ? batched : sequential;
+        bench::JsonRecord record("scenario_batch", report.num_shards,
+                                 is_batched ? batch_workers : 0);
         record.field("case", case_name)
             .field("S", S)
             .field("engine", engine)

@@ -10,6 +10,15 @@
 // Per-scenario *problem data* that the scenario engine may vary (penalties
 // rho, loads, generator pg bounds, branch outage masks) lives here too; the
 // scenario-invariant remainder stays in the shared ComponentModel.
+//
+// Two-buffer ping-pong mode: for time-coupled sets where only consecutive
+// waves interact, the batch engine allocates a pair of BatchAdmmStates per
+// shard sized to the largest wave instead of one state sized to every
+// scenario. Wave d executes in buffer d % 2 while buffer (d - 1) % 2 holds
+// the previous wave's iterates for the on-device chain copy
+// (scenario::batch_chain_state with distinct src/dst states); wave d + 1
+// then reuses the parent buffer. Live batch-state memory is constant in
+// the horizon length (see scenario::BatchPlan).
 #pragma once
 
 #include <vector>

@@ -17,10 +17,13 @@ int chunk_size(int nblocks, int workers) {
 }
 }  // namespace
 
+int default_worker_count() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
 Device::Device(int workers) {
-  int n = workers;
-  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
-  if (n <= 0) n = 4;
+  const int n = workers > 0 ? workers : default_worker_count();
   threads_.reserve(static_cast<std::size_t>(n));
   for (int lane = 0; lane < n; ++lane) {
     threads_.emplace_back([this, lane] { worker_main(lane); });

@@ -102,6 +102,11 @@ class Device {
 /// Returns a process-wide default device (lazily constructed).
 Device& default_device();
 
+/// The worker count a default Device resolves to: hardware concurrency
+/// with a fixed fallback when it is unknown. Shared by Device, DevicePool's
+/// even split, and the bench harnesses' telemetry so none can drift.
+int default_worker_count();
+
 /// RAII attribution of kernel launches: every launch issued on `dev` during
 /// the scope's lifetime is accumulated into `out` at destruction. Used by
 /// the batch engine to report launches per scenario batch, and by tests to

@@ -1,0 +1,40 @@
+#include "device/pool.hpp"
+
+#include "common/error.hpp"
+
+namespace gridadmm::device {
+
+DevicePool::DevicePool(int num_devices, int workers_per_device) {
+  require(num_devices > 0, "DevicePool: num_devices must be positive");
+  int workers = workers_per_device;
+  if (workers <= 0) {
+    workers = default_worker_count() / num_devices;
+    if (workers < 1) workers = 1;
+  }
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int d = 0; d < num_devices; ++d) {
+    devices_.push_back(std::make_unique<Device>(workers));
+  }
+}
+
+Device& DevicePool::device(int d) {
+  require(d >= 0 && d < size(), "DevicePool::device: index out of range");
+  return *devices_[static_cast<std::size_t>(d)];
+}
+
+const Device& DevicePool::device(int d) const {
+  require(d >= 0 && d < size(), "DevicePool::device: index out of range");
+  return *devices_[static_cast<std::size_t>(d)];
+}
+
+LaunchStats DevicePool::aggregate_stats() const {
+  LaunchStats total;
+  for (const auto& dev : devices_) total += dev->stats();
+  return total;
+}
+
+void DevicePool::reset_stats() {
+  for (auto& dev : devices_) dev->reset_stats();
+}
+
+}  // namespace gridadmm::device

@@ -112,10 +112,15 @@ std::vector<PeriodRecord> TrackingSimulator::run() {
   return records;
 }
 
-BatchTrackingResult run_batched_tracking(const grid::Network& net,
-                                         const admm::AdmmParams& params,
-                                         const TrackingOptions& options, int num_profiles,
-                                         device::Device* dev) {
+namespace {
+
+/// Shared implementation: builds the per-profile tracking set, solves it
+/// with the caller's solver (single-device or sharded), and reshapes the
+/// report into per-profile period records.
+BatchTrackingResult run_batched_tracking_impl(const grid::Network& net,
+                                              const admm::AdmmParams& params,
+                                              const TrackingOptions& options, int num_profiles,
+                                              device::Device* dev, device::DevicePool* pool) {
   require(num_profiles > 0, "run_batched_tracking: num_profiles must be positive");
 
   scenario::ScenarioSet set(net);
@@ -130,9 +135,18 @@ BatchTrackingResult run_batched_tracking(const grid::Network& net,
   }
 
   // One fused batch per period: wave t holds every profile's period t.
-  scenario::BatchAdmmSolver solver(set, params, dev);
+  // Ping-pong keeps only the current and previous period's state resident,
+  // so device memory stays O(2 x profiles x case) for any horizon length.
+  scenario::BatchSolveOptions solve_options;
+  solve_options.ping_pong = options.ping_pong;
   BatchTrackingResult result;
-  result.report = solver.solve();
+  if (pool != nullptr) {
+    scenario::BatchAdmmSolver solver(set, params, *pool);
+    result.report = solver.solve(solve_options);
+  } else {
+    scenario::BatchAdmmSolver solver(set, params, dev);
+    result.report = solver.solve(solve_options);
+  }
 
   result.profiles.assign(static_cast<std::size_t>(num_profiles), {});
   for (int p = 0; p < num_profiles; ++p) {
@@ -153,6 +167,22 @@ BatchTrackingResult run_batched_tracking(const grid::Network& net,
     }
   }
   return result;
+}
+
+}  // namespace
+
+BatchTrackingResult run_batched_tracking(const grid::Network& net,
+                                         const admm::AdmmParams& params,
+                                         const TrackingOptions& options, int num_profiles,
+                                         device::Device* dev) {
+  return run_batched_tracking_impl(net, params, options, num_profiles, dev, nullptr);
+}
+
+BatchTrackingResult run_batched_tracking(const grid::Network& net,
+                                         const admm::AdmmParams& params,
+                                         const TrackingOptions& options, int num_profiles,
+                                         device::DevicePool& pool) {
+  return run_batched_tracking_impl(net, params, options, num_profiles, nullptr, &pool);
 }
 
 }  // namespace gridadmm::opf

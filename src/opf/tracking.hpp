@@ -14,6 +14,7 @@
 #include "admm/params.hpp"
 #include "admm/solver.hpp"
 #include "device/device.hpp"
+#include "device/pool.hpp"
 #include "grid/load_profile.hpp"
 #include "grid/network.hpp"
 #include "ipm/acopf_nlp.hpp"
@@ -29,6 +30,10 @@ struct TrackingOptions {
   std::uint64_t profile_seed = 7;
   bool run_ipm = true;          ///< also track with the baseline
   ipm::IpmOptions ipm;
+  /// Batched mode only: run the horizon in two-wave ping-pong buffers, so
+  /// live batch-state memory is O(2 x profiles x case) instead of
+  /// O(periods x profiles x case). Results are identical either way.
+  bool ping_pong = true;
 };
 
 struct PeriodRecord {
@@ -84,10 +89,20 @@ struct BatchTrackingResult {
 /// device, warm started from the previous period with the same ramp limits
 /// as the sequential simulator — instead of num_profiles sequential
 /// tracking runs. This is the paper's Section IV-C experiment widened
-/// across scenarios.
+/// across scenarios. By default (TrackingOptions::ping_pong) the periods
+/// run through a two-buffer ping-pong pair, so device memory stays
+/// constant in the horizon length.
 BatchTrackingResult run_batched_tracking(const grid::Network& net,
                                          const admm::AdmmParams& params,
                                          const TrackingOptions& options, int num_profiles,
                                          device::Device* dev = nullptr);
+
+/// Sharded batched tracking: the profiles are dealt round-robin across the
+/// pool's devices and each period's fused wave runs concurrently per shard
+/// (results identical to the single-device batched mode).
+BatchTrackingResult run_batched_tracking(const grid::Network& net,
+                                         const admm::AdmmParams& params,
+                                         const TrackingOptions& options, int num_profiles,
+                                         device::DevicePool& pool);
 
 }  // namespace gridadmm::opf

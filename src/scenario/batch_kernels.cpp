@@ -100,7 +100,8 @@ void batch_scale_rho(device::Device& dev, const admm::ComponentModel& model,
 }
 
 void batch_chain_state(device::Device& dev, const admm::ComponentModel& model,
-                       admm::BatchAdmmState& state, std::span<const ChainLink> links) {
+                       const admm::BatchAdmmState& src_state, admm::BatchAdmmState& dst_state,
+                       std::span<const ChainLink> links) {
   const int np = model.num_pairs;
   const int nb = model.num_buses;
   const int ng = model.num_gens;
@@ -108,54 +109,70 @@ void batch_chain_state(device::Device& dev, const admm::ComponentModel& model,
   // num_pairs = 2*ngens + 8*nbranches dominates every other per-scenario
   // extent on a connected network, so one launch over |links| * num_pairs
   // blocks covers all arrays (each block guards the shorter extents).
-  auto u = state.u.span();
-  auto v = state.v.span();
-  auto z = state.z.span();
-  auto y = state.y.span();
-  auto lz = state.lz.span();
-  auto rho = state.rho.span();
-  auto bus_w = state.bus_w.span();
-  auto bus_theta = state.bus_theta.span();
-  auto gen_pg = state.gen_pg.span();
-  auto gen_qg = state.gen_qg.span();
-  auto bx = state.branch_x.span();
-  auto bs = state.branch_s.span();
-  auto blam = state.branch_lambda.span();
+  // src_state and dst_state may be the same object (in-place chain) or the
+  // two halves of a ping-pong pair; slots are local to their own state.
+  const auto su = src_state.u.span();
+  const auto sv = src_state.v.span();
+  const auto sz = src_state.z.span();
+  const auto sy = src_state.y.span();
+  const auto slz = src_state.lz.span();
+  const auto srho = src_state.rho.span();
+  const auto sw = src_state.bus_w.span();
+  const auto stheta = src_state.bus_theta.span();
+  const auto spg = src_state.gen_pg.span();
+  const auto sqg = src_state.gen_qg.span();
+  const auto sbx = src_state.branch_x.span();
+  const auto sbs = src_state.branch_s.span();
+  const auto sblam = src_state.branch_lambda.span();
+  auto du = dst_state.u.span();
+  auto dv = dst_state.v.span();
+  auto dz = dst_state.z.span();
+  auto dy = dst_state.y.span();
+  auto dlz = dst_state.lz.span();
+  auto drho = dst_state.rho.span();
+  auto dw = dst_state.bus_w.span();
+  auto dtheta = dst_state.bus_theta.span();
+  auto dpg = dst_state.gen_pg.span();
+  auto dqg = dst_state.gen_qg.span();
+  auto dbx = dst_state.branch_x.span();
+  auto dbs = dst_state.branch_s.span();
+  auto dblam = dst_state.branch_lambda.span();
   dev.launch(static_cast<int>(links.size()) * np, [=](int b) {
     const auto& link = links[static_cast<std::size_t>(b / np)];
     const int k = b % np;
     const auto dst = static_cast<std::size_t>(link.dst);
     const auto src = static_cast<std::size_t>(link.src);
-    auto copy = [&](std::span<double> a, int extent, int per) {
+    auto copy = [&](std::span<const double> from, std::span<double> to, int extent, int per) {
       if (k < extent) {
-        a[dst * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)] =
-            a[src * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)];
+        to[dst * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)] =
+            from[src * static_cast<std::size_t>(per) + static_cast<std::size_t>(k)];
       }
     };
-    copy(u, np, np);
-    copy(v, np, np);
-    copy(z, np, np);
-    copy(y, np, np);
-    copy(lz, np, np);
-    copy(rho, np, np);
-    copy(bus_w, nb, nb);
-    copy(bus_theta, nb, nb);
-    copy(gen_pg, ng, ng);
-    copy(gen_qg, ng, ng);
-    copy(bx, 4 * nl, 4 * nl);
-    copy(bs, 2 * nl, 2 * nl);
-    copy(blam, 2 * nl, 2 * nl);
+    copy(su, du, np, np);
+    copy(sv, dv, np, np);
+    copy(sz, dz, np, np);
+    copy(sy, dy, np, np);
+    copy(slz, dlz, np, np);
+    copy(srho, drho, np, np);
+    copy(sw, dw, nb, nb);
+    copy(stheta, dtheta, nb, nb);
+    copy(spg, dpg, ng, ng);
+    copy(sqg, dqg, ng, ng);
+    copy(sbx, dbx, 4 * nl, 4 * nl);
+    copy(sbs, dbs, 2 * nl, 2 * nl);
+    copy(sblam, dblam, 2 * nl, 2 * nl);
   });
 }
 
 void batch_apply_ramp(device::Device& dev, const admm::ComponentModel& model,
-                      admm::BatchAdmmState& state, std::span<const RampLink> links) {
+                      const admm::BatchAdmmState& src_state, admm::BatchAdmmState& dst_state,
+                      std::span<const RampLink> links) {
   const int ng = model.num_gens;
   const auto base_pmin = model.gen_pmin.span();
   const auto base_pmax = model.gen_pmax.span();
-  const auto pg = state.gen_pg.span();
-  auto pmin = state.pmin.span();
-  auto pmax = state.pmax.span();
+  const auto pg = src_state.gen_pg.span();
+  auto pmin = dst_state.pmin.span();
+  auto pmax = dst_state.pmax.span();
   dev.launch(static_cast<int>(links.size()) * ng, [=](int b) {
     const auto& link = links[static_cast<std::size_t>(b / ng)];
     const int g = b % ng;

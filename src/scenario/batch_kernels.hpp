@@ -60,22 +60,28 @@ void batch_scale_rho(device::Device& dev, const admm::ComponentModel& model,
                      std::span<const double> factors);
 
 /// Warm-start chaining: dst's iterate (u, v, z, y, lz, bus, gen, branch
-/// arrays) and rho slice are copied from src, entirely on device.
+/// arrays) and rho slice are copied from src, entirely on device. `src` is
+/// a slot of `src_state` and `dst` a slot of `dst_state`; passing the same
+/// state for both is the classic in-place chain, distinct states are the
+/// ping-pong wave copy (previous wave's buffer -> current wave's buffer).
 struct ChainLink {
   int dst = -1;
   int src = -1;
 };
 void batch_chain_state(device::Device& dev, const admm::ComponentModel& model,
-                       admm::BatchAdmmState& state, std::span<const ChainLink> links);
+                       const admm::BatchAdmmState& src_state, admm::BatchAdmmState& dst_state,
+                       std::span<const ChainLink> links);
 
 /// Ramp limits: dst's pg bounds become the base bounds tightened around
 /// src's current dispatch, |pg - pg_src| <= ramp_fraction * Pmax_base.
+/// Slot/state semantics match batch_chain_state.
 struct RampLink {
   int dst = -1;
   int src = -1;
   double ramp_fraction = 0.0;
 };
 void batch_apply_ramp(device::Device& dev, const admm::ComponentModel& model,
-                      admm::BatchAdmmState& state, std::span<const RampLink> links);
+                      const admm::BatchAdmmState& src_state, admm::BatchAdmmState& dst_state,
+                      std::span<const RampLink> links);
 
 }  // namespace gridadmm::scenario

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -90,21 +92,27 @@ BatchAdmmSolver::BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params
                                  device::Device* dev)
     : net_(set.network()),
       params_(params),
-      dev_(dev != nullptr ? dev : &device::default_device()),
+      devs_({dev != nullptr ? dev : &device::default_device()}),
       scenarios_(set.scenarios()),
       waves_(set.waves()),
       model_(admm::build_component_model(net_, params_)),
-      state_(admm::BatchAdmmState::zeros(model_, set.size())),
-      mview_(admm::make_model_view(model_)) {
+      mview_(admm::make_model_view(model_)),
+      cold_(admm::make_cold_start(net_, model_)),
+      rho0_(model_.rho.to_host()) {
   require(!scenarios_.empty(), "BatchAdmmSolver: scenario set is empty");
-  views_.reserve(scenarios_.size());
-  for (int s = 0; s < num_scenarios(); ++s) views_.push_back(state_.view(model_, s));
   eff_.reserve(scenarios_.size());
   for (const auto& sc : scenarios_) {
     const admm::AdmmParams p = effective_params(params_, sc.controls);
     eff_.push_back({p.primal_tolerance, p.dual_tolerance, p.outer_tolerance,
                     p.max_inner_iterations, p.max_outer_iterations});
   }
+}
+
+BatchAdmmSolver::BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params,
+                                 device::DevicePool& pool)
+    : BatchAdmmSolver(set, params, &pool.device(0)) {
+  devs_.clear();
+  for (int d = 0; d < pool.size(); ++d) devs_.push_back(&pool.device(d));
 }
 
 admm::AdmmParams effective_params(const admm::AdmmParams& base, const ScenarioControls& controls) {
@@ -117,9 +125,40 @@ admm::AdmmParams effective_params(const admm::AdmmParams& base, const ScenarioCo
   return p;
 }
 
+void BatchAdmmSolver::ensure_storage(bool ping_pong) {
+  if (storage_ready_ && plan_.ping_pong == ping_pong) return;
+  plan_ = BatchPlan::create(scenarios_, waves_, num_shards(), ping_pong);
+  shards_.clear();
+  shards_.resize(devs_.size());
+  const int buffers = ping_pong ? 2 : 1;
+  for (int d = 0; d < num_shards(); ++d) {
+    Shard& shard = shards_[static_cast<std::size_t>(d)];
+    shard.dev = devs_[static_cast<std::size_t>(d)];
+    const int capacity = plan_.shard_capacity[static_cast<std::size_t>(d)];
+    shard.states.reserve(static_cast<std::size_t>(buffers));
+    shard.views.resize(static_cast<std::size_t>(buffers));
+    for (int b = 0; b < buffers; ++b) {
+      shard.states.push_back(admm::BatchAdmmState::zeros(model_, capacity));
+      auto& views = shard.views[static_cast<std::size_t>(b)];
+      views.clear();
+      views.reserve(static_cast<std::size_t>(capacity));
+      for (int slot = 0; slot < capacity; ++slot) {
+        views.push_back(shard.states[static_cast<std::size_t>(b)].view(model_, slot));
+      }
+    }
+  }
+  storage_ready_ = true;
+}
+
 void BatchAdmmSolver::set_beta(int s, double value) {
-  state_.beta[static_cast<std::size_t>(s)] = value;
-  views_[static_cast<std::size_t>(s)].beta = value;
+  // Two live copies: beta_ is the host truth (control flow, exports), the
+  // scenario's current view feeds the kernels. BatchAdmmState::beta is NOT
+  // kept in sync — it only seeds views at construction, before any solve.
+  beta_[static_cast<std::size_t>(s)] = value;
+  Shard& shard = shards_[static_cast<std::size_t>(plan_.shard_of[static_cast<std::size_t>(s)])];
+  const int buf = buffer_of(s);
+  const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
+  shard.views[static_cast<std::size_t>(buf)][slot].beta = value;
 }
 
 void BatchAdmmSolver::schedule_inner_tolerance(int s, Control& ctrl) const {
@@ -139,167 +178,197 @@ void BatchAdmmSolver::schedule_inner_tolerance(int s, Control& ctrl) const {
                              std::max(params_.inner_tolerance_initial, eff.dual_tolerance));
 }
 
-void BatchAdmmSolver::stage_initial_state(const BatchSolveOptions& options,
-                                          ScenarioReport& report) {
-  const int S = num_scenarios();
+admm::WarmStartIterate BatchAdmmSolver::solve_base(ScenarioReport& report) {
+  WallTimer base_timer;
+  admm::AdmmSolver base(net_, params_, devs_.front());
+  base.solve();
+  report.base_solve_seconds = base_timer.seconds();
+  return base.export_iterate();
+}
+
+void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> globals,
+                                   const admm::WarmStartIterate* base,
+                                   const BatchSolveOptions& options) {
+  if (globals.empty()) return;
+  admm::BatchAdmmState& state = shard.states[static_cast<std::size_t>(buf)];
+  const auto C = static_cast<std::size_t>(state.num_scenarios);
   const auto np = static_cast<std::size_t>(model_.num_pairs);
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
   const auto nl = static_cast<std::size_t>(model_.num_branches);
 
-  std::vector<double> hu(S * np, 0.0), hw(S * nb, 0.0), htheta(S * nb, 0.0);
-  std::vector<double> hv(S * np, 0.0), hz(S * np, 0.0), hy(S * np, 0.0), hlz(S * np, 0.0);
-  std::vector<double> hpg(S * ng, 0.0), hqg(S * ng, 0.0);
-  std::vector<double> hbx(S * 4 * nl, 0.0), hbs(S * 2 * nl, 0.0), hblam(S * 2 * nl, 0.0);
-  std::vector<double> hrho(S * np, 0.0), hpd(S * nb, 0.0), hqd(S * nb, 0.0);
-  std::vector<double> hpmin(S * ng, 0.0), hpmax(S * ng, 0.0);
-  std::vector<unsigned char> hactive(S * nl, 1);
+  // Chained slots need no iterate staging: the wave loop's on-device chain
+  // copy overwrites every iterate array (and rho) before a kernel reads
+  // them, and their beta is set by the chain inheritance. When the whole
+  // buffer is chained — every ping-pong wave after the first — the 13
+  // iterate uploads are skipped entirely; only the per-scenario problem
+  // data (loads, pg bounds, outage masks) is staged.
+  bool stage_iterates = false;
+  for (const int s : globals) {
+    const bool seeded = !options.initial_iterates.empty() &&
+                        options.initial_iterates[static_cast<std::size_t>(s)] != nullptr;
+    if (scenarios_[static_cast<std::size_t>(s)].chain_from < 0 || seeded) {
+      stage_iterates = true;
+      break;
+    }
+  }
 
-  const auto rho0 = model_.rho.to_host();
+  const std::size_t iterate_cells = stage_iterates ? C : 0;
+  std::vector<double> hu(iterate_cells * np, 0.0), hw(iterate_cells * nb, 0.0),
+      htheta(iterate_cells * nb, 0.0);
+  std::vector<double> hv(iterate_cells * np, 0.0), hz(iterate_cells * np, 0.0),
+      hy(iterate_cells * np, 0.0), hlz(iterate_cells * np, 0.0);
+  std::vector<double> hpg(iterate_cells * ng, 0.0), hqg(iterate_cells * ng, 0.0);
+  std::vector<double> hbx(iterate_cells * 4 * nl, 0.0), hbs(iterate_cells * 2 * nl, 0.0),
+      hblam(iterate_cells * 2 * nl, 0.0);
+  std::vector<double> hrho(iterate_cells * np, 0.0);
+  std::vector<double> hpd(C * nb, 0.0), hqd(C * nb, 0.0);
+  std::vector<double> hpmin(C * ng, 0.0), hpmax(C * ng, 0.0);
+  std::vector<unsigned char> hactive(C * nl, 1);
 
-  // One cold-start template serves every slot: it depends only on bounds
-  // and topology, not on loads. Shared with AdmmSolver::cold_start so the
-  // batch cold start cannot drift from the sequential one.
-  const admm::ColdStartTemplate tmpl = admm::make_cold_start(net_, model_);
-  const auto& u0 = tmpl.u;
-  const auto& w0 = tmpl.w;
-  const auto& pg0 = tmpl.pg;
-  const auto& qg0 = tmpl.qg;
-  const auto& bx0 = tmpl.branch_x;
-  const auto& bs0 = tmpl.branch_s;
-
-  for (int s = 0; s < S; ++s) {
+  for (const int s : globals) {
     const auto& sc = scenarios_[static_cast<std::size_t>(s)];
-    const auto su = static_cast<std::size_t>(s);
-    std::copy(u0.begin(), u0.end(), hu.begin() + su * np);
-    std::copy(w0.begin(), w0.end(), hw.begin() + su * nb);
-    std::copy(pg0.begin(), pg0.end(), hpg.begin() + su * ng);
-    std::copy(qg0.begin(), qg0.end(), hqg.begin() + su * ng);
-    std::copy(bx0.begin(), bx0.end(), hbx.begin() + su * 4 * nl);
-    std::copy(bs0.begin(), bs0.end(), hbs.begin() + su * 2 * nl);
-    std::copy(rho0.begin(), rho0.end(), hrho.begin() + su * np);
-    std::copy(sc.pd.begin(), sc.pd.end(), hpd.begin() + su * nb);
-    std::copy(sc.qd.begin(), sc.qd.end(), hqd.begin() + su * nb);
+    const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
+    const admm::WarmStartIterate* iterate =
+        options.initial_iterates.empty()
+            ? nullptr
+            : options.initial_iterates[static_cast<std::size_t>(s)];
+    // Cold-start template by default; the base fan-out (chain roots only)
+    // or an externally-supplied iterate overrides the full iterate through
+    // the same copy path (one WarmStartIterate shape for both, so the base
+    // warm start cannot diverge from the cache warm start). Either keeps
+    // prepare_warm_start semantics: escalated beta and the adaptive
+    // scaling baked into the copied rho survive the warm start.
+    const admm::WarmStartIterate* seed = iterate;
+    if (seed == nullptr && base != nullptr && sc.chain_from < 0) seed = base;
+    if (sc.chain_from >= 0 && iterate == nullptr) {
+      // Chained: iterate arrives via the on-device chain copy; beta and
+      // rho_scale via chain inheritance in the wave loop.
+    } else if (seed != nullptr) {
+      std::copy(seed->u.begin(), seed->u.end(), hu.begin() + slot * np);
+      std::copy(seed->v.begin(), seed->v.end(), hv.begin() + slot * np);
+      std::copy(seed->z.begin(), seed->z.end(), hz.begin() + slot * np);
+      std::copy(seed->y.begin(), seed->y.end(), hy.begin() + slot * np);
+      std::copy(seed->lz.begin(), seed->lz.end(), hlz.begin() + slot * np);
+      std::copy(seed->bus_w.begin(), seed->bus_w.end(), hw.begin() + slot * nb);
+      std::copy(seed->bus_theta.begin(), seed->bus_theta.end(), htheta.begin() + slot * nb);
+      std::copy(seed->gen_pg.begin(), seed->gen_pg.end(), hpg.begin() + slot * ng);
+      std::copy(seed->gen_qg.begin(), seed->gen_qg.end(), hqg.begin() + slot * ng);
+      std::copy(seed->branch_x.begin(), seed->branch_x.end(), hbx.begin() + slot * 4 * nl);
+      std::copy(seed->branch_s.begin(), seed->branch_s.end(), hbs.begin() + slot * 2 * nl);
+      std::copy(seed->branch_lambda.begin(), seed->branch_lambda.end(),
+                hblam.begin() + slot * 2 * nl);
+      std::copy(seed->rho.begin(), seed->rho.end(), hrho.begin() + slot * np);
+      set_beta(s, std::max(seed->beta, params_.beta0));
+      rho_scale_[static_cast<std::size_t>(s)] = seed->rho_scale;
+    } else {
+      // One cold-start template serves every slot: it depends only on
+      // bounds and topology, not on loads. Shared with
+      // AdmmSolver::cold_start so the batch cold start cannot drift from
+      // the sequential one. v starts as a copy of u; z, y, lz,
+      // branch_lambda stay zero. Chained slots are overwritten on device
+      // by the wave loop's chain copy before they run.
+      std::copy(cold_.u.begin(), cold_.u.end(), hu.begin() + slot * np);
+      std::copy(cold_.u.begin(), cold_.u.end(), hv.begin() + slot * np);
+      std::copy(cold_.w.begin(), cold_.w.end(), hw.begin() + slot * nb);
+      std::copy(cold_.pg.begin(), cold_.pg.end(), hpg.begin() + slot * ng);
+      std::copy(cold_.qg.begin(), cold_.qg.end(), hqg.begin() + slot * ng);
+      std::copy(cold_.branch_x.begin(), cold_.branch_x.end(), hbx.begin() + slot * 4 * nl);
+      std::copy(cold_.branch_s.begin(), cold_.branch_s.end(), hbs.begin() + slot * 2 * nl);
+      std::copy(rho0_.begin(), rho0_.end(), hrho.begin() + slot * np);
+      set_beta(s, params_.beta0);
+    }
+
+    std::copy(sc.pd.begin(), sc.pd.end(), hpd.begin() + slot * nb);
+    std::copy(sc.qd.begin(), sc.qd.end(), hqd.begin() + slot * nb);
     for (std::size_t g = 0; g < ng; ++g) {
-      hpmin[su * ng + g] = net_.generators[g].pmin;
-      hpmax[su * ng + g] = net_.generators[g].pmax;
+      hpmin[slot * ng + g] = net_.generators[g].pmin;
+      hpmax[slot * ng + g] = net_.generators[g].pmax;
     }
-    if (sc.outage_branch >= 0) hactive[su * nl + static_cast<std::size_t>(sc.outage_branch)] = 0;
-    set_beta(s, params_.beta0);
-  }
-  // v starts as a copy of u (bus copies consistent with the x side);
-  // z, y, lz, branch_lambda stay zero unless a warm start overwrites them.
-  hv = hu;
 
-  // ---- Optional base-case warm start fanned out to chain roots ----
-  if (options.warm_start_from_base) {
-    WallTimer base_timer;
-    admm::AdmmSolver base(net_, params_, dev_);
-    base.solve();
-    report.base_solve_seconds = base_timer.seconds();
-    const auto bu = base.state().u.to_host();
-    const auto bv = base.state().v.to_host();
-    const auto bz = base.state().z.to_host();
-    const auto by = base.state().y.to_host();
-    const auto blz = base.state().lz.to_host();
-    const auto bw = base.state().bus_w.to_host();
-    const auto btheta = base.state().bus_theta.to_host();
-    const auto bpg = base.state().gen_pg.to_host();
-    const auto bqg = base.state().gen_qg.to_host();
-    const auto bbx = base.state().branch_x.to_host();
-    const auto bbs = base.state().branch_s.to_host();
-    const auto bblam = base.state().branch_lambda.to_host();
-    const auto brho = base.model().rho.to_host();
-
-    for (int s = 0; s < S; ++s) {
-      const auto su = static_cast<std::size_t>(s);
-      if (scenarios_[su].chain_from >= 0) continue;  // chained slots seed on device
-      std::copy(bu.begin(), bu.end(), hu.begin() + su * np);
-      std::copy(bv.begin(), bv.end(), hv.begin() + su * np);
-      std::copy(bz.begin(), bz.end(), hz.begin() + su * np);
-      std::copy(by.begin(), by.end(), hy.begin() + su * np);
-      std::copy(blz.begin(), blz.end(), hlz.begin() + su * np);
-      std::copy(bw.begin(), bw.end(), hw.begin() + su * nb);
-      std::copy(btheta.begin(), btheta.end(), htheta.begin() + su * nb);
-      std::copy(bpg.begin(), bpg.end(), hpg.begin() + su * ng);
-      std::copy(bqg.begin(), bqg.end(), hqg.begin() + su * ng);
-      std::copy(bbx.begin(), bbx.end(), hbx.begin() + su * 4 * nl);
-      std::copy(bbs.begin(), bbs.end(), hbs.begin() + su * 2 * nl);
-      std::copy(bblam.begin(), bblam.end(), hblam.begin() + su * 2 * nl);
-      std::copy(brho.begin(), brho.end(), hrho.begin() + su * np);
-      // prepare_warm_start semantics: keep the escalated outer penalty and
-      // the adaptive scaling already baked into the copied rho, so the
-      // cumulative scaling bound keeps holding across the warm start.
-      set_beta(s, std::max(base.state().beta, params_.beta0));
-      rho_scale_[su] = base.rho_scale();
+    // Outage zeroing runs last so no warm start can reintroduce values on
+    // an outaged branch: its pairs and variables stay at zero, every
+    // kernel skips them, and they contribute nothing to residuals.
+    if (sc.outage_branch >= 0) {
+      const auto l = static_cast<std::size_t>(sc.outage_branch);
+      hactive[slot * nl + l] = 0;
+      const auto pair_base =
+          static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
+      for (auto* arr : {&hu, &hv, &hz, &hy, &hlz}) {
+        std::fill_n(arr->begin() + slot * np + pair_base, 8, 0.0);
+      }
+      std::fill_n(hbx.begin() + slot * 4 * nl + 4 * l, 4, 0.0);
+      std::fill_n(hbs.begin() + slot * 2 * nl + 2 * l, 2, 0.0);
+      std::fill_n(hblam.begin() + slot * 2 * nl + 2 * l, 2, 0.0);
     }
   }
 
-  // ---- Externally-supplied initial iterates (serve-layer cache hits) ----
-  if (!options.initial_iterates.empty()) {
-    for (int s = 0; s < S; ++s) {
-      const admm::WarmStartIterate* it = options.initial_iterates[static_cast<std::size_t>(s)];
-      if (it == nullptr) continue;
-      const auto su = static_cast<std::size_t>(s);
-      std::copy(it->u.begin(), it->u.end(), hu.begin() + su * np);
-      std::copy(it->v.begin(), it->v.end(), hv.begin() + su * np);
-      std::copy(it->z.begin(), it->z.end(), hz.begin() + su * np);
-      std::copy(it->y.begin(), it->y.end(), hy.begin() + su * np);
-      std::copy(it->lz.begin(), it->lz.end(), hlz.begin() + su * np);
-      std::copy(it->bus_w.begin(), it->bus_w.end(), hw.begin() + su * nb);
-      std::copy(it->bus_theta.begin(), it->bus_theta.end(), htheta.begin() + su * nb);
-      std::copy(it->gen_pg.begin(), it->gen_pg.end(), hpg.begin() + su * ng);
-      std::copy(it->gen_qg.begin(), it->gen_qg.end(), hqg.begin() + su * ng);
-      std::copy(it->branch_x.begin(), it->branch_x.end(), hbx.begin() + su * 4 * nl);
-      std::copy(it->branch_s.begin(), it->branch_s.end(), hbs.begin() + su * 2 * nl);
-      std::copy(it->branch_lambda.begin(), it->branch_lambda.end(), hblam.begin() + su * 2 * nl);
-      std::copy(it->rho.begin(), it->rho.end(), hrho.begin() + su * np);
-      // prepare_warm_start semantics: keep the iterate's escalated beta and
-      // adaptive scaling, only raise beta to at least beta0.
-      set_beta(s, std::max(it->beta, params_.beta0));
-      rho_scale_[su] = it->rho_scale;
-    }
+  if (stage_iterates) {
+    state.v.upload(hv);
+    state.z.upload(hz);
+    state.y.upload(hy);
+    state.lz.upload(hlz);
+    state.branch_lambda.upload(hblam);
+    state.u.upload(hu);
+    state.bus_w.upload(hw);
+    state.bus_theta.upload(htheta);
+    state.gen_pg.upload(hpg);
+    state.gen_qg.upload(hqg);
+    state.branch_x.upload(hbx);
+    state.branch_s.upload(hbs);
+    state.rho.upload(hrho);
   }
-
-  // Outage zeroing runs last so no warm start can reintroduce values on an
-  // outaged branch: its pairs and variables stay at zero, every kernel
-  // skips them, and they contribute nothing to residuals or balances.
-  for (int s = 0; s < S; ++s) {
-    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
-    if (sc.outage_branch < 0) continue;
-    const auto su = static_cast<std::size_t>(s);
-    const auto l = static_cast<std::size_t>(sc.outage_branch);
-    const auto base =
-        static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
-    for (auto* arr : {&hu, &hv, &hz, &hy, &hlz}) {
-      std::fill_n(arr->begin() + su * np + base, 8, 0.0);
-    }
-    std::fill_n(hbx.begin() + su * 4 * nl + 4 * l, 4, 0.0);
-    std::fill_n(hbs.begin() + su * 2 * nl + 2 * l, 2, 0.0);
-    std::fill_n(hblam.begin() + su * 2 * nl + 2 * l, 2, 0.0);
-  }
-
-  state_.v.upload(hv);
-  state_.z.upload(hz);
-  state_.y.upload(hy);
-  state_.lz.upload(hlz);
-  state_.branch_lambda.upload(hblam);
-  state_.u.upload(hu);
-  state_.bus_w.upload(hw);
-  state_.bus_theta.upload(htheta);
-  state_.gen_pg.upload(hpg);
-  state_.gen_qg.upload(hqg);
-  state_.branch_x.upload(hbx);
-  state_.branch_s.upload(hbs);
-  state_.rho.upload(hrho);
-  state_.pd.upload(hpd);
-  state_.qd.upload(hqd);
-  state_.pmin.upload(hpmin);
-  state_.pmax.upload(hpmax);
-  state_.branch_active.upload(hactive);
+  state.pd.upload(hpd);
+  state.qd.upload(hqd);
+  state.pmin.upload(hpmin);
+  state.pmax.upload(hpmax);
+  state.branch_active.upload(hactive);
 }
 
-void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptions& options) {
+void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
+                                     const BatchSolveOptions& options) {
+  Shard& shard = shards_[static_cast<std::size_t>(shard_id)];
+  const auto& wave =
+      plan_.wave_shards[static_cast<std::size_t>(wave_index)][static_cast<std::size_t>(shard_id)];
+  if (wave.empty()) return;
+  WallTimer wave_timer;
+
+  const int buf = plan_.ping_pong ? wave_index % 2 : 0;
+  const int src_buf = plan_.ping_pong ? (wave_index + 1) % 2 : 0;
+  admm::BatchAdmmState& dst_state = shard.states[static_cast<std::size_t>(buf)];
+  const admm::BatchAdmmState& src_state = shard.states[static_cast<std::size_t>(src_buf)];
+
+  std::vector<ChainLink> links;
+  std::vector<RampLink> ramps;
+  for (const int s : wave) {
+    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+    if (sc.chain_from < 0) continue;
+    const int dst_slot = plan_.slot_of[static_cast<std::size_t>(s)];
+    const int src_slot = plan_.slot_of[static_cast<std::size_t>(sc.chain_from)];
+    links.push_back({dst_slot, src_slot});
+    if (sc.ramp_fraction > 0.0) ramps.push_back({dst_slot, src_slot, sc.ramp_fraction});
+  }
+  if (!links.empty()) {
+    batch_chain_state(*shard.dev, model_, src_state, dst_state, links);
+    for (const int s : wave) {
+      const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+      if (sc.chain_from < 0) continue;
+      // prepare_warm_start semantics plus inherited adaptive scaling.
+      set_beta(s, std::max(beta_[static_cast<std::size_t>(sc.chain_from)], params_.beta0));
+      rho_scale_[static_cast<std::size_t>(s)] =
+          rho_scale_[static_cast<std::size_t>(sc.chain_from)];
+    }
+  }
+  if (!ramps.empty()) batch_apply_ramp(*shard.dev, model_, src_state, dst_state, ramps);
+
+  run_fused(shard, buf, wave, options);
+
+  const double wave_seconds = wave_timer.seconds();
+  for (const int s : wave) stats_[static_cast<std::size_t>(s)].solve_seconds = wave_seconds;
+}
+
+void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave,
+                                const BatchSolveOptions& options) {
   std::vector<int> active(wave.begin(), wave.end());
   for (const int s : active) {
     ctrl_[static_cast<std::size_t>(s)] = Control{};
@@ -309,9 +378,10 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
     stats_[static_cast<std::size_t>(s)].outer_iterations = 1;
   }
 
-  const int lanes = dev_->workers();
+  const int lanes = shard.dev->workers();
+  const std::span<const admm::ScenarioView> views = shard.views[static_cast<std::size_t>(buf)];
   std::vector<double> partial_primal, partial_dual, partial_z;
-  std::vector<int> next_active, outer_slots, rho_slots;
+  std::vector<int> next_active, slots, outer_slots, rho_slots;
   std::vector<double> rho_factors;
   std::vector<std::pair<int, double>> beta_updates;
 
@@ -322,14 +392,20 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
     partial_primal.resize(cells);
     partial_dual.resize(cells);
     partial_z.resize(cells);
+    slots.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      slots[static_cast<std::size_t>(j)] =
+          plan_.slot_of[static_cast<std::size_t>(active[static_cast<std::size_t>(j)])];
+    }
 
     // One fused step: every active scenario advances one inner iteration
-    // with a constant number of launches.
-    batch_update_generators(*dev_, mview_, views_, active);
-    batch_update_branches(*dev_, mview_, params_, views_, active, branch_lanes_, &branch_stats_);
-    batch_update_buses(*dev_, mview_, views_, active, partial_dual, row);
-    batch_update_zy(*dev_, mview_, params_.two_level, views_, active, partial_primal, partial_z,
-                    row);
+    // with a constant number of launches on this shard's device.
+    batch_update_generators(*shard.dev, mview_, views, slots);
+    batch_update_branches(*shard.dev, mview_, params_, views, slots, shard.branch_lanes,
+                          &shard.branch_stats);
+    batch_update_buses(*shard.dev, mview_, views, slots, partial_dual, row);
+    batch_update_zy(*shard.dev, mview_, params_.two_level, views, slots, partial_primal,
+                    partial_z, row);
 
     next_active.clear();
     outer_slots.clear();
@@ -373,7 +449,7 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
             if (proposed <= params_.adaptive_rho_max_scale &&
                 proposed >= 1.0 / params_.adaptive_rho_max_scale) {
               rho_scale_[static_cast<std::size_t>(s)] = proposed;
-              rho_slots.push_back(s);
+              rho_slots.push_back(slots[static_cast<std::size_t>(j)]);
               rho_factors.push_back(factor);
               ++stats.rho_rescales;
             }
@@ -397,10 +473,9 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
       const double z_norm = collect_slot_max(partial_z, j, row, lanes);
       stats.z_norm = z_norm;
       if (options.record_history) stats.z_history.push_back(z_norm);
-      outer_slots.push_back(s);  // lambda update uses the pre-escalation beta
+      outer_slots.push_back(slots[static_cast<std::size_t>(j)]);  // pre-escalation beta
       log::debug("batch scenario ", s, " outer ", ctrl.outer + 1, ": |z|=", z_norm,
-                 " primal=", primal, " dual=", dual,
-                 " beta=", state_.beta[static_cast<std::size_t>(s)],
+                 " primal=", primal, " dual=", dual, " beta=", beta_[static_cast<std::size_t>(s)],
                  " inner_total=", stats.inner_iterations);
       if (z_norm <= eff.outer_tolerance && primal <= eff.primal_tolerance &&
           dual <= eff.dual_tolerance) {
@@ -412,7 +487,7 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
       // the sequential loop, so chained children inherit the same beta.
       if (z_norm > params_.z_shrink * ctrl.prev_znorm) {
         beta_updates.emplace_back(
-            s, std::min(state_.beta[static_cast<std::size_t>(s)] * params_.beta_factor,
+            s, std::min(beta_[static_cast<std::size_t>(s)] * params_.beta_factor,
                         params_.beta_max));
       }
       ctrl.prev_znorm = z_norm;
@@ -426,9 +501,13 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
       next_active.push_back(s);
     }
 
-    if (!rho_slots.empty()) batch_scale_rho(*dev_, model_, state_, rho_slots, rho_factors);
+    if (!rho_slots.empty()) {
+      batch_scale_rho(*shard.dev, model_, shard.states[static_cast<std::size_t>(buf)], rho_slots,
+                      rho_factors);
+    }
     if (!outer_slots.empty()) {
-      batch_update_outer_multiplier(*dev_, mview_, views_, outer_slots, params_.lambda_bound);
+      batch_update_outer_multiplier(*shard.dev, mview_, views, outer_slots,
+                                    params_.lambda_bound);
     }
     // Beta escalation applies after the multiplier update, exactly as in
     // the sequential outer loop.
@@ -438,14 +517,41 @@ void BatchAdmmSolver::run_fused(std::span<const int> wave, const BatchSolveOptio
   }
 }
 
+void BatchAdmmSolver::evaluate_shard(int shard_id, int buf, std::span<const int> globals,
+                                     ScenarioReport& report, grid::Network& eval_net,
+                                     bool capture) {
+  if (globals.empty()) return;
+  const admm::BatchAdmmState& state =
+      shards_[static_cast<std::size_t>(shard_id)].states[static_cast<std::size_t>(buf)];
+  const auto w = state.bus_w.to_host();
+  const auto theta = state.bus_theta.to_host();
+  const auto pg = state.gen_pg.to_host();
+  const auto qg = state.gen_qg.to_host();
+  for (const int s : globals) {
+    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
+    const int slot = plan_.slot_of[static_cast<std::size_t>(s)];
+    auto sol = slice_solution(net_, w, theta, pg, qg, slot);
+    apply_scenario_loads(eval_net, sc);
+    report.records[static_cast<std::size_t>(s)] =
+        make_record(s, sc, stats_[static_cast<std::size_t>(s)],
+                    scenario_quality(eval_net, sc, sol));
+    if (capture) pp_solutions_[static_cast<std::size_t>(s)] = std::move(sol);
+  }
+}
+
 ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   WallTimer total;
   ScenarioReport report;
   const int S = num_scenarios();
+  ensure_storage(options.ping_pong);
+  report.num_shards = num_shards();
   ctrl_.assign(static_cast<std::size_t>(S), Control{});
+  beta_.assign(static_cast<std::size_t>(S), 0.0);
   rho_scale_.assign(static_cast<std::size_t>(S), 1.0);
   stats_.assign(static_cast<std::size_t>(S), admm::AdmmStats{});
-  branch_stats_ = admm::BranchUpdateStats{};
+  report.records.assign(static_cast<std::size_t>(S), ScenarioRecord{});
+  for (auto& shard : shards_) shard.branch_stats = admm::BranchUpdateStats{};
+  if (plan_.ping_pong) pp_solutions_.assign(static_cast<std::size_t>(S), grid::OpfSolution{});
 
   if (!options.initial_iterates.empty()) {
     require(static_cast<int>(options.initial_iterates.size()) == S,
@@ -459,89 +565,164 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
     }
   }
 
-  stage_initial_state(options, report);
-
-  const auto transfers_before = device::transfer_stats();
-  {
-    device::LaunchStatsScope scope(*dev_, report.launch_stats);
-    WallTimer solve_timer;
-    for (const auto& wave : waves_) {
-      WallTimer wave_timer;
-      std::vector<ChainLink> links;
-      std::vector<RampLink> ramps;
-      for (const int s : wave) {
-        const auto& sc = scenarios_[static_cast<std::size_t>(s)];
-        if (sc.chain_from < 0) continue;
-        links.push_back({s, sc.chain_from});
-        if (sc.ramp_fraction > 0.0) ramps.push_back({s, sc.chain_from, sc.ramp_fraction});
-      }
-      if (!links.empty()) {
-        batch_chain_state(*dev_, model_, state_, links);
-        for (const auto& link : links) {
-          // prepare_warm_start semantics plus inherited adaptive scaling.
-          set_beta(link.dst,
-                   std::max(state_.beta[static_cast<std::size_t>(link.src)], params_.beta0));
-          rho_scale_[static_cast<std::size_t>(link.dst)] =
-              rho_scale_[static_cast<std::size_t>(link.src)];
-        }
-      }
-      if (!ramps.empty()) batch_apply_ramp(*dev_, model_, state_, ramps);
-
-      run_fused(wave, options);
-
-      const double wave_seconds = wave_timer.seconds();
-      for (const int s : wave) stats_[static_cast<std::size_t>(s)].solve_seconds = wave_seconds;
-    }
-    report.solve_seconds = solve_timer.seconds();
+  // ---- Plan done; execute: base solve, stage, then the wave loop ----
+  admm::WarmStartIterate base;
+  const admm::WarmStartIterate* base_ptr = nullptr;
+  if (options.warm_start_from_base) {
+    base = solve_base(report);
+    base_ptr = &base;
   }
-  const auto transfers_after = device::transfer_stats();
-  report.transfers_during_iterations =
-      (transfers_after.host_to_device - transfers_before.host_to_device) +
-      (transfers_after.device_to_host - transfers_before.device_to_host);
 
-  // ---- Evaluation (downloads happen here, after the solve loop) ----
-  const auto w = state_.bus_w.to_host();
-  const auto theta = state_.bus_theta.to_host();
-  const auto pg = state_.gen_pg.to_host();
-  const auto qg = state_.gen_qg.to_host();
-  report.records.reserve(static_cast<std::size_t>(S));
+  if (!plan_.ping_pong) {
+    for (int d = 0; d < num_shards(); ++d) {
+      stage_buffer(shards_[static_cast<std::size_t>(d)], 0,
+                   plan_.shard_scenarios[static_cast<std::size_t>(d)], base_ptr, options);
+    }
+  }
+
+  std::vector<device::LaunchStats> launches_before;
+  launches_before.reserve(devs_.size());
+  for (const auto* dev : devs_) launches_before.push_back(dev->stats());
+
   grid::Network eval_net = net_;  // one reusable copy; loads swapped per scenario
-  for (int s = 0; s < S; ++s) {
-    const auto& sc = scenarios_[static_cast<std::size_t>(s)];
-    const auto& stats = stats_[static_cast<std::size_t>(s)];
-    const auto sol = slice_solution(net_, w, theta, pg, qg, s);
-    apply_scenario_loads(eval_net, sc);
-    report.records.push_back(make_record(s, sc, stats, scenario_quality(eval_net, sc, sol)));
+  std::uint64_t loop_transfers = 0;
+  double fused_seconds = 0.0;
+
+  // Runs every shard's slice of a wave concurrently, one thread per
+  // non-trivial shard; shard 0 runs on the calling thread. Shards touch
+  // disjoint scenarios and their own devices, so the only shared state is
+  // the per-scenario bookkeeping each thread owns a disjoint slice of.
+  auto run_wave = [&](int wave_index) {
+    if (num_shards() == 1) {
+      run_shard_wave(0, wave_index, options);
+      return;
+    }
+    const auto& wave_shards = plan_.wave_shards[static_cast<std::size_t>(wave_index)];
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_shards() - 1));
+    for (int d = 1; d < num_shards(); ++d) {
+      if (wave_shards[static_cast<std::size_t>(d)].empty()) continue;
+      threads.emplace_back([&, d] {
+        try {
+          run_shard_wave(d, wave_index, options);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    try {
+      run_shard_wave(0, wave_index, options);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    for (auto& thread : threads) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  for (int wave_index = 0; wave_index < plan_.num_waves(); ++wave_index) {
+    if (plan_.ping_pong) {
+      // Per-wave staging reuses the buffer wave_index - 2 ran in; its
+      // results were captured at that wave's end. Staging and evaluation
+      // transfers stay outside the iteration-transfer accounting window,
+      // mirroring the persistent path where both happen outside the loop.
+      const int buf = wave_index % 2;
+      for (int d = 0; d < num_shards(); ++d) {
+        stage_buffer(
+            shards_[static_cast<std::size_t>(d)], buf,
+            plan_.wave_shards[static_cast<std::size_t>(wave_index)][static_cast<std::size_t>(d)],
+            wave_index == 0 ? base_ptr : nullptr, options);
+      }
+      const auto transfers_before = device::transfer_stats();
+      WallTimer wave_timer;
+      run_wave(wave_index);
+      fused_seconds += wave_timer.seconds();
+      const auto transfers_after = device::transfer_stats();
+      loop_transfers += (transfers_after.host_to_device - transfers_before.host_to_device) +
+                        (transfers_after.device_to_host - transfers_before.device_to_host);
+      for (int d = 0; d < num_shards(); ++d) {
+        evaluate_shard(
+            d, buf,
+            plan_.wave_shards[static_cast<std::size_t>(wave_index)][static_cast<std::size_t>(d)],
+            report, eval_net, /*capture=*/true);
+      }
+    } else {
+      const auto transfers_before = device::transfer_stats();
+      WallTimer wave_timer;
+      run_wave(wave_index);
+      fused_seconds += wave_timer.seconds();
+      const auto transfers_after = device::transfer_stats();
+      loop_transfers += (transfers_after.host_to_device - transfers_before.host_to_device) +
+                        (transfers_after.device_to_host - transfers_before.device_to_host);
+    }
+  }
+  report.solve_seconds = fused_seconds;
+  report.transfers_during_iterations = loop_transfers;
+
+  report.shard_launches.clear();
+  report.shard_launches.reserve(devs_.size());
+  for (std::size_t d = 0; d < devs_.size(); ++d) {
+    report.shard_launches.push_back(devs_[d]->stats() - launches_before[d]);
+    report.launch_stats += report.shard_launches.back();
+  }
+
+  // ---- Evaluation (persistent mode: downloads happen after the loop) ----
+  if (!plan_.ping_pong) {
+    for (int d = 0; d < num_shards(); ++d) {
+      evaluate_shard(d, 0, plan_.shard_scenarios[static_cast<std::size_t>(d)], report, eval_net,
+                     /*capture=*/false);
+    }
   }
   report.stats = stats_;
-  report.branch = branch_stats_;
+  for (const auto& shard : shards_) {
+    report.branch.tron_iterations += shard.branch_stats.tron_iterations;
+    report.branch.cg_iterations += shard.branch_stats.cg_iterations;
+    report.branch.auglag_iterations += shard.branch_stats.auglag_iterations;
+    report.branch.failures += shard.branch_stats.failures;
+  }
   report.total_seconds = total.seconds();
+  solved_ = true;
   return report;
 }
 
 grid::OpfSolution BatchAdmmSolver::solution(int s) const {
   require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::solution: scenario out of range");
+  require(solved_, "BatchAdmmSolver::solution: valid only after solve()");
+  if (plan_.ping_pong) return pp_solutions_[static_cast<std::size_t>(s)];
   // Strided slice download: move only scenario s's data, not the batch.
+  const Shard& shard =
+      shards_[static_cast<std::size_t>(plan_.shard_of[static_cast<std::size_t>(s)])];
+  const admm::BatchAdmmState& state = shard.states.front();
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
-  const auto su = static_cast<std::size_t>(s);
+  const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
   std::vector<double> w(nb), theta(nb), pg(ng), qg(ng);
-  state_.bus_w.download_slice(su * nb, w);
-  state_.bus_theta.download_slice(su * nb, theta);
-  state_.gen_pg.download_slice(su * ng, pg);
-  state_.gen_qg.download_slice(su * ng, qg);
+  state.bus_w.download_slice(slot * nb, w);
+  state.bus_theta.download_slice(slot * nb, theta);
+  state.gen_pg.download_slice(slot * ng, pg);
+  state.gen_qg.download_slice(slot * ng, qg);
   return slice_solution(net_, w, theta, pg, qg, /*s=*/0);
 }
 
 admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
   require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::export_iterate: scenario out of range");
-  require(rho_scale_.size() == scenarios_.size(),
-          "BatchAdmmSolver::export_iterate: valid only after solve()");
+  require(solved_, "BatchAdmmSolver::export_iterate: valid only after solve()");
+  if (plan_.ping_pong) {
+    require(plan_.wave_of[static_cast<std::size_t>(s)] >= plan_.num_waves() - 2,
+            "BatchAdmmSolver::export_iterate: scenario's wave buffer was reused (ping-pong "
+            "keeps only the last two waves resident)");
+  }
+  const Shard& shard =
+      shards_[static_cast<std::size_t>(plan_.shard_of[static_cast<std::size_t>(s)])];
+  const admm::BatchAdmmState& state = shard.states[static_cast<std::size_t>(buffer_of(s))];
   const auto np = static_cast<std::size_t>(model_.num_pairs);
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
   const auto nl = static_cast<std::size_t>(model_.num_branches);
-  const auto su = static_cast<std::size_t>(s);
+  const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
   admm::WarmStartIterate it;
   it.u.resize(np);
   it.v.resize(np);
@@ -556,33 +737,41 @@ admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
   it.branch_s.resize(2 * nl);
   it.branch_lambda.resize(2 * nl);
   it.rho.resize(np);
-  state_.u.download_slice(su * np, it.u);
-  state_.v.download_slice(su * np, it.v);
-  state_.z.download_slice(su * np, it.z);
-  state_.y.download_slice(su * np, it.y);
-  state_.lz.download_slice(su * np, it.lz);
-  state_.bus_w.download_slice(su * nb, it.bus_w);
-  state_.bus_theta.download_slice(su * nb, it.bus_theta);
-  state_.gen_pg.download_slice(su * ng, it.gen_pg);
-  state_.gen_qg.download_slice(su * ng, it.gen_qg);
-  state_.branch_x.download_slice(su * 4 * nl, it.branch_x);
-  state_.branch_s.download_slice(su * 2 * nl, it.branch_s);
-  state_.branch_lambda.download_slice(su * 2 * nl, it.branch_lambda);
-  state_.rho.download_slice(su * np, it.rho);
-  it.beta = state_.beta[su];
-  it.rho_scale = rho_scale_[su];
+  state.u.download_slice(slot * np, it.u);
+  state.v.download_slice(slot * np, it.v);
+  state.z.download_slice(slot * np, it.z);
+  state.y.download_slice(slot * np, it.y);
+  state.lz.download_slice(slot * np, it.lz);
+  state.bus_w.download_slice(slot * nb, it.bus_w);
+  state.bus_theta.download_slice(slot * nb, it.bus_theta);
+  state.gen_pg.download_slice(slot * ng, it.gen_pg);
+  state.gen_qg.download_slice(slot * ng, it.gen_qg);
+  state.branch_x.download_slice(slot * 4 * nl, it.branch_x);
+  state.branch_s.download_slice(slot * 2 * nl, it.branch_s);
+  state.branch_lambda.download_slice(slot * 2 * nl, it.branch_lambda);
+  state.rho.download_slice(slot * np, it.rho);
+  it.beta = beta_[static_cast<std::size_t>(s)];
+  it.rho_scale = rho_scale_[static_cast<std::size_t>(s)];
   return it;
 }
 
 std::vector<grid::OpfSolution> BatchAdmmSolver::solutions() const {
-  const auto w = state_.bus_w.to_host();
-  const auto theta = state_.bus_theta.to_host();
-  const auto pg = state_.gen_pg.to_host();
-  const auto qg = state_.gen_qg.to_host();
-  std::vector<grid::OpfSolution> result;
-  result.reserve(static_cast<std::size_t>(num_scenarios()));
-  for (int s = 0; s < num_scenarios(); ++s) {
-    result.push_back(slice_solution(net_, w, theta, pg, qg, s));
+  require(solved_, "BatchAdmmSolver::solutions: valid only after solve()");
+  if (plan_.ping_pong) return pp_solutions_;
+  std::vector<grid::OpfSolution> result(static_cast<std::size_t>(num_scenarios()));
+  for (int d = 0; d < num_shards(); ++d) {
+    const Shard& shard = shards_[static_cast<std::size_t>(d)];
+    const auto& owned = plan_.shard_scenarios[static_cast<std::size_t>(d)];
+    if (owned.empty()) continue;
+    const admm::BatchAdmmState& state = shard.states.front();
+    const auto w = state.bus_w.to_host();
+    const auto theta = state.bus_theta.to_host();
+    const auto pg = state.gen_pg.to_host();
+    const auto qg = state.gen_qg.to_host();
+    for (const int s : owned) {
+      result[static_cast<std::size_t>(s)] = slice_solution(
+          net_, w, theta, pg, qg, plan_.slot_of[static_cast<std::size_t>(s)]);
+    }
   }
   return result;
 }

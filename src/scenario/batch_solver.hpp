@@ -1,28 +1,34 @@
-// BatchAdmmSolver: solves every scenario of a ScenarioSet concurrently on
-// one device with fused kernels.
+// BatchAdmmSolver: solves every scenario of a ScenarioSet concurrently with
+// fused kernels, on one device or sharded across a DevicePool.
 //
-// All S scenarios share one ComponentModel (the base topology; N-1 outages
-// are per-scenario branch masks) and one scenario-strided BatchAdmmState.
-// Each fused step launches the four component kernels over
-// active-scenarios x components blocks, so the launch count per step is
-// constant in S — the ExaTron one-block-per-subproblem execution model
-// widened across scenarios.
-//
-// Per-scenario control flow (inexact inner tolerance schedule, outer
+// The engine is split into an explicit plan/execute pipeline. A BatchPlan
+// partitions the scenario slots into shard ranges (deterministic
+// round-robin of chain roots over the pool's devices; chained scenarios
+// follow their parent so period-to-period chaining stays on one device).
+// Each shard owns a scenario-strided BatchAdmmState on its own device and
+// executes the existing fused kernels over its local slots — shards run
+// concurrently, one thread per shard, with no kernel-level changes. All
+// per-scenario control flow (inexact inner tolerance schedule, outer
 // augmented-Lagrangian transitions, beta escalation, adaptive-rho
-// rescaling, convergence tests) is replicated exactly from AdmmSolver: a
-// scenario that needs an outer-multiplier update or a rho rescale gets it
-// through a fused launch covering just the scenarios in the same phase, and
-// a converged scenario drops out of subsequent launches. The batched solve
-// is therefore iterate-for-iterate identical to S independent AdmmSolver
-// runs (asserted to 1e-6 relative on objectives by tests/test_batch_admm.cpp)
-// while issuing roughly max_s(iterations) instead of sum_s(iterations)
-// launches.
+// rescaling, convergence tests) is replicated exactly from AdmmSolver and
+// is local to one scenario, so the sharded solve is iterate-for-iterate
+// identical to the single-device fused solve — and both to S independent
+// AdmmSolver runs (asserted by tests/test_batch_admm.cpp for 1/2/4
+// shards). Host-side residual collection happens per (shard, scenario) and
+// merges into one per-scenario report.
+//
+// Each fused step launches the four component kernels over
+// active-scenarios x components blocks per shard, so the launch count per
+// step is constant in S and per-shard *block* counts scale as ~S/D — the
+// ExaTron one-block-per-subproblem execution model widened across
+// scenarios and then dealt across devices.
 //
 // Warm-start seeding: with `warm_start_from_base` the base case is solved
 // once and its full iterate fans out to every chain-root scenario; tracking
 // sequences chain period-to-period on device (state copy + ramp-bound
-// kernels), wave by wave.
+// kernels), wave by wave. With `ping_pong`, chained waves run in a
+// two-buffer ping-pong pair per shard and live batch-state memory stays
+// constant in the horizon length (see scenario/batch_plan.hpp).
 #pragma once
 
 #include <span>
@@ -33,7 +39,9 @@
 #include "admm/solver.hpp"
 #include "admm/warm_start.hpp"
 #include "device/device.hpp"
+#include "device/pool.hpp"
 #include "grid/solution.hpp"
+#include "scenario/batch_plan.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scenario_set.hpp"
 
@@ -52,14 +60,27 @@ struct BatchSolveOptions {
   /// that slot. Chained scenarios cannot take one (the chain copy would
   /// overwrite it). This is the serve layer's cache-hit entry point.
   std::vector<const admm::WarmStartIterate*> initial_iterates;
+  /// Two-buffer wave memory for chained sets: each shard allocates a pair
+  /// of max-wave-size states instead of one O(S) state; wave d + 1 chains
+  /// on device from wave d's buffer and reuses wave d - 1's. Live
+  /// batch-state memory is constant in the horizon length. Per-wave
+  /// results are captured at wave end, so solution()/solutions() stay
+  /// valid; export_iterate() only for the last two waves (earlier iterates
+  /// have been overwritten by design).
+  bool ping_pong = false;
 };
 
 class BatchAdmmSolver {
  public:
-  /// Copies the set's network and scenarios; `dev` defaults to the
-  /// process-wide device.
+  /// Single-device engine: copies the set's network and scenarios; `dev`
+  /// defaults to the process-wide device.
   BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params,
                   device::Device* dev = nullptr);
+  /// Sharded engine: scenarios are partitioned across the pool's devices
+  /// by a deterministic BatchPlan and solved concurrently, one shard per
+  /// device. Results are iterate-for-iterate identical to the
+  /// single-device solve. The pool must outlive the solver.
+  BatchAdmmSolver(const ScenarioSet& set, admm::AdmmParams params, device::DevicePool& pool);
   // Non-copyable/movable: the cached ScenarioViews alias this instance's
   // device buffers.
   BatchAdmmSolver(const BatchAdmmSolver&) = delete;
@@ -71,12 +92,15 @@ class BatchAdmmSolver {
   /// Extracts scenario s's solution (valid after solve()). Downloads only
   /// scenario s's strided slices (4 transfers of one scenario's data, not
   /// the whole batch); extracting every scenario is still cheaper via
-  /// solutions(), which amortizes one full download per buffer.
+  /// solutions(), which amortizes one full download per buffer. In
+  /// ping-pong mode returns the copy captured at the scenario's wave end
+  /// (no transfer).
   [[nodiscard]] grid::OpfSolution solution(int s) const;
 
   /// Snapshots scenario s's full iterate (slice downloads only) as a
   /// portable WarmStartIterate — what the serve layer's SolutionCache
-  /// stores after a batch completes.
+  /// stores after a batch completes. In ping-pong mode only scenarios of
+  /// the last two waves are still resident; earlier ones throw.
   [[nodiscard]] admm::WarmStartIterate export_iterate(int s) const;
 
   /// Extracts every scenario's solution with one download per buffer.
@@ -87,6 +111,9 @@ class BatchAdmmSolver {
   [[nodiscard]] const std::vector<Scenario>& scenarios() const { return scenarios_; }
   [[nodiscard]] int num_scenarios() const { return static_cast<int>(scenarios_.size()); }
   [[nodiscard]] const admm::AdmmParams& params() const { return params_; }
+  [[nodiscard]] int num_shards() const { return static_cast<int>(devs_.size()); }
+  /// The execution plan (valid after solve()).
+  [[nodiscard]] const BatchPlan& plan() const { return plan_; }
 
  private:
   /// Per-scenario replica of AdmmSolver::solve's loop-control state.
@@ -110,26 +137,60 @@ class BatchAdmmSolver {
     int max_outer_iterations = 0;
   };
 
-  void stage_initial_state(const BatchSolveOptions& options, ScenarioReport& report);
-  void run_fused(std::span<const int> wave, const BatchSolveOptions& options);
+  /// One shard's execution context: its device, its state buffer(s) (one,
+  /// or a ping-pong pair), and per-lane scratch. Shards touch disjoint
+  /// scenarios, so they run concurrently without synchronization.
+  struct Shard {
+    device::Device* dev = nullptr;
+    std::vector<admm::BatchAdmmState> states;            ///< 1, or 2 in ping-pong
+    std::vector<std::vector<admm::ScenarioView>> views;  ///< [buffer][slot]
+    std::vector<admm::BranchWorkspace> branch_lanes;     ///< reused across fused steps
+    admm::BranchUpdateStats branch_stats;
+  };
+
+  void ensure_storage(bool ping_pong);
+  [[nodiscard]] int buffer_of(int s) const {
+    return plan_.ping_pong ? plan_.wave_of[static_cast<std::size_t>(s)] % 2 : 0;
+  }
+  /// Solves the unmodified base case and exports its full iterate — the
+  /// same shape the cache warm start uses, so both seeds share one
+  /// staging path.
+  admm::WarmStartIterate solve_base(ScenarioReport& report);
+  /// Stages `globals` into shard buffer `buf` (cold template, optional
+  /// base fan-out / initial iterates, scenario problem data) and uploads.
+  void stage_buffer(Shard& shard, int buf, std::span<const int> globals,
+                    const admm::WarmStartIterate* base, const BatchSolveOptions& options);
+  /// Chains, ramps, and runs the fused loop for one shard's slice of wave
+  /// `wave_index`. Runs concurrently across shards.
+  void run_shard_wave(int shard_id, int wave_index, const BatchSolveOptions& options);
+  void run_fused(Shard& shard, int buf, std::span<const int> wave,
+                 const BatchSolveOptions& options);
+  /// Downloads one shard buffer and fills records (and, in ping-pong mode,
+  /// the captured per-scenario solutions).
+  void evaluate_shard(int shard_id, int buf, std::span<const int> globals,
+                      ScenarioReport& report, grid::Network& eval_net, bool capture);
   void schedule_inner_tolerance(int s, Control& ctrl) const;
   void set_beta(int s, double value);
 
   grid::Network net_;
   admm::AdmmParams params_;
-  device::Device* dev_;
+  std::vector<device::Device*> devs_;  ///< one per shard
   std::vector<Scenario> scenarios_;
   std::vector<std::vector<int>> waves_;
   admm::ComponentModel model_;
-  admm::BatchAdmmState state_;
-  std::vector<admm::ScenarioView> views_;
   admm::ModelView mview_;
+  admm::ColdStartTemplate cold_;   ///< shared cold-start template (host)
+  std::vector<double> rho0_;       ///< model rho (host copy for staging)
+  BatchPlan plan_;
+  std::vector<Shard> shards_;
+  bool storage_ready_ = false;
+  bool solved_ = false;
   std::vector<Control> ctrl_;
   std::vector<EffectiveControls> eff_;  ///< resolved per-scenario termination knobs
+  std::vector<double> beta_;       ///< per-scenario outer penalty (host truth)
   std::vector<double> rho_scale_;  ///< cumulative adaptive-penalty scaling
   std::vector<admm::AdmmStats> stats_;
-  admm::BranchUpdateStats branch_stats_;
-  std::vector<admm::BranchWorkspace> branch_lanes_;  ///< reused across fused steps
+  std::vector<grid::OpfSolution> pp_solutions_;  ///< per-wave captures (ping-pong)
 };
 
 /// Batch params with one scenario's ScenarioControls overrides applied.

@@ -36,9 +36,19 @@ struct ScenarioReport {
 
   double solve_seconds = 0.0;   ///< wall time of the fused iteration loop
   double total_seconds = 0.0;   ///< including staging, uploads, evaluation
-  device::LaunchStats launch_stats;  ///< launches attributed to the solve loop
+  device::LaunchStats launch_stats;  ///< launches attributed to the solve loop (all shards)
+  int num_shards = 1;           ///< devices the solve was sharded across
+  /// Per-shard launch attribution (one entry per device; sums to
+  /// launch_stats). Per-shard block counts scale as ~S/D.
+  std::vector<device::LaunchStats> shard_launches;
   admm::BranchUpdateStats branch;    ///< aggregate branch work (batch level)
-  std::uint64_t transfers_during_iterations = 0;  ///< host<->device transfers in the loop
+  /// Host<->device transfers observed during the fused iteration loop.
+  /// Measured against the process-wide transfer counters: exact when one
+  /// solve runs at a time (how the zero-copy-loop claim is asserted by
+  /// tests); when several solvers run concurrently — e.g. serve-layer
+  /// device workers — another solver's staging can fall inside this
+  /// window, so treat it as an upper bound there.
+  std::uint64_t transfers_during_iterations = 0;
   double base_solve_seconds = 0.0;   ///< warm-start base solve, when requested
 
   [[nodiscard]] int num_converged() const;

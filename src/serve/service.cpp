@@ -37,6 +37,7 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
   require(base_.finalized(), "SolveService: base network must be finalized");
   require(options_.max_batch_size > 0, "SolveService: max_batch_size must be positive");
   require(options_.max_queue_depth > 0, "SolveService: max_queue_depth must be positive");
+  require(options_.num_devices > 0, "SolveService: num_devices must be positive");
   require(std::isfinite(options_.batching_window_seconds) &&
               options_.batching_window_seconds >= 0.0,
           "SolveService: batching_window_seconds must be finite and non-negative");
@@ -48,8 +49,13 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
   base_fingerprint_ = grid::network_fingerprint(base_);
   base_bridges_ = grid::bridge_branches(base_);
   clock_ = options_.clock != nullptr ? options_.clock : std::make_shared<SteadyClock>();
-  device_ = std::make_unique<device::Device>(options_.device_workers);
+  pool_ = std::make_unique<device::DevicePool>(options_.num_devices, options_.device_workers);
   live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
+  live_.per_shard.assign(static_cast<std::size_t>(options_.num_devices), ShardServiceStats{});
+  shard_workers_.reserve(static_cast<std::size_t>(options_.num_devices));
+  for (int d = 0; d < options_.num_devices; ++d) {
+    shard_workers_.emplace_back([this, d] { shard_worker_main(d); });
+  }
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
@@ -60,7 +66,9 @@ SolveService::~SolveService() {
     shutdown_ = true;
   }
   cv_work_.notify_all();
+  cv_shard_.notify_all();
   dispatcher_.join();
+  for (auto& worker : shard_workers_) worker.join();
 }
 
 std::uint64_t SolveService::fingerprint_of(const std::shared_ptr<const grid::Network>& network) {
@@ -122,12 +130,16 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
       ++live_.shed;
       throw CapacityError("SolveService::submit: service is draining, request shed");
     }
-    if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+    // Admission bounds everything accepted and unfulfilled — main queue,
+    // shard queues, and in-flight batches — so routing batches across the
+    // pool cannot launder backpressure away.
+    if (pending_total_ >= options_.max_queue_depth) {
       ++live_.shed;
       throw CapacityError("SolveService::submit: queue full (max_queue_depth reached), "
                           "request shed");
     }
     queue_.push_back(std::move(pending));
+    ++pending_total_;
     ++live_.submitted;
   }
   cv_work_.notify_all();
@@ -156,13 +168,52 @@ void SolveService::dispatcher_main() {
            std::chrono::steady_clock::now() < deadline) {
       cv_work_.wait_until(lock, deadline);
     }
-    auto batch = pop_batch_locked();
-    live_.in_flight = static_cast<int>(batch.size());
+    // Don't freeze a batch while every device is busy: keep it in the
+    // request queue, where late arrivals still coalesce into it, and pop
+    // only once a worker can actually take it. Without this gate a long
+    // solve would fragment the backlog into one window-sized sliver per
+    // wakeup, eroding occupancy.
+    cv_work_.wait(lock, [&] {
+      return shutdown_ ||
+             static_cast<int>(dispatched_.size()) + busy_workers_ < options_.num_devices;
+    });
+    if (queue_.empty()) continue;  // a shutdown wake-up with nothing left
+    // Hand the popped batch to the shared dispatch queue and keep going:
+    // the dispatcher never blocks on a solve, the next idle device takes
+    // the oldest batch (work-conserving — no batch waits behind a busy
+    // device while another sits idle), and up to num_devices
+    // micro-batches are in flight concurrently.
+    Batch batch;
+    batch.requests = pop_batch_locked();
+    batch.id = next_batch_id_++;
+    dispatched_.push_back(std::move(batch));
+    cv_shard_.notify_one();
+  }
+}
+
+void SolveService::shard_worker_main(int shard) {
+  const auto d = static_cast<std::size_t>(shard);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_shard_.wait(lock, [&] { return shutdown_ || !dispatched_.empty(); });
+    if (dispatched_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    Batch batch = std::move(dispatched_.front());
+    dispatched_.pop_front();
+    const int size = static_cast<int>(batch.requests.size());
+    live_.per_shard[d].in_flight = size;
+    ++busy_workers_;
     lock.unlock();
-    process_batch(std::move(batch));
+    process_batch(std::move(batch), shard);
     lock.lock();
-    live_.in_flight = 0;
-    if (queue_.empty()) cv_idle_.notify_all();
+    live_.per_shard[d].in_flight = 0;
+    --busy_workers_;
+    pending_total_ -= size;
+    // A worker slot opened up: the dispatcher may now pop the next batch.
+    cv_work_.notify_all();
+    if (queue_.empty() && pending_total_ == 0) cv_idle_.notify_all();
   }
 }
 
@@ -194,10 +245,12 @@ void SolveService::record_latency_locked(double seconds) {
   }
 }
 
-void SolveService::process_batch(std::vector<Pending> batch) {
+void SolveService::process_batch(Batch work, int shard) {
+  std::vector<Pending>& batch = work.requests;
   const double dispatch_time = clock_->now();
-  const std::uint64_t batch_id = next_batch_id_++;
+  const std::uint64_t batch_id = work.id;
   const bool use_cache = options_.cache.capacity > 0;
+  device::Device& device = pool_->device(shard);
 
   // ---- Stage the batch as one ScenarioSet ----
   scenario::ScenarioSet set(*batch.front().request.network);
@@ -230,19 +283,19 @@ void SolveService::process_batch(std::vector<Pending> batch) {
   }
   if (accepted.empty()) return;
 
-  // ---- Fused micro-batch solve on the service-owned device ----
+  // ---- Fused micro-batch solve on this shard's device ----
   device::LaunchStats batch_launches;
   scenario::ScenarioReport report;
   std::vector<grid::OpfSolution> solutions;
   try {
-    scenario::BatchAdmmSolver solver(set, params_, device_.get());
+    scenario::BatchAdmmSolver solver(set, params_, &device);
     scenario::BatchSolveOptions solve_options;
     solve_options.initial_iterates.assign(accepted.size(), nullptr);
     for (std::size_t s = 0; s < accepted.size(); ++s) {
       if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();
     }
     {
-      device::LaunchStatsScope scope(*device_, batch_launches);
+      device::LaunchStatsScope scope(device, batch_launches);
       report = solver.solve(solve_options);
     }
     solutions = solver.solutions();
@@ -259,9 +312,13 @@ void SolveService::process_batch(std::vector<Pending> batch) {
     const auto error = std::current_exception();
     for (const std::size_t i : accepted) batch[i].promise.set_exception(error);
     std::lock_guard<std::mutex> lock(mu_);
+    auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
     live_.failed += accepted.size();
     ++live_.batches;
+    ++shard_stats.batches;
+    shard_stats.requests += accepted.size();
     live_.launch_stats += batch_launches;
+    shard_stats.launch_stats += batch_launches;
     const auto slot = std::min(accepted.size(), static_cast<std::size_t>(options_.max_batch_size));
     ++live_.batch_occupancy[slot - 1];
     return;
@@ -290,9 +347,13 @@ void SolveService::process_batch(std::vector<Pending> batch) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
+  auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
   live_.completed += accepted.size();
   ++live_.batches;
+  ++shard_stats.batches;
+  shard_stats.requests += accepted.size();
   live_.launch_stats += batch_launches;
+  shard_stats.launch_stats += batch_launches;
   ++live_.batch_occupancy[accepted.size() - 1];
   for (const double latency : latencies) record_latency_locked(latency);
 }
@@ -301,13 +362,20 @@ void SolveService::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   draining_ = true;
   cv_work_.notify_all();
-  cv_idle_.wait(lock, [&] { return queue_.empty() && live_.in_flight == 0; });
+  cv_shard_.notify_all();
+  cv_idle_.wait(lock, [&] { return queue_.empty() && pending_total_ == 0; });
 }
 
 ServiceStats SolveService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats snapshot = live_;
   snapshot.queue_depth = static_cast<int>(queue_.size());
+  snapshot.dispatch_backlog = 0;
+  for (const auto& batch : dispatched_) {
+    snapshot.dispatch_backlog += static_cast<int>(batch.requests.size());
+  }
+  snapshot.in_flight = 0;
+  for (const auto& shard : snapshot.per_shard) snapshot.in_flight += shard.in_flight;
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_misses = cache_.misses();
   snapshot.cache_entries = static_cast<std::uint64_t>(cache_.size());

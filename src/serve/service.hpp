@@ -19,14 +19,23 @@
 // are exported back into the cache.
 //
 // Admission control: the queue is bounded; submit() throws CapacityError
-// once `max_queue_depth` requests are pending (shed-on-arrival, so
-// backpressure reaches the caller synchronously and nothing half-accepted
-// lingers). drain() stops admission and blocks until every accepted request
-// is fulfilled; the destructor drains then joins the dispatcher.
+// once `max_queue_depth` requests are pending — pending meaning accepted
+// and not yet fulfilled, wherever they sit (main queue, a shard's queue,
+// or in flight) — shed-on-arrival, so backpressure reaches the caller
+// synchronously and nothing half-accepted lingers. drain() stops admission
+// and blocks until every accepted request is fulfilled; the destructor
+// drains then joins every thread.
 //
-// The service owns its Device: kernel launches of its batch solves are
-// attributed to the service (ServiceStats::launch_stats) and never mix with
-// other solvers' work in process-wide counters.
+// Multi-device routing: the service owns a DevicePool of
+// `ServiceOptions::num_devices` devices, one solve worker per device. The
+// dispatcher appends each popped micro-batch to a shared dispatch queue
+// and the next idle device takes the oldest batch — the least-loaded
+// (idle) shard always wins, the pick is work-conserving (no batch ever
+// waits behind a busy device while another sits idle), and up to
+// num_devices micro-batches solve concurrently instead of serializing
+// behind one device. Kernel launches are attributed per shard
+// (ServiceStats::per_shard) and in aggregate (ServiceStats::launch_stats),
+// and never mix with other solvers' work in process-wide counters.
 #pragma once
 
 #include <condition_variable>
@@ -41,6 +50,7 @@
 
 #include "admm/params.hpp"
 #include "device/device.hpp"
+#include "device/pool.hpp"
 #include "grid/network.hpp"
 #include "serve/clock.hpp"
 #include "serve/request.hpp"
@@ -60,7 +70,11 @@ struct ServiceOptions {
   int max_queue_depth = 256;
   /// Warm-start cache sizing and neighbor distance.
   CacheOptions cache;
-  /// Worker threads for the service-owned Device (0 = hardware concurrency).
+  /// Devices in the service-owned pool. Micro-batches are routed to the
+  /// least-loaded device, so up to num_devices batches solve concurrently.
+  int num_devices = 1;
+  /// Worker threads per pool device (0 = hardware concurrency split evenly
+  /// across the pool).
   int device_workers = 0;
   /// Telemetry clock (null = steady clock). Scheduling always uses the
   /// steady clock; see serve/clock.hpp.
@@ -97,7 +111,9 @@ class SolveService {
   [[nodiscard]] const grid::Network& base_network() const { return base_; }
   [[nodiscard]] const admm::AdmmParams& params() const { return params_; }
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
-  [[nodiscard]] device::Device& device() { return *device_; }
+  /// The pool's first device (single-device compatibility accessor).
+  [[nodiscard]] device::Device& device() { return pool_->device(0); }
+  [[nodiscard]] device::DevicePool& pool() { return *pool_; }
   [[nodiscard]] SolutionCache& cache() { return cache_; }
 
  private:
@@ -109,11 +125,18 @@ class SolveService {
     std::chrono::steady_clock::time_point arrival;  ///< scheduling clock
   };
 
+  /// One popped micro-batch, routed to a shard's solve worker.
+  struct Batch {
+    std::vector<Pending> requests;
+    std::uint64_t id = 0;
+  };
+
   void dispatcher_main();
+  void shard_worker_main(int shard);
   /// Pops the front request's fingerprint group, up to max_batch_size, in
   /// arrival order. Caller holds mu_.
   std::vector<Pending> pop_batch_locked();
-  void process_batch(std::vector<Pending> batch);
+  void process_batch(Batch batch, int shard);
   void record_latency_locked(double seconds);
   /// Memoized structural fingerprint for a request's network (the base
   /// case's is precomputed; foreign networks are hashed once and pinned).
@@ -135,13 +158,17 @@ class SolveService {
                      std::pair<std::shared_ptr<const grid::Network>, std::uint64_t>>
       fingerprint_memo_;
   std::shared_ptr<const Clock> clock_;
-  std::unique_ptr<device::Device> device_;
+  std::unique_ptr<device::DevicePool> pool_;
   SolutionCache cache_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   ///< queue became non-empty / state change
-  std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
+  std::condition_variable cv_shard_;  ///< the dispatch queue gained a batch
+  std::condition_variable cv_idle_;   ///< nothing pending anywhere
   std::deque<Pending> queue_;
+  std::deque<Batch> dispatched_;      ///< popped batches awaiting an idle device
+  int busy_workers_ = 0;              ///< device workers currently inside a solve
+  int pending_total_ = 0;             ///< accepted requests not yet fulfilled
   ServiceStats live_;                 ///< counters (percentiles filled on snapshot)
   std::vector<double> latency_samples_;
   std::size_t latency_next_ = 0;      ///< ring-buffer cursor
@@ -149,6 +176,7 @@ class SolveService {
   bool draining_ = false;
   bool shutdown_ = false;
   std::thread dispatcher_;
+  std::vector<std::thread> shard_workers_;
 };
 
 }  // namespace gridadmm::serve

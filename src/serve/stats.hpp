@@ -11,14 +11,25 @@
 
 namespace gridadmm::serve {
 
+/// Per-device attribution when the service routes micro-batches across a
+/// DevicePool: how many batches/requests each shard served, what it is
+/// solving right now, and the kernel launches its device issued.
+struct ShardServiceStats {
+  std::uint64_t batches = 0;   ///< micro-batches this shard solved
+  std::uint64_t requests = 0;  ///< requests across those batches
+  int in_flight = 0;           ///< requests inside this shard's current solve
+  device::LaunchStats launch_stats;  ///< launches on this shard's device
+};
+
 struct ServiceStats {
   // ---- Admission ----
   std::uint64_t submitted = 0;  ///< accepted into the queue
   std::uint64_t shed = 0;       ///< rejected by admission control (CapacityError)
   std::uint64_t completed = 0;  ///< futures fulfilled with a result
   std::uint64_t failed = 0;     ///< futures fulfilled with an exception
-  int queue_depth = 0;          ///< pending requests at snapshot time
-  int in_flight = 0;            ///< requests inside the current batch solve
+  int queue_depth = 0;          ///< undispatched requests at snapshot time
+  int dispatch_backlog = 0;     ///< requests in popped batches awaiting an idle device
+  int in_flight = 0;            ///< requests inside batch solves (all shards)
 
   // ---- Batching ----
   std::uint64_t batches = 0;  ///< dispatched micro-batches
@@ -31,8 +42,11 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;  ///< entries resident at snapshot time
 
-  // ---- Device attribution (the service owns its Device) ----
-  device::LaunchStats launch_stats;  ///< launches across all batch solves
+  // ---- Device attribution (the service owns its DevicePool) ----
+  device::LaunchStats launch_stats;  ///< launches across all batch solves (all shards)
+  /// One entry per pool device; batches/requests/launches sum to the
+  /// aggregate figures above.
+  std::vector<ShardServiceStats> per_shard;
 
   // ---- Latency (injected-clock seconds, submit -> future fulfilled) ----
   std::uint64_t latency_samples = 0;

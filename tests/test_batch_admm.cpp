@@ -7,8 +7,10 @@
 
 #include "device/buffer.hpp"
 #include "device/device.hpp"
+#include "device/pool.hpp"
 #include "grid/cases.hpp"
 #include "opf/tracking.hpp"
+#include "scenario/batch_plan.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 
@@ -347,6 +349,223 @@ TEST(BatchAdmm, HeterogeneousControlsMatchSequential) {
   // The capped scenario exhausted its tiny budget without converging.
   EXPECT_FALSE(batched.records[4].converged);
   EXPECT_LE(batched.records[4].inner_iterations, 30);
+}
+
+TEST(BatchAdmm, ShardedSolveMatchesSingleDeviceAcrossShardCounts) {
+  // The sharded acceptance bar: for 1, 2, and 4 shards the plan/execute
+  // pipeline must reproduce the single-device fused solve with identical
+  // per-scenario iteration counts and residuals, objectives within 1e-6
+  // relative, and per-shard block counts scaling as ~S/D.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(12, 0.92, 1.08);
+
+  BatchAdmmSolver reference(set, params);
+  const auto single = reference.solve();
+  ASSERT_EQ(single.num_shards, 1);
+  ASSERT_EQ(single.shard_launches.size(), 1u);
+
+  for (const int D : {1, 2, 4}) {
+    SCOPED_TRACE(std::to_string(D) + " shards");
+    device::DevicePool pool(D, 2);
+    BatchAdmmSolver solver(set, params, pool);
+    const auto sharded = solver.solve();
+
+    EXPECT_EQ(sharded.num_shards, D);
+    ASSERT_EQ(sharded.records.size(), single.records.size());
+    for (int s = 0; s < set.size(); ++s) {
+      SCOPED_TRACE("scenario " + std::to_string(s));
+      EXPECT_EQ(sharded.records[s].inner_iterations, single.records[s].inner_iterations);
+      EXPECT_EQ(sharded.records[s].outer_iterations, single.records[s].outer_iterations);
+      EXPECT_EQ(sharded.records[s].converged, single.records[s].converged);
+      EXPECT_DOUBLE_EQ(sharded.records[s].primal_residual, single.records[s].primal_residual);
+      EXPECT_DOUBLE_EQ(sharded.records[s].dual_residual, single.records[s].dual_residual);
+      EXPECT_LT(rel_diff(sharded.records[s].objective, single.records[s].objective), 1e-6);
+    }
+
+    // Per-shard launch attribution: one entry per device, summing to the
+    // aggregate; block counts partition the single-device work exactly
+    // (identical iterate sequences => identical per-scenario work), with
+    // each shard carrying ~S/D of it.
+    ASSERT_EQ(sharded.shard_launches.size(), static_cast<std::size_t>(D));
+    device::LaunchStats sum;
+    for (const auto& shard : sharded.shard_launches) sum += shard;
+    EXPECT_EQ(sum.launches, sharded.launch_stats.launches);
+    EXPECT_EQ(sum.blocks, sharded.launch_stats.blocks);
+    EXPECT_EQ(sum.blocks, single.launch_stats.blocks);
+    if (D > 1) {
+      const auto fair_share = single.launch_stats.blocks / static_cast<std::uint64_t>(D);
+      for (const auto& shard : sharded.shard_launches) {
+        EXPECT_GT(shard.blocks, 0u);
+        EXPECT_LT(shard.blocks, 2 * fair_share);  // ~S/D, not a straggler
+      }
+    }
+  }
+}
+
+TEST(BatchAdmm, ShardedContingencyAndHeterogeneousBatchMatchesSequential) {
+  // A sharded mixed batch (load scales + N-1 masks + per-scenario
+  // controls) must still replicate the sequential reference exactly.
+  const auto net = grid::load_embedded_case("case30");
+  const auto params = admm::params_for_case("case30", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(3, 0.96, 1.04);
+  set.add_n1_contingencies(3);
+  Scenario capped;
+  capped.name = "capped";
+  capped.controls.max_inner_iterations = 12;
+  capped.controls.max_outer_iterations = 2;
+  set.add(std::move(capped));
+
+  const auto sequential = solve_sequential(set, params);
+  device::DevicePool pool(2, 2);
+  BatchAdmmSolver solver(set, params, pool);
+  const auto sharded = solver.solve();
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE(set[s].name);
+    EXPECT_EQ(sharded.records[s].inner_iterations, sequential.records[s].inner_iterations);
+    EXPECT_EQ(sharded.records[s].converged, sequential.records[s].converged);
+    EXPECT_LT(rel_diff(sharded.records[s].objective, sequential.records[s].objective), 1e-6);
+  }
+}
+
+TEST(BatchAdmm, ShardedTrackingChainsStayOnTheParentShard) {
+  // Chained scenarios must follow their root's shard (chaining is an
+  // on-device copy), and the sharded chain must match the single-device
+  // solve iterate for iterate.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  for (int p = 0; p < 3; ++p) {
+    grid::LoadProfileSpec spec;
+    spec.periods = 3;
+    spec.seed = 11 + static_cast<std::uint64_t>(p);
+    set.add_tracking_sequence(spec, 0.02);
+  }
+
+  BatchAdmmSolver reference(set, params);
+  const auto single = reference.solve();
+  device::DevicePool pool(2, 2);
+  BatchAdmmSolver solver(set, params, pool);
+  const auto sharded = solver.solve();
+
+  const auto& plan = solver.plan();
+  for (int s = 0; s < set.size(); ++s) {
+    if (set[s].chain_from >= 0) {
+      EXPECT_EQ(plan.shard_of[s], plan.shard_of[set[s].chain_from]);
+    }
+    EXPECT_EQ(sharded.records[s].inner_iterations, single.records[s].inner_iterations);
+    EXPECT_LT(rel_diff(sharded.records[s].objective, single.records[s].objective), 1e-6);
+  }
+}
+
+TEST(BatchPlan, RoundRobinRootsAreDeterministicAndChildrenFollowParents) {
+  std::vector<Scenario> scenarios(7);
+  // Scenarios 0-3 are roots; 4 chains from 1, 5 from 4, 6 from 3.
+  scenarios[4].chain_from = 1;
+  scenarios[5].chain_from = 4;
+  scenarios[6].chain_from = 3;
+  const std::vector<std::vector<int>> waves = {{0, 1, 2, 3}, {4, 6}, {5}};
+
+  const auto plan = BatchPlan::create(scenarios, waves, 3, /*ping_pong=*/false);
+  // Roots deal round-robin in scenario order: 0->0, 1->1, 2->2, 3->0.
+  EXPECT_EQ(plan.shard_of, (std::vector<int>{0, 1, 2, 0, 1, 1, 0}));
+  // Slots are contiguous per shard, in scenario order.
+  EXPECT_EQ(plan.slot_of[0], 0);
+  EXPECT_EQ(plan.slot_of[3], 1);
+  EXPECT_EQ(plan.slot_of[6], 2);
+  EXPECT_EQ(plan.slot_of[1], 0);
+  EXPECT_EQ(plan.slot_of[4], 1);
+  EXPECT_EQ(plan.slot_of[5], 2);
+  EXPECT_EQ(plan.shard_capacity, (std::vector<int>{3, 3, 1}));
+  // Identical inputs give an identical plan (deterministic assignment).
+  const auto again = BatchPlan::create(scenarios, waves, 3, /*ping_pong=*/false);
+  EXPECT_EQ(again.shard_of, plan.shard_of);
+  EXPECT_EQ(again.slot_of, plan.slot_of);
+
+  // Ping-pong slots are per-wave; capacity is the largest wave per shard.
+  const auto pp = BatchPlan::create(scenarios, waves, 3, /*ping_pong=*/true);
+  EXPECT_EQ(pp.shard_of, plan.shard_of);
+  EXPECT_EQ(pp.shard_capacity, (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(pp.slot_of[0], 0);
+  EXPECT_EQ(pp.slot_of[3], 1);  // same wave, same shard as 0
+  EXPECT_EQ(pp.slot_of[6], 0);  // wave 1 reuses shard 0's slots
+}
+
+TEST(BatchAdmm, PingPongChainedSolveMatchesPersistentPath) {
+  // Two-buffer wave memory must not change a single iterate: same
+  // iteration counts, residuals, and objectives as the persistent layout,
+  // for every period of every profile.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  for (int p = 0; p < 2; ++p) {
+    grid::LoadProfileSpec spec;
+    spec.periods = 5;
+    spec.seed = 3 + static_cast<std::uint64_t>(p);
+    set.add_tracking_sequence(spec, 0.02);
+  }
+
+  BatchAdmmSolver persistent(set, params);
+  const auto flat = persistent.solve();
+  BatchAdmmSolver solver(set, params);
+  BatchSolveOptions options;
+  options.ping_pong = true;
+  const auto pp = solver.solve(options);
+
+  ASSERT_EQ(pp.records.size(), flat.records.size());
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE("scenario " + std::to_string(s));
+    EXPECT_EQ(pp.records[s].inner_iterations, flat.records[s].inner_iterations);
+    EXPECT_EQ(pp.records[s].outer_iterations, flat.records[s].outer_iterations);
+    EXPECT_DOUBLE_EQ(pp.records[s].primal_residual, flat.records[s].primal_residual);
+    EXPECT_LT(rel_diff(pp.records[s].objective, flat.records[s].objective), 1e-6);
+  }
+  // Captured solutions match the persistent extraction bit for bit.
+  const auto flat_solutions = persistent.solutions();
+  const auto pp_solutions = solver.solutions();
+  for (int s = 0; s < set.size(); ++s) {
+    for (int b = 0; b < net.num_buses(); ++b) {
+      EXPECT_DOUBLE_EQ(pp_solutions[s].vm[static_cast<std::size_t>(b)],
+                       flat_solutions[s].vm[static_cast<std::size_t>(b)]);
+    }
+  }
+  // Last-wave iterates are still resident and exportable; earlier waves
+  // have been overwritten by design.
+  EXPECT_NO_THROW(solver.export_iterate(set.size() - 1));
+  EXPECT_THROW(solver.export_iterate(0), GridError);
+}
+
+TEST(BatchAdmm, PingPongHoldsBatchMemoryConstantInHorizonLength) {
+  // The memory acceptance bar, via DeviceBuffer allocation accounting:
+  // doubling the horizon must not grow peak live batch-state memory in
+  // ping-pong mode, while the persistent layout grows linearly.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  auto peak_for = [&](int periods, bool ping_pong) {
+    ScenarioSet set(net);
+    grid::LoadProfileSpec spec;
+    spec.periods = periods;
+    spec.seed = 5;
+    set.add_tracking_sequence(spec, 0.02);
+    const auto live_before = device::allocation_stats().live_bytes;
+    device::reset_allocation_peak();
+    BatchAdmmSolver solver(set, params);
+    BatchSolveOptions options;
+    options.ping_pong = ping_pong;
+    solver.solve(options);
+    return device::allocation_stats().peak_bytes - live_before;
+  };
+
+  const auto pp4 = peak_for(4, true);
+  const auto pp8 = peak_for(8, true);
+  const auto flat4 = peak_for(4, false);
+  const auto flat8 = peak_for(8, false);
+  EXPECT_EQ(pp8, pp4);     // constant in the number of periods
+  EXPECT_GT(flat8, flat4); // the persistent layout grows with the horizon...
+  EXPECT_GT(flat8, pp8);   // ...and exceeds the two-buffer ping-pong pair
 }
 
 TEST(BatchAdmm, RunBatchedTrackingProducesPerProfileRecords) {

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 #include "common/error.hpp"
 #include "device/buffer.hpp"
 #include "device/device.hpp"
+#include "device/pool.hpp"
 
 namespace gridadmm::device {
 namespace {
@@ -87,16 +89,15 @@ TEST(Device, SequentialLaunchesSeeEachOthersWrites) {
 }
 
 TEST(DeviceBuffer, CountsTransfers) {
-  auto& stats = transfer_stats();
-  const auto before = stats;
+  const auto before = transfer_stats();
   DeviceBuffer<double> buf(100, 1.0);
   std::vector<double> host(100, 3.0);
   buf.upload(host);
-  EXPECT_EQ(stats.host_to_device, before.host_to_device + 1);
+  EXPECT_EQ(transfer_stats().host_to_device, before.host_to_device + 1);
   auto out = buf.to_host();
-  EXPECT_EQ(stats.device_to_host, before.device_to_host + 1);
+  EXPECT_EQ(transfer_stats().device_to_host, before.device_to_host + 1);
   EXPECT_DOUBLE_EQ(out[50], 3.0);
-  EXPECT_EQ(stats.bytes, before.bytes + 2 * 100 * sizeof(double));
+  EXPECT_EQ(transfer_stats().bytes, before.bytes + 2 * 100 * sizeof(double));
 }
 
 TEST(DeviceBuffer, UploadRejectsSizeMismatch) {
@@ -109,6 +110,84 @@ TEST(DeviceBuffer, FillAndSpan) {
   DeviceBuffer<int> buf(5);
   buf.fill(7);
   for (const int v : buf.span()) EXPECT_EQ(v, 7);
+}
+
+TEST(DeviceBuffer, AllocationAccountingTracksLifecycle) {
+  const auto before = allocation_stats();
+  {
+    DeviceBuffer<double> buf(100);
+    EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes + 100 * sizeof(double));
+    buf.resize(250);
+    EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes + 250 * sizeof(double));
+    buf.resize(50);
+    EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes + 50 * sizeof(double));
+    // A copy is a second allocation; a move transfers ownership.
+    DeviceBuffer<double> copy = buf;
+    EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes + 100 * sizeof(double));
+    DeviceBuffer<double> moved = std::move(copy);
+    EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes + 100 * sizeof(double));
+  }
+  EXPECT_EQ(allocation_stats().live_bytes, before.live_bytes);
+  EXPECT_GE(allocation_stats().peak_bytes, before.live_bytes + 250 * sizeof(double));
+}
+
+TEST(DeviceBuffer, ResetAllocationPeakRebasesToLive) {
+  DeviceBuffer<double> persistent(64);
+  { DeviceBuffer<double> spike(100000); }
+  const auto live = allocation_stats().live_bytes;
+  EXPECT_GE(allocation_stats().peak_bytes, live + 100000 * sizeof(double));
+  reset_allocation_peak();
+  EXPECT_EQ(allocation_stats().peak_bytes, live);
+}
+
+TEST(DevicePool, PerDeviceAttributionSumsToAggregate) {
+  DevicePool pool(3, 1);
+  ASSERT_EQ(pool.size(), 3);
+  pool.reset_stats();
+  pool.device(0).launch(10, [](int) {});
+  pool.device(1).launch(20, [](int) {});
+  pool.device(1).launch(5, [](int) {});
+  pool.device(2).launch(40, [](int) {});
+
+  EXPECT_EQ(pool.stats(0).launches, 1u);
+  EXPECT_EQ(pool.stats(0).blocks, 10u);
+  EXPECT_EQ(pool.stats(1).launches, 2u);
+  EXPECT_EQ(pool.stats(1).blocks, 25u);
+  EXPECT_EQ(pool.stats(2).launches, 1u);
+  EXPECT_EQ(pool.stats(2).blocks, 40u);
+
+  const auto total = pool.aggregate_stats();
+  EXPECT_EQ(total.launches, pool.stats(0).launches + pool.stats(1).launches + pool.stats(2).launches);
+  EXPECT_EQ(total.blocks, pool.stats(0).blocks + pool.stats(1).blocks + pool.stats(2).blocks);
+}
+
+TEST(DevicePool, DevicesLaunchConcurrently) {
+  // Two pool devices must make independent progress: each thread drives its
+  // own device and neither serializes behind the other's launches.
+  DevicePool pool(2, 2);
+  std::atomic<int> total{0};
+  std::thread other([&] {
+    for (int i = 0; i < 50; ++i) pool.device(1).launch(100, [&](int) { total.fetch_add(1); });
+  });
+  for (int i = 0; i < 50; ++i) pool.device(0).launch(100, [&](int) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(DevicePool, SplitsWorkersAcrossDevicesByDefault) {
+  DevicePool pool(2);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 4;
+  const int expected = std::max(1, hw / 2);
+  EXPECT_EQ(pool.device(0).workers(), expected);
+  EXPECT_EQ(pool.device(1).workers(), expected);
+}
+
+TEST(DevicePool, RejectsBadArguments) {
+  EXPECT_THROW(DevicePool pool(0), GridError);
+  DevicePool pool(2, 1);
+  EXPECT_THROW(static_cast<void>(pool.device(2)), GridError);
+  EXPECT_THROW(static_cast<void>(pool.device(-1)), GridError);
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 // Tests of the warm-start tracking driver (paper Section IV-C).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "device/buffer.hpp"
+#include "device/pool.hpp"
 #include "grid/cases.hpp"
 #include "opf/tracking.hpp"
 
@@ -92,6 +96,72 @@ TEST(Tracking, BaselineComparisonFillsGapColumn) {
     EXPECT_LT(rec.relative_gap, 0.02);
     EXPECT_GT(rec.ipm_objective, 0.0);
   }
+}
+
+TEST(Tracking, BatchedPingPongMatchesPersistentLayoutAndCapsMemory) {
+  // run_batched_tracking defaults to ping-pong wave memory; the records
+  // must be identical to the persistent layout, and the live batch-state
+  // footprint must stay constant in the number of periods.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  TrackingOptions flat_options;
+  flat_options.periods = 5;
+  flat_options.run_ipm = false;
+  flat_options.ping_pong = false;
+  const auto flat = run_batched_tracking(net, params, flat_options, 2);
+
+  TrackingOptions pp_options = flat_options;
+  pp_options.ping_pong = true;
+  const auto live_before = device::allocation_stats().live_bytes;
+  device::reset_allocation_peak();
+  const auto pp = run_batched_tracking(net, params, pp_options, 2);
+  const auto pp_peak = device::allocation_stats().peak_bytes - live_before;
+
+  ASSERT_EQ(pp.profiles.size(), flat.profiles.size());
+  for (std::size_t p = 0; p < pp.profiles.size(); ++p) {
+    ASSERT_EQ(pp.profiles[p].size(), flat.profiles[p].size());
+    for (std::size_t t = 0; t < pp.profiles[p].size(); ++t) {
+      SCOPED_TRACE("profile " + std::to_string(p) + " period " + std::to_string(t));
+      EXPECT_EQ(pp.profiles[p][t].admm_iterations, flat.profiles[p][t].admm_iterations);
+      EXPECT_EQ(pp.profiles[p][t].admm_converged, flat.profiles[p][t].admm_converged);
+      EXPECT_LT(std::abs(pp.profiles[p][t].admm_objective - flat.profiles[p][t].admm_objective) /
+                    flat.profiles[p][t].admm_objective,
+                1e-6);
+    }
+  }
+
+  // Doubling the horizon must not grow the ping-pong peak.
+  TrackingOptions longer = pp_options;
+  longer.periods = 10;
+  const auto live_before_long = device::allocation_stats().live_bytes;
+  device::reset_allocation_peak();
+  run_batched_tracking(net, params, longer, 2);
+  const auto long_peak = device::allocation_stats().peak_bytes - live_before_long;
+  EXPECT_EQ(long_peak, pp_peak);
+}
+
+TEST(Tracking, BatchedTrackingOverDevicePoolMatchesSingleDevice) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  TrackingOptions options;
+  options.periods = 4;
+  options.run_ipm = false;
+  const auto single = run_batched_tracking(net, params, options, 3);
+  device::DevicePool pool(2, 2);
+  const auto sharded = run_batched_tracking(net, params, options, 3, pool);
+  ASSERT_EQ(sharded.profiles.size(), single.profiles.size());
+  for (std::size_t p = 0; p < sharded.profiles.size(); ++p) {
+    for (std::size_t t = 0; t < sharded.profiles[p].size(); ++t) {
+      SCOPED_TRACE("profile " + std::to_string(p) + " period " + std::to_string(t));
+      EXPECT_EQ(sharded.profiles[p][t].admm_iterations, single.profiles[p][t].admm_iterations);
+      EXPECT_LT(
+          std::abs(sharded.profiles[p][t].admm_objective - single.profiles[p][t].admm_objective) /
+              single.profiles[p][t].admm_objective,
+          1e-6);
+    }
+  }
+  EXPECT_EQ(sharded.report.num_shards, 2);
 }
 
 }  // namespace
