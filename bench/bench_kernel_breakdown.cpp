@@ -1,0 +1,124 @@
+// Per-phase kernel breakdown of the fused batch solve, by batch layout.
+//
+// Runs real BatchAdmmSolver solves (load-scale scenario sets) at
+// S in {16, 64, 256} in both memory layouts and reports where each fused
+// iteration's time goes, phase by phase: generator / branch / bus / zy
+// launches, host-side residual collection (+ tile packing + control flow),
+// outer-transition launches, and warm-start chain copies. This is how the
+// interleaved layout's win is attributed kernel by kernel — the elementwise
+// phases (generator, bus, zy) should shrink (~kTileWidth fewer blocks,
+// unit-stride lane loops) while the TRON branch phase, which stays
+// block-per-branch in both layouts, should not move.
+//
+//   ./bench_kernel_breakdown [--cases=case9,case30] [--sizes=16,64,256]
+//                            [--layouts=scenario_major,interleaved]
+//                            [--smoke]
+//
+// Emits one JsonRecord per (case, S, layout, phase): total seconds,
+// microseconds per fused step, and the phase's share of the loop — plus a
+// per-(case, S, layout) summary record with end-to-end scen/s, so layout
+// wins are attributable without joining against bench_scenario_batch.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "scenario/batch_solver.hpp"
+#include "scenario/scenario_set.hpp"
+
+namespace {
+
+struct Phase {
+  const char* name;
+  double seconds;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridadmm;
+  using bench::split_csv;
+  const Options opts(argc, argv);
+  const bool smoke = bench::smoke_mode(opts);
+  bench::print_mode_banner("Kernel breakdown: per-phase fused-iteration time by batch layout");
+
+  const auto case_names = split_csv(opts.get("cases", smoke ? "case9" : "case9,case30"));
+  std::vector<int> sizes;
+  for (const auto& s : split_csv(opts.get("sizes", smoke ? "16,64" : "16,64,256"))) {
+    sizes.push_back(std::stoi(s));
+  }
+  std::vector<admm::BatchLayout> layouts;
+  for (const auto& name : split_csv(opts.get("layouts", "scenario_major,interleaved"))) {
+    layouts.push_back(admm::layout_from_name(name));
+  }
+
+  Table table({"case", "S", "layout", "steps", "gen us/it", "branch us/it", "bus us/it",
+               "zy us/it", "residual us/it", "scen/s"});
+  for (const auto& case_name : case_names) {
+    const auto net = grid::load_case(case_name);
+    const auto params = admm::params_for_case(case_name, net.num_buses());
+    for (const int S : sizes) {
+      scenario::ScenarioSet set(net);
+      set.add_load_scale(S, 0.92, 1.08);
+      for (const auto layout : layouts) {
+        scenario::BatchAdmmSolver solver(set, params);
+        scenario::BatchSolveOptions options;
+        options.layout = layout;
+        const auto report = solver.solve(options);
+
+        const auto& p = report.phases;
+        const double loop_total = p.generator_seconds + p.branch_seconds + p.bus_seconds +
+                                  p.zy_seconds + p.residual_seconds + p.outer_seconds +
+                                  p.chain_seconds;
+        const auto steps = static_cast<double>(report.fused_steps > 0 ? report.fused_steps : 1);
+        const auto us_per_step = [&](double seconds) { return 1e6 * seconds / steps; };
+        const Phase phases[] = {
+            {"generator", p.generator_seconds}, {"branch", p.branch_seconds},
+            {"bus", p.bus_seconds},             {"zy", p.zy_seconds},
+            {"residual", p.residual_seconds},   {"outer", p.outer_seconds},
+            {"chain", p.chain_seconds},
+        };
+        for (const Phase& phase : phases) {
+          bench::JsonRecord record("kernel_breakdown", report.num_shards);
+          record.field("case", case_name)
+              .field("S", S)
+              .field("layout", admm::layout_name(layout))
+              .field("phase", phase.name)
+              .field("seconds", phase.seconds)
+              .field("us_per_step", us_per_step(phase.seconds))
+              .field("share", loop_total > 0.0 ? phase.seconds / loop_total : 0.0)
+              .field("fused_steps", static_cast<long long>(report.fused_steps));
+          record.emit();
+        }
+        bench::JsonRecord summary("kernel_breakdown", report.num_shards);
+        summary.field("case", case_name)
+            .field("S", S)
+            .field("layout", admm::layout_name(layout))
+            .field("phase", "total")
+            .field("seconds", loop_total)
+            .field("us_per_step", us_per_step(loop_total))
+            .field("share", 1.0)
+            .field("fused_steps", static_cast<long long>(report.fused_steps))
+            .field("solve_seconds", report.solve_seconds)
+            .field("launches", static_cast<long long>(report.launch_stats.launches))
+            .field("blocks", static_cast<long long>(report.launch_stats.blocks))
+            .field("scenarios_per_second", report.scenarios_per_second());
+        summary.emit();
+
+        table.add_row({case_name, std::to_string(S), admm::layout_name(layout),
+                       std::to_string(report.fused_steps),
+                       Table::fixed(us_per_step(p.generator_seconds), 1),
+                       Table::fixed(us_per_step(p.branch_seconds), 1),
+                       Table::fixed(us_per_step(p.bus_seconds), 1),
+                       Table::fixed(us_per_step(p.zy_seconds), 1),
+                       Table::fixed(us_per_step(p.residual_seconds), 1),
+                       Table::fixed(report.scenarios_per_second(), 1)});
+      }
+    }
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

@@ -204,19 +204,22 @@ void BranchProblem::constraint_values(std::span<const double> x, double& cij, do
 
 void branch_update_one(const ModelView& m, const AdmmParams& params, const ScenarioView& s, int l,
                        BranchWorkspace& ws) {
-  if (s.branch_active != nullptr && s.branch_active[l] == 0) return;  // outage
-  const int base = branch_pair_base(m.num_gens, l);
+  const auto st = static_cast<std::size_t>(s.stride);
+  if (s.branch_active != nullptr && s.branch_active[static_cast<std::size_t>(l) * st] == 0) {
+    return;  // outage
+  }
+  const auto base = static_cast<std::size_t>(branch_pair_base(m.num_gens, l));
   double d[8], yk[8], rhok[8];
-  for (int k = 0; k < 8; ++k) {
-    d[k] = s.z[base + k] - s.v[base + k];
-    yk[k] = s.y[base + k];
-    rhok[k] = s.rho[base + k];
+  for (std::size_t k = 0; k < 8; ++k) {
+    d[k] = s.z[(base + k) * st] - s.v[(base + k) * st];
+    yk[k] = s.y[(base + k) * st];
+    rhok[k] = s.rho[(base + k) * st];
   }
   const double rate2 = m.rate2[l];
   ws.problem.bind(m.adm + 8 * l, m.vbound + 4 * l, rate2, d, yk, rhok);
 
   double x[6];
-  for (int a = 0; a < 4; ++a) x[a] = s.branch_x[4 * l + a];
+  for (std::size_t a = 0; a < 4; ++a) x[a] = s.branch_x[(4 * static_cast<std::size_t>(l) + a) * st];
   const bool rated = rate2 > 0.0;
 
   if (!rated) {
@@ -226,10 +229,11 @@ void branch_update_one(const ModelView& m, const AdmmParams& params, const Scena
     ws.stats.cg_iterations += result.cg_iterations;
     if (result.status == tron::TronStatus::kLineSearchFailed) ++ws.stats.failures;
   } else {
-    x[4] = s.branch_s[2 * l];
-    x[5] = s.branch_s[2 * l + 1];
-    double lam_ij = s.branch_lambda[2 * l];
-    double lam_ji = s.branch_lambda[2 * l + 1];
+    const auto sl = 2 * static_cast<std::size_t>(l);
+    x[4] = s.branch_s[sl * st];
+    x[5] = s.branch_s[(sl + 1) * st];
+    double lam_ij = s.branch_lambda[sl * st];
+    double lam_ji = s.branch_lambda[(sl + 1) * st];
     double rho_t = params.auglag_rho0 * std::max(rhok[0], 1.0);
     double eta = std::pow(rho_t, -0.1);
     for (int al = 0; al < params.auglag_max_iterations; ++al) {
@@ -252,25 +256,27 @@ void branch_update_one(const ModelView& m, const AdmmParams& params, const Scena
         eta = std::max(params.auglag_eta, std::pow(rho_t, -0.1));
       }
     }
-    s.branch_lambda[2 * l] = lam_ij;
-    s.branch_lambda[2 * l + 1] = lam_ji;
-    s.branch_s[2 * l] = x[4];
-    s.branch_s[2 * l + 1] = x[5];
+    s.branch_lambda[sl * st] = lam_ij;
+    s.branch_lambda[(sl + 1) * st] = lam_ji;
+    s.branch_s[sl * st] = x[4];
+    s.branch_s[(sl + 1) * st] = x[5];
   }
 
-  for (int a = 0; a < 4; ++a) s.branch_x[4 * l + a] = x[a];
+  for (std::size_t a = 0; a < 4; ++a) {
+    s.branch_x[(4 * static_cast<std::size_t>(l) + a) * st] = x[a];
+  }
   const grid::FlowValues f = grid::eval_flows(
       grid::BranchAdmittance{m.adm[8 * l + 0], m.adm[8 * l + 1], m.adm[8 * l + 2], m.adm[8 * l + 3],
                              m.adm[8 * l + 4], m.adm[8 * l + 5], m.adm[8 * l + 6], m.adm[8 * l + 7]},
       x[0], x[1], x[2], x[3]);
-  s.u[base + kPairPij] = f[grid::kPij];
-  s.u[base + kPairQij] = f[grid::kQij];
-  s.u[base + kPairPji] = f[grid::kPji];
-  s.u[base + kPairQji] = f[grid::kQji];
-  s.u[base + kPairWi] = x[0] * x[0];
-  s.u[base + kPairThi] = x[2];
-  s.u[base + kPairWj] = x[1] * x[1];
-  s.u[base + kPairThj] = x[3];
+  s.u[(base + kPairPij) * st] = f[grid::kPij];
+  s.u[(base + kPairQij) * st] = f[grid::kQij];
+  s.u[(base + kPairPji) * st] = f[grid::kPji];
+  s.u[(base + kPairQji) * st] = f[grid::kQji];
+  s.u[(base + kPairWi) * st] = x[0] * x[0];
+  s.u[(base + kPairThi) * st] = x[2];
+  s.u[(base + kPairWj) * st] = x[1] * x[1];
+  s.u[(base + kPairThj) * st] = x[3];
 }
 
 void update_branches(device::Device& dev, const ComponentModel& model, const AdmmParams& params,

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <utility>
 #include <vector>
@@ -16,6 +17,48 @@
 #include "common/error.hpp"
 
 namespace gridadmm::device {
+
+/// Cache-line/SIMD alignment of every device allocation. The interleaved
+/// batch layout stores one component's values for a tile of scenario lanes
+/// as a contiguous row; 64-byte alignment keeps those rows (and the
+/// reduce_row_stride partial-reduction rows) from straddling cache lines,
+/// and gives the compiler an aligned base for vectorized lane loops.
+inline constexpr std::size_t kDeviceAlignment = 64;
+
+/// Minimal over-aligned allocator (models cudaMalloc's 256-byte guarantee,
+/// scaled down to one cache line). Propagates through vector moves/swaps
+/// like the default allocator: it is stateless.
+template <typename T, std::size_t Alignment = kDeviceAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+  /// Explicit rebind: allocator_traits cannot derive it for a template
+  /// with a non-type (alignment) parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Host-side vector with device-grade alignment, for scratch that kernels
+/// write through raw pointers (per-lane partial-reduction rows).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 /// Snapshot of the process-wide host<->device transfer counters. The
 /// backing counters are atomic: batch solves may upload/download from
@@ -121,7 +164,9 @@ inline void reset_allocation_peak() {
 /// An array that models GPU global memory. Direct element access is allowed
 /// only from kernels (we cannot enforce that in a simulation, but the API
 /// nudges call sites to treat `span()` as device-side and go through
-/// upload()/download() at the host boundary).
+/// upload()/download() at the host boundary). Allocations are 64-byte
+/// aligned (kDeviceAlignment), so interleaved tile rows start on cache-line
+/// boundaries.
 template <typename T>
 class DeviceBuffer {
  public:
@@ -200,6 +245,19 @@ class DeviceBuffer {
     detail::record_download(host.size_bytes());
   }
 
+  /// Device -> host gather of host.size() elements spaced `stride` apart
+  /// starting at `offset` (counted as one transfer of host.size_bytes(),
+  /// like a single strided cudaMemcpy2D). Lets the interleaved batch layout
+  /// — where one scenario lane's elements sit kTileWidth apart — extract
+  /// one scenario without moving the whole batch.
+  void download_strided(std::size_t offset, std::size_t stride, std::span<T> host) const {
+    require(stride > 0, "DeviceBuffer::download_strided: stride must be positive");
+    require(host.empty() || offset + (host.size() - 1) * stride < data_.size(),
+            "DeviceBuffer::download_strided out of range");
+    for (std::size_t i = 0; i < host.size(); ++i) host[i] = data_[offset + i * stride];
+    detail::record_download(host.size_bytes());
+  }
+
  private:
   /// Reconciles the accounted figure with the current logical size.
   void account() {
@@ -216,7 +274,7 @@ class DeviceBuffer {
     accounted_bytes_ = 0;
   }
 
-  std::vector<T> data_;
+  AlignedVector<T> data_;
   std::uint64_t accounted_bytes_ = 0;
 };
 

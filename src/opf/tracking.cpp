@@ -139,6 +139,7 @@ BatchTrackingResult run_batched_tracking_impl(const grid::Network& net,
   // so device memory stays O(2 x profiles x case) for any horizon length.
   scenario::BatchSolveOptions solve_options;
   solve_options.ping_pong = options.ping_pong;
+  solve_options.layout = options.layout;
   BatchTrackingResult result;
   if (pool != nullptr) {
     scenario::BatchAdmmSolver solver(set, params, *pool);

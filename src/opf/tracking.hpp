@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "admm/batch_state.hpp"
 #include "admm/params.hpp"
 #include "admm/solver.hpp"
 #include "device/device.hpp"
@@ -34,6 +35,10 @@ struct TrackingOptions {
   /// live batch-state memory is O(2 x profiles x case) instead of
   /// O(periods x profiles x case). Results are identical either way.
   bool ping_pong = true;
+  /// Batched mode only: batch memory layout of each wave's fused solve
+  /// (see scenario::BatchSolveOptions::layout). Interleaved vectorizes the
+  /// elementwise kernels across profiles; results are identical either way.
+  admm::BatchLayout layout = admm::BatchLayout::kScenarioMajor;
 };
 
 struct PeriodRecord {

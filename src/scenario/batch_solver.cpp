@@ -27,25 +27,37 @@ double collect_slot_max(std::span<const double> partial, int j, int row_stride, 
   return result;
 }
 
-grid::OpfSolution slice_solution(const grid::Network& net, std::span<const double> w,
-                                 std::span<const double> theta, std::span<const double> pg,
-                                 std::span<const double> qg, int s) {
+/// Extracts slot `s`'s solution from whole-buffer host downloads, mapping
+/// elements through the batch layout's indexer (slot slices are contiguous
+/// in scenario-major, kTileWidth-strided in interleaved).
+grid::OpfSolution slice_solution(const grid::Network& net, const admm::BatchIndexer& idx,
+                                 std::span<const double> w, std::span<const double> theta,
+                                 std::span<const double> pg, std::span<const double> qg, int s) {
   grid::OpfSolution sol = grid::OpfSolution::zeros(net);
-  const int nb = net.num_buses();
-  const int ng = net.num_generators();
-  const auto bus0 = static_cast<std::size_t>(s) * static_cast<std::size_t>(nb);
-  const auto gen0 = static_cast<std::size_t>(s) * static_cast<std::size_t>(ng);
-  const double ref_angle = theta[bus0 + static_cast<std::size_t>(net.ref_bus)];
-  for (int i = 0; i < nb; ++i) {
-    sol.vm[static_cast<std::size_t>(i)] =
-        std::sqrt(std::max(w[bus0 + static_cast<std::size_t>(i)], 1e-12));
-    sol.va[static_cast<std::size_t>(i)] = theta[bus0 + static_cast<std::size_t>(i)] - ref_angle;
+  const auto nb = static_cast<std::size_t>(net.num_buses());
+  const auto ng = static_cast<std::size_t>(net.num_generators());
+  const double ref_angle = theta[idx.index(s, static_cast<std::size_t>(net.ref_bus), nb)];
+  for (std::size_t i = 0; i < nb; ++i) {
+    sol.vm[i] = std::sqrt(std::max(w[idx.index(s, i, nb)], 1e-12));
+    sol.va[i] = theta[idx.index(s, i, nb)] - ref_angle;
   }
-  for (int g = 0; g < ng; ++g) {
-    sol.pg[static_cast<std::size_t>(g)] = pg[gen0 + static_cast<std::size_t>(g)];
-    sol.qg[static_cast<std::size_t>(g)] = qg[gen0 + static_cast<std::size_t>(g)];
+  for (std::size_t g = 0; g < ng; ++g) {
+    sol.pg[g] = pg[idx.index(s, g, ng)];
+    sol.qg[g] = qg[idx.index(s, g, ng)];
   }
   return sol;
+}
+
+/// Downloads slot `s`'s logical slice of one batch buffer: a contiguous
+/// slice download in scenario-major, a strided gather in interleaved —
+/// either way one counted transfer of exactly the slice's bytes.
+void download_slot(const device::DeviceBuffer<double>& buffer, const admm::BatchIndexer& idx,
+                   int s, std::span<double> host) {
+  if (idx.interleaved()) {
+    buffer.download_strided(idx.offset(s, host.size()), idx.stride(), host);
+  } else {
+    buffer.download_slice(idx.offset(s, host.size()), host);
+  }
 }
 
 /// Swaps a reusable evaluation copy's loads for the scenario's.
@@ -125,9 +137,10 @@ admm::AdmmParams effective_params(const admm::AdmmParams& base, const ScenarioCo
   return p;
 }
 
-void BatchAdmmSolver::ensure_storage(bool ping_pong) {
-  if (storage_ready_ && plan_.ping_pong == ping_pong) return;
+void BatchAdmmSolver::ensure_storage(bool ping_pong, admm::BatchLayout layout) {
+  if (storage_ready_ && plan_.ping_pong == ping_pong && layout_ == layout) return;
   plan_ = BatchPlan::create(scenarios_, waves_, num_shards(), ping_pong);
+  layout_ = layout;
   shards_.clear();
   shards_.resize(devs_.size());
   const int buffers = ping_pong ? 2 : 1;
@@ -138,7 +151,7 @@ void BatchAdmmSolver::ensure_storage(bool ping_pong) {
     shard.states.reserve(static_cast<std::size_t>(buffers));
     shard.views.resize(static_cast<std::size_t>(buffers));
     for (int b = 0; b < buffers; ++b) {
-      shard.states.push_back(admm::BatchAdmmState::zeros(model_, capacity));
+      shard.states.push_back(admm::BatchAdmmState::zeros(model_, capacity, layout));
       auto& views = shard.views[static_cast<std::size_t>(b)];
       views.clear();
       views.reserve(static_cast<std::size_t>(capacity));
@@ -191,11 +204,25 @@ void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> g
                                    const BatchSolveOptions& options) {
   if (globals.empty()) return;
   admm::BatchAdmmState& state = shard.states[static_cast<std::size_t>(buf)];
-  const auto C = static_cast<std::size_t>(state.num_scenarios);
+  const admm::BatchIndexer idx = state.indexer();
+  // Host staging arrays mirror the device layout exactly (including
+  // interleaved tile padding), so each upload stays one bulk transfer.
+  const auto C = static_cast<std::size_t>(state.padded_scenarios);
   const auto np = static_cast<std::size_t>(model_.num_pairs);
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
   const auto nl = static_cast<std::size_t>(model_.num_branches);
+  /// Writes one scenario's logical slice into a layout-mapped host array.
+  const auto scatter = [&idx](std::span<const double> src, std::vector<double>& dst, int slot) {
+    const std::size_t extent = src.size();
+    const std::size_t off = idx.offset(slot, extent);
+    if (!idx.interleaved()) {
+      std::copy(src.begin(), src.end(), dst.begin() + static_cast<std::ptrdiff_t>(off));
+    } else {
+      const std::size_t stride = idx.stride();
+      for (std::size_t k = 0; k < extent; ++k) dst[off + k * stride] = src[k];
+    }
+  };
 
   // Chained slots need no iterate staging: the wave loop's on-device chain
   // copy overwrites every iterate array (and rho) before a kernel reads
@@ -228,7 +255,7 @@ void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> g
 
   for (const int s : globals) {
     const auto& sc = scenarios_[static_cast<std::size_t>(s)];
-    const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
+    const int slot = plan_.slot_of[static_cast<std::size_t>(s)];
     const admm::WarmStartIterate* iterate =
         options.initial_iterates.empty()
             ? nullptr
@@ -245,20 +272,19 @@ void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> g
       // Chained: iterate arrives via the on-device chain copy; beta and
       // rho_scale via chain inheritance in the wave loop.
     } else if (seed != nullptr) {
-      std::copy(seed->u.begin(), seed->u.end(), hu.begin() + slot * np);
-      std::copy(seed->v.begin(), seed->v.end(), hv.begin() + slot * np);
-      std::copy(seed->z.begin(), seed->z.end(), hz.begin() + slot * np);
-      std::copy(seed->y.begin(), seed->y.end(), hy.begin() + slot * np);
-      std::copy(seed->lz.begin(), seed->lz.end(), hlz.begin() + slot * np);
-      std::copy(seed->bus_w.begin(), seed->bus_w.end(), hw.begin() + slot * nb);
-      std::copy(seed->bus_theta.begin(), seed->bus_theta.end(), htheta.begin() + slot * nb);
-      std::copy(seed->gen_pg.begin(), seed->gen_pg.end(), hpg.begin() + slot * ng);
-      std::copy(seed->gen_qg.begin(), seed->gen_qg.end(), hqg.begin() + slot * ng);
-      std::copy(seed->branch_x.begin(), seed->branch_x.end(), hbx.begin() + slot * 4 * nl);
-      std::copy(seed->branch_s.begin(), seed->branch_s.end(), hbs.begin() + slot * 2 * nl);
-      std::copy(seed->branch_lambda.begin(), seed->branch_lambda.end(),
-                hblam.begin() + slot * 2 * nl);
-      std::copy(seed->rho.begin(), seed->rho.end(), hrho.begin() + slot * np);
+      scatter(seed->u, hu, slot);
+      scatter(seed->v, hv, slot);
+      scatter(seed->z, hz, slot);
+      scatter(seed->y, hy, slot);
+      scatter(seed->lz, hlz, slot);
+      scatter(seed->bus_w, hw, slot);
+      scatter(seed->bus_theta, htheta, slot);
+      scatter(seed->gen_pg, hpg, slot);
+      scatter(seed->gen_qg, hqg, slot);
+      scatter(seed->branch_x, hbx, slot);
+      scatter(seed->branch_s, hbs, slot);
+      scatter(seed->branch_lambda, hblam, slot);
+      scatter(seed->rho, hrho, slot);
       set_beta(s, std::max(seed->beta, params_.beta0));
       rho_scale_[static_cast<std::size_t>(s)] = seed->rho_scale;
     } else {
@@ -268,22 +294,22 @@ void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> g
       // the sequential one. v starts as a copy of u; z, y, lz,
       // branch_lambda stay zero. Chained slots are overwritten on device
       // by the wave loop's chain copy before they run.
-      std::copy(cold_.u.begin(), cold_.u.end(), hu.begin() + slot * np);
-      std::copy(cold_.u.begin(), cold_.u.end(), hv.begin() + slot * np);
-      std::copy(cold_.w.begin(), cold_.w.end(), hw.begin() + slot * nb);
-      std::copy(cold_.pg.begin(), cold_.pg.end(), hpg.begin() + slot * ng);
-      std::copy(cold_.qg.begin(), cold_.qg.end(), hqg.begin() + slot * ng);
-      std::copy(cold_.branch_x.begin(), cold_.branch_x.end(), hbx.begin() + slot * 4 * nl);
-      std::copy(cold_.branch_s.begin(), cold_.branch_s.end(), hbs.begin() + slot * 2 * nl);
-      std::copy(rho0_.begin(), rho0_.end(), hrho.begin() + slot * np);
+      scatter(cold_.u, hu, slot);
+      scatter(cold_.u, hv, slot);
+      scatter(cold_.w, hw, slot);
+      scatter(cold_.pg, hpg, slot);
+      scatter(cold_.qg, hqg, slot);
+      scatter(cold_.branch_x, hbx, slot);
+      scatter(cold_.branch_s, hbs, slot);
+      scatter(rho0_, hrho, slot);
       set_beta(s, params_.beta0);
     }
 
-    std::copy(sc.pd.begin(), sc.pd.end(), hpd.begin() + slot * nb);
-    std::copy(sc.qd.begin(), sc.qd.end(), hqd.begin() + slot * nb);
+    scatter(sc.pd, hpd, slot);
+    scatter(sc.qd, hqd, slot);
     for (std::size_t g = 0; g < ng; ++g) {
-      hpmin[slot * ng + g] = net_.generators[g].pmin;
-      hpmax[slot * ng + g] = net_.generators[g].pmax;
+      hpmin[idx.index(slot, g, ng)] = net_.generators[g].pmin;
+      hpmax[idx.index(slot, g, ng)] = net_.generators[g].pmax;
     }
 
     // Outage zeroing runs last so no warm start can reintroduce values on
@@ -291,15 +317,19 @@ void BatchAdmmSolver::stage_buffer(Shard& shard, int buf, std::span<const int> g
     // kernel skips them, and they contribute nothing to residuals.
     if (sc.outage_branch >= 0) {
       const auto l = static_cast<std::size_t>(sc.outage_branch);
-      hactive[slot * nl + l] = 0;
+      hactive[idx.index(slot, l, nl)] = 0;
       const auto pair_base =
           static_cast<std::size_t>(admm::branch_pair_base(model_.num_gens, sc.outage_branch));
-      for (auto* arr : {&hu, &hv, &hz, &hy, &hlz}) {
-        std::fill_n(arr->begin() + slot * np + pair_base, 8, 0.0);
+      for (std::size_t t = 0; t < 8; ++t) {
+        for (auto* arr : {&hu, &hv, &hz, &hy, &hlz}) {
+          (*arr)[idx.index(slot, pair_base + t, np)] = 0.0;
+        }
       }
-      std::fill_n(hbx.begin() + slot * 4 * nl + 4 * l, 4, 0.0);
-      std::fill_n(hbs.begin() + slot * 2 * nl + 2 * l, 2, 0.0);
-      std::fill_n(hblam.begin() + slot * 2 * nl + 2 * l, 2, 0.0);
+      for (std::size_t a = 0; a < 4; ++a) hbx[idx.index(slot, 4 * l + a, 4 * nl)] = 0.0;
+      for (std::size_t a = 0; a < 2; ++a) {
+        hbs[idx.index(slot, 2 * l + a, 2 * nl)] = 0.0;
+        hblam[idx.index(slot, 2 * l + a, 2 * nl)] = 0.0;
+      }
     }
   }
 
@@ -348,6 +378,7 @@ void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
     links.push_back({dst_slot, src_slot});
     if (sc.ramp_fraction > 0.0) ramps.push_back({dst_slot, src_slot, sc.ramp_fraction});
   }
+  WallTimer chain_timer;
   if (!links.empty()) {
     batch_chain_state(*shard.dev, model_, src_state, dst_state, links);
     for (const int s : wave) {
@@ -360,6 +391,7 @@ void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
     }
   }
   if (!ramps.empty()) batch_apply_ramp(*shard.dev, model_, src_state, dst_state, ramps);
+  shard.phases.chain_seconds += chain_timer.seconds();
 
   run_fused(shard, buf, wave, options);
 
@@ -379,13 +411,24 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
   }
 
   const int lanes = shard.dev->workers();
+  const bool interleaved = layout_ == admm::BatchLayout::kInterleaved;
   const std::span<const admm::ScenarioView> views = shard.views[static_cast<std::size_t>(buf)];
-  std::vector<double> partial_primal, partial_dual, partial_z;
+  // Per-step scratch lives outside the loop (and the tile-group vectors
+  // outside the solve, in the shard) so the hot path performs no
+  // allocations once capacities are reached.
+  device::AlignedVector<double> partial_primal, partial_dual, partial_z;
   std::vector<int> next_active, slots, outer_slots, rho_slots;
   std::vector<double> rho_factors;
   std::vector<std::pair<int, double>> beta_updates;
+  WallTimer phase_timer;
+  const auto take_phase = [&phase_timer](double& accumulator) {
+    accumulator += phase_timer.seconds();
+    phase_timer.reset();
+  };
 
   while (!active.empty()) {
+    ++shard.fused_steps;
+    phase_timer.reset();
     const int n = static_cast<int>(active.size());
     const int row = reduce_row_stride(n);
     const auto cells = static_cast<std::size_t>(lanes) * static_cast<std::size_t>(row);
@@ -397,15 +440,42 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       slots[static_cast<std::size_t>(j)] =
           plan_.slot_of[static_cast<std::size_t>(active[static_cast<std::size_t>(j)])];
     }
+    // Interleaved: re-pack the surviving slots into tile groups — retired
+    // scenarios leave their tile, so full tiles shrink to partial groups
+    // and drop to the masked path while every remaining full tile keeps
+    // the vectorized lane loop.
+    if (interleaved) pack_tile_groups(slots, shard.tile_groups);
+    take_phase(shard.phases.residual_seconds);
 
     // One fused step: every active scenario advances one inner iteration
-    // with a constant number of launches on this shard's device.
-    batch_update_generators(*shard.dev, mview_, views, slots);
+    // with a constant number of launches on this shard's device. The
+    // elementwise kernels dispatch per layout (slot-major blocks vs
+    // component-major tile groups); the TRON branch kernel is the same
+    // call either way.
+    const std::span<const TileGroup> groups = shard.tile_groups;
+    if (interleaved) {
+      batch_update_generators(*shard.dev, mview_, views, groups);
+    } else {
+      batch_update_generators(*shard.dev, mview_, views, slots);
+    }
+    take_phase(shard.phases.generator_seconds);
     batch_update_branches(*shard.dev, mview_, params_, views, slots, shard.branch_lanes,
                           &shard.branch_stats);
-    batch_update_buses(*shard.dev, mview_, views, slots, partial_dual, row);
-    batch_update_zy(*shard.dev, mview_, params_.two_level, views, slots, partial_primal,
-                    partial_z, row);
+    take_phase(shard.phases.branch_seconds);
+    if (interleaved) {
+      batch_update_buses(*shard.dev, mview_, views, groups, partial_dual, row);
+    } else {
+      batch_update_buses(*shard.dev, mview_, views, slots, partial_dual, row);
+    }
+    take_phase(shard.phases.bus_seconds);
+    if (interleaved) {
+      batch_update_zy(*shard.dev, mview_, params_.two_level, views, groups, partial_primal,
+                      partial_z, row);
+    } else {
+      batch_update_zy(*shard.dev, mview_, params_.two_level, views, slots, partial_primal,
+                      partial_z, row);
+    }
+    take_phase(shard.phases.zy_seconds);
 
     next_active.clear();
     outer_slots.clear();
@@ -501,14 +571,24 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       next_active.push_back(s);
     }
 
+    take_phase(shard.phases.residual_seconds);
+
     if (!rho_slots.empty()) {
       batch_scale_rho(*shard.dev, model_, shard.states[static_cast<std::size_t>(buf)], rho_slots,
                       rho_factors);
     }
     if (!outer_slots.empty()) {
-      batch_update_outer_multiplier(*shard.dev, mview_, views, outer_slots,
-                                    params_.lambda_bound);
+      if (interleaved) {
+        pack_tile_groups(outer_slots, shard.outer_groups);
+        batch_update_outer_multiplier(*shard.dev, mview_, views,
+                                      std::span<const TileGroup>(shard.outer_groups),
+                                      params_.lambda_bound);
+      } else {
+        batch_update_outer_multiplier(*shard.dev, mview_, views, outer_slots,
+                                      params_.lambda_bound);
+      }
     }
+    take_phase(shard.phases.outer_seconds);
     // Beta escalation applies after the multiplier update, exactly as in
     // the sequential outer loop.
     for (const auto& [s, beta] : beta_updates) set_beta(s, beta);
@@ -523,6 +603,7 @@ void BatchAdmmSolver::evaluate_shard(int shard_id, int buf, std::span<const int>
   if (globals.empty()) return;
   const admm::BatchAdmmState& state =
       shards_[static_cast<std::size_t>(shard_id)].states[static_cast<std::size_t>(buf)];
+  const admm::BatchIndexer idx = state.indexer();
   const auto w = state.bus_w.to_host();
   const auto theta = state.bus_theta.to_host();
   const auto pg = state.gen_pg.to_host();
@@ -530,7 +611,7 @@ void BatchAdmmSolver::evaluate_shard(int shard_id, int buf, std::span<const int>
   for (const int s : globals) {
     const auto& sc = scenarios_[static_cast<std::size_t>(s)];
     const int slot = plan_.slot_of[static_cast<std::size_t>(s)];
-    auto sol = slice_solution(net_, w, theta, pg, qg, slot);
+    auto sol = slice_solution(net_, idx, w, theta, pg, qg, slot);
     apply_scenario_loads(eval_net, sc);
     report.records[static_cast<std::size_t>(s)] =
         make_record(s, sc, stats_[static_cast<std::size_t>(s)],
@@ -543,14 +624,18 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   WallTimer total;
   ScenarioReport report;
   const int S = num_scenarios();
-  ensure_storage(options.ping_pong);
+  ensure_storage(options.ping_pong, options.layout);
   report.num_shards = num_shards();
   ctrl_.assign(static_cast<std::size_t>(S), Control{});
   beta_.assign(static_cast<std::size_t>(S), 0.0);
   rho_scale_.assign(static_cast<std::size_t>(S), 1.0);
   stats_.assign(static_cast<std::size_t>(S), admm::AdmmStats{});
   report.records.assign(static_cast<std::size_t>(S), ScenarioRecord{});
-  for (auto& shard : shards_) shard.branch_stats = admm::BranchUpdateStats{};
+  for (auto& shard : shards_) {
+    shard.branch_stats = admm::BranchUpdateStats{};
+    shard.phases = PhaseBreakdown{};
+    shard.fused_steps = 0;
+  }
   if (plan_.ping_pong) pp_solutions_.assign(static_cast<std::size_t>(S), grid::OpfSolution{});
 
   if (!options.initial_iterates.empty()) {
@@ -682,6 +767,8 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
     report.branch.cg_iterations += shard.branch_stats.cg_iterations;
     report.branch.auglag_iterations += shard.branch_stats.auglag_iterations;
     report.branch.failures += shard.branch_stats.failures;
+    report.phases += shard.phases;
+    report.fused_steps += shard.fused_steps;
   }
   report.total_seconds = total.seconds();
   solved_ = true;
@@ -692,19 +779,22 @@ grid::OpfSolution BatchAdmmSolver::solution(int s) const {
   require(s >= 0 && s < num_scenarios(), "BatchAdmmSolver::solution: scenario out of range");
   require(solved_, "BatchAdmmSolver::solution: valid only after solve()");
   if (plan_.ping_pong) return pp_solutions_[static_cast<std::size_t>(s)];
-  // Strided slice download: move only scenario s's data, not the batch.
+  // Slot-slice download: move only scenario s's data, not the batch
+  // (contiguous in scenario-major, one strided gather per array when
+  // interleaved).
   const Shard& shard =
       shards_[static_cast<std::size_t>(plan_.shard_of[static_cast<std::size_t>(s)])];
   const admm::BatchAdmmState& state = shard.states.front();
+  const admm::BatchIndexer idx = state.indexer();
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
-  const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
+  const int slot = plan_.slot_of[static_cast<std::size_t>(s)];
   std::vector<double> w(nb), theta(nb), pg(ng), qg(ng);
-  state.bus_w.download_slice(slot * nb, w);
-  state.bus_theta.download_slice(slot * nb, theta);
-  state.gen_pg.download_slice(slot * ng, pg);
-  state.gen_qg.download_slice(slot * ng, qg);
-  return slice_solution(net_, w, theta, pg, qg, /*s=*/0);
+  download_slot(state.bus_w, idx, slot, w);
+  download_slot(state.bus_theta, idx, slot, theta);
+  download_slot(state.gen_pg, idx, slot, pg);
+  download_slot(state.gen_qg, idx, slot, qg);
+  return slice_solution(net_, admm::BatchIndexer{}, w, theta, pg, qg, /*s=*/0);
 }
 
 admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
@@ -718,11 +808,12 @@ admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
   const Shard& shard =
       shards_[static_cast<std::size_t>(plan_.shard_of[static_cast<std::size_t>(s)])];
   const admm::BatchAdmmState& state = shard.states[static_cast<std::size_t>(buffer_of(s))];
+  const admm::BatchIndexer idx = state.indexer();
   const auto np = static_cast<std::size_t>(model_.num_pairs);
   const auto nb = static_cast<std::size_t>(model_.num_buses);
   const auto ng = static_cast<std::size_t>(model_.num_gens);
   const auto nl = static_cast<std::size_t>(model_.num_branches);
-  const auto slot = static_cast<std::size_t>(plan_.slot_of[static_cast<std::size_t>(s)]);
+  const int slot = plan_.slot_of[static_cast<std::size_t>(s)];
   admm::WarmStartIterate it;
   it.u.resize(np);
   it.v.resize(np);
@@ -737,19 +828,19 @@ admm::WarmStartIterate BatchAdmmSolver::export_iterate(int s) const {
   it.branch_s.resize(2 * nl);
   it.branch_lambda.resize(2 * nl);
   it.rho.resize(np);
-  state.u.download_slice(slot * np, it.u);
-  state.v.download_slice(slot * np, it.v);
-  state.z.download_slice(slot * np, it.z);
-  state.y.download_slice(slot * np, it.y);
-  state.lz.download_slice(slot * np, it.lz);
-  state.bus_w.download_slice(slot * nb, it.bus_w);
-  state.bus_theta.download_slice(slot * nb, it.bus_theta);
-  state.gen_pg.download_slice(slot * ng, it.gen_pg);
-  state.gen_qg.download_slice(slot * ng, it.gen_qg);
-  state.branch_x.download_slice(slot * 4 * nl, it.branch_x);
-  state.branch_s.download_slice(slot * 2 * nl, it.branch_s);
-  state.branch_lambda.download_slice(slot * 2 * nl, it.branch_lambda);
-  state.rho.download_slice(slot * np, it.rho);
+  download_slot(state.u, idx, slot, it.u);
+  download_slot(state.v, idx, slot, it.v);
+  download_slot(state.z, idx, slot, it.z);
+  download_slot(state.y, idx, slot, it.y);
+  download_slot(state.lz, idx, slot, it.lz);
+  download_slot(state.bus_w, idx, slot, it.bus_w);
+  download_slot(state.bus_theta, idx, slot, it.bus_theta);
+  download_slot(state.gen_pg, idx, slot, it.gen_pg);
+  download_slot(state.gen_qg, idx, slot, it.gen_qg);
+  download_slot(state.branch_x, idx, slot, it.branch_x);
+  download_slot(state.branch_s, idx, slot, it.branch_s);
+  download_slot(state.branch_lambda, idx, slot, it.branch_lambda);
+  download_slot(state.rho, idx, slot, it.rho);
   it.beta = beta_[static_cast<std::size_t>(s)];
   it.rho_scale = rho_scale_[static_cast<std::size_t>(s)];
   return it;
@@ -764,13 +855,14 @@ std::vector<grid::OpfSolution> BatchAdmmSolver::solutions() const {
     const auto& owned = plan_.shard_scenarios[static_cast<std::size_t>(d)];
     if (owned.empty()) continue;
     const admm::BatchAdmmState& state = shard.states.front();
+    const admm::BatchIndexer idx = state.indexer();
     const auto w = state.bus_w.to_host();
     const auto theta = state.bus_theta.to_host();
     const auto pg = state.gen_pg.to_host();
     const auto qg = state.gen_qg.to_host();
     for (const int s : owned) {
       result[static_cast<std::size_t>(s)] = slice_solution(
-          net_, w, theta, pg, qg, plan_.slot_of[static_cast<std::size_t>(s)]);
+          net_, idx, w, theta, pg, qg, plan_.slot_of[static_cast<std::size_t>(s)]);
     }
   }
   return result;

@@ -48,6 +48,15 @@
 namespace gridadmm::scenario {
 
 struct BatchSolveOptions {
+  /// Batch memory layout (see admm/batch_state.hpp). kScenarioMajor keeps
+  /// each scenario's state contiguous; kInterleaved tiles the batch
+  /// component-major with the scenario lane innermost, so the elementwise
+  /// fused kernels run unit-stride (vectorizable) lane loops over
+  /// kTileWidth adjacent scenarios and launch ~kTileWidth fewer blocks.
+  /// Results are bit-identical either way (asserted by
+  /// tests/test_batch_admm.cpp); interleaved is the throughput layout for
+  /// S >= kTileWidth, scenario-major avoids tile padding for tiny batches.
+  admm::BatchLayout layout = admm::BatchLayout::kScenarioMajor;
   /// Solve the unmodified base case first (sequentially) and fan its full
   /// iterate out to every chain-root scenario as a warm start.
   bool warm_start_from_base = false;
@@ -146,9 +155,16 @@ class BatchAdmmSolver {
     std::vector<std::vector<admm::ScenarioView>> views;  ///< [buffer][slot]
     std::vector<admm::BranchWorkspace> branch_lanes;     ///< reused across fused steps
     admm::BranchUpdateStats branch_stats;
+    /// Interleaved tile-packing scratch, reused across fused steps (and
+    /// solves): pack_tile_groups clears but never shrinks them, so the hot
+    /// loop allocates nothing once their capacity is reached.
+    std::vector<TileGroup> tile_groups;
+    std::vector<TileGroup> outer_groups;
+    PhaseBreakdown phases;       ///< per-phase wall time of this shard's loop
+    std::uint64_t fused_steps = 0;  ///< while-loop iterations executed
   };
 
-  void ensure_storage(bool ping_pong);
+  void ensure_storage(bool ping_pong, admm::BatchLayout layout);
   [[nodiscard]] int buffer_of(int s) const {
     return plan_.ping_pong ? plan_.wave_of[static_cast<std::size_t>(s)] % 2 : 0;
   }
@@ -183,6 +199,7 @@ class BatchAdmmSolver {
   std::vector<double> rho0_;       ///< model rho (host copy for staging)
   BatchPlan plan_;
   std::vector<Shard> shards_;
+  admm::BatchLayout layout_ = admm::BatchLayout::kScenarioMajor;  ///< of current storage
   bool storage_ready_ = false;
   bool solved_ = false;
   std::vector<Control> ctrl_;

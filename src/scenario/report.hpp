@@ -30,6 +30,36 @@ struct ScenarioRecord {
   double seconds = 0.0;
 };
 
+/// Wall time attributed to each phase of the fused iteration loop,
+/// accumulated per kernel call. Shards run concurrently, so with D > 1
+/// these are CPU-attributed sums across shards (they can exceed the loop's
+/// wall time); per phase they remain comparable between layouts and are
+/// what bench_kernel_breakdown records.
+struct PhaseBreakdown {
+  double generator_seconds = 0.0;  ///< fused generator-update launches
+  double branch_seconds = 0.0;     ///< fused TRON branch-update launches
+  double bus_seconds = 0.0;        ///< fused bus-update launches
+  double zy_seconds = 0.0;         ///< fused z+y launches
+  /// Host-side per-scenario work between kernels: tile packing, residual
+  /// max-collection, convergence control flow.
+  double residual_seconds = 0.0;
+  /// Outer-transition launches: adaptive-rho rescale + outer multiplier.
+  double outer_seconds = 0.0;
+  /// On-device warm-start chaining: state copy + ramp-bound launches.
+  double chain_seconds = 0.0;
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& other) {
+    generator_seconds += other.generator_seconds;
+    branch_seconds += other.branch_seconds;
+    bus_seconds += other.bus_seconds;
+    zy_seconds += other.zy_seconds;
+    residual_seconds += other.residual_seconds;
+    outer_seconds += other.outer_seconds;
+    chain_seconds += other.chain_seconds;
+    return *this;
+  }
+};
+
 struct ScenarioReport {
   std::vector<ScenarioRecord> records;
   std::vector<admm::AdmmStats> stats;  ///< full per-scenario solver stats
@@ -50,6 +80,11 @@ struct ScenarioReport {
   /// window, so treat it as an upper bound there.
   std::uint64_t transfers_during_iterations = 0;
   double base_solve_seconds = 0.0;   ///< warm-start base solve, when requested
+  /// Per-phase attribution of the fused loop (summed across shards).
+  PhaseBreakdown phases;
+  /// Fused steps executed (while-loop iterations, summed across shards and
+  /// waves): the denominator for per-iteration phase figures.
+  std::uint64_t fused_steps = 0;
 
   [[nodiscard]] int num_converged() const;
   [[nodiscard]] double scenarios_per_second() const;

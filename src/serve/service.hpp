@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "admm/batch_state.hpp"
 #include "admm/params.hpp"
 #include "device/device.hpp"
 #include "device/pool.hpp"
@@ -70,6 +71,11 @@ struct ServiceOptions {
   int max_queue_depth = 256;
   /// Warm-start cache sizing and neighbor distance.
   CacheOptions cache;
+  /// Batch memory layout for the fused micro-batch solves (see
+  /// scenario::BatchSolveOptions::layout). Interleaved vectorizes the
+  /// elementwise kernels across the batch's requests; results are
+  /// identical either way.
+  admm::BatchLayout layout = admm::BatchLayout::kScenarioMajor;
   /// Devices in the service-owned pool. Micro-batches are routed to the
   /// least-loaded device, so up to num_devices batches solve concurrently.
   int num_devices = 1;
