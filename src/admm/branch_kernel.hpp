@@ -7,73 +7,23 @@
 // quadratic penalties, and the line limits p^2+q^2+s = 0 (s in [-rate^2, 0])
 // are handled by a LANCELOT-style augmented Lagrangian whose multipliers
 // persist across ADMM iterations (warm start). Each subproblem is solved by
-// TRON; the batch runs one device block per branch, exactly the ExaTron
-// execution model of paper Section III-B.
+// TRON — by default the fixed-dimension devirtualized fast path
+// (tron/small_tron.hpp; AdmmParams::branch_solver selects the generic
+// reference instead, bit-identically). The batch runs one device block per
+// branch, exactly the ExaTron execution model of paper Section III-B; see
+// admm/branch_problem.hpp for the problem and per-lane workspace types.
 #pragma once
 
+#include "admm/branch_problem.hpp"
 #include "admm/kernels_core.hpp"
 #include "admm/params.hpp"
 #include "admm/state.hpp"
 #include "device/device.hpp"
-#include "grid/flows.hpp"
-#include "tron/tron.hpp"
 
 namespace gridadmm::admm {
 
-/// Aggregate branch-solve statistics for one ADMM iteration.
-struct BranchUpdateStats {
-  int tron_iterations = 0;
-  int cg_iterations = 0;
-  int auglag_iterations = 0;
-  int failures = 0;  ///< subproblems ending in line-search failure
-};
-
 void update_branches(device::Device& dev, const ComponentModel& model, const AdmmParams& params,
                      AdmmState& state, BranchUpdateStats* stats = nullptr);
-
-/// The TRON problem for one branch; exposed for unit testing.
-class BranchProblem final : public tron::TronProblem {
- public:
-  /// Binds problem data for branch `l`. `d[k]`, `yk[k]`, `rhok[k]` are the
-  /// pair offsets (z_k - v_k), multipliers, and penalties for the branch's
-  /// 8 pairs; adm points to its 8 admittance coefficients.
-  void bind(const double* adm, const double* vbound, double rate2, const double* d,
-            const double* yk, const double* rhok);
-  void set_line_multipliers(double lam_ij, double lam_ji, double rho_t);
-
-  [[nodiscard]] int dim() const override { return rate2_ > 0.0 ? 6 : 4; }
-  void bounds(std::span<double> lower, std::span<double> upper) const override;
-  double eval_f(std::span<const double> x) override;
-  void eval_gradient(std::span<const double> x, std::span<double> grad) override;
-  void eval_hessian(std::span<const double> x, linalg::DenseMatrix& hess) override;
-
-  /// Line-limit constraint values c = p^2 + q^2 + s at x (rated only).
-  void constraint_values(std::span<const double> x, double& cij, double& cji) const;
-
- private:
-  grid::BranchAdmittance adm_{};
-  double vbound_[4] = {0, 0, 0, 0};
-  double rate2_ = 0.0;
-  double d_[8] = {0};
-  double yk_[8] = {0};
-  double rhok_[8] = {0};
-  double lam_ij_ = 0.0, lam_ji_ = 0.0, rho_t_ = 0.0;
-  // Objective normalization: the consensus penalties scale like
-  // rho * admittance^2, which can reach 1e7-1e9; TRON's absolute gradient
-  // tolerance only makes sense at O(1), so every eval is multiplied by
-  // scale_ = 1 / max(1, max_k rho_k, rho_t). The minimizer is unchanged.
-  double scale_ = 1.0;
-};
-
-/// Per-worker-lane scratch for the branch updates: one TRON solver and one
-/// problem instance, reused across all branches the lane processes. The pad
-/// keeps the stats counters of neighboring lanes off the same cache line.
-struct BranchWorkspace {
-  tron::TronSolver solver;
-  BranchProblem problem;
-  BranchUpdateStats stats;
-  char pad[64] = {0};
-};
 
 /// Solves the branch-l subproblem against the scenario's iterate: the full
 /// TRON (+ LANCELOT augmented-Lagrangian when rated) solve of one device
@@ -81,5 +31,13 @@ struct BranchWorkspace {
 /// Out-of-service branches (scenario outage mask) are skipped.
 void branch_update_one(const ModelView& m, const AdmmParams& params, const ScenarioView& s, int l,
                        BranchWorkspace& ws);
+
+/// Sizes `lanes` to one workspace per device worker and rebinds the TRON
+/// options, which may have changed between solves. When the size already
+/// matches — every call after the first, since a state's lanes always
+/// serve the same device — the workspaces are reused untouched; a worker-
+/// count change reconstructs the vector.
+void ensure_branch_lanes(std::vector<BranchWorkspace>& lanes, int workers,
+                         const AdmmParams& params);
 
 }  // namespace gridadmm::admm

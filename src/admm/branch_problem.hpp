@@ -1,0 +1,295 @@
+// The TRON problem for one ADMM branch subproblem (paper eq. (4)) and the
+// per-lane workspace that solves it.
+//
+// Variables are chi = (vi, vj, thi, thj) plus two line-limit slacks
+// (sij, sji) when the branch is rated, so dim() is exactly 4 or 6 — a
+// compile-time fact the fast path exploits: BranchWorkspace carries a
+// SmallTronSolver<4> and a SmallTronSolver<6> (tron/small_tron.hpp) next to
+// the generic TronSolver, and the branch kernel dispatches on
+// AdmmParams::branch_solver. The Hessian evaluation is a single template
+// (eval_hessian_into) instantiated for both DenseMatrix and SmallMatrix
+// targets, so the two paths share one copy of the math and stay
+// bit-identical.
+//
+// Split out of branch_kernel.hpp so AdmmState can own persistent
+// BranchWorkspace lanes without a header cycle (state.hpp -> this file;
+// branch_kernel.hpp -> state.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+#include "grid/flows.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/small.hpp"
+#include "tron/small_tron.hpp"
+#include "tron/tron.hpp"
+
+namespace gridadmm::admm {
+
+/// Aggregate branch-solve statistics for one ADMM iteration.
+struct BranchUpdateStats {
+  int tron_iterations = 0;
+  int cg_iterations = 0;
+  int auglag_iterations = 0;
+  int function_evals = 0;  ///< branch objective evaluations inside TRON
+  int failures = 0;        ///< subproblems ending in line-search failure
+
+  BranchUpdateStats& operator+=(const BranchUpdateStats& other) {
+    tron_iterations += other.tron_iterations;
+    cg_iterations += other.cg_iterations;
+    auglag_iterations += other.auglag_iterations;
+    function_evals += other.function_evals;
+    failures += other.failures;
+    return *this;
+  }
+};
+
+/// The TRON problem for one branch; exposed for unit testing.
+class BranchProblem final : public tron::TronProblem {
+ public:
+  /// Binds problem data for branch `l`. `d[k]`, `yk[k]`, `rhok[k]` are the
+  /// pair offsets (z_k - v_k), multipliers, and penalties for the branch's
+  /// 8 pairs; adm points to its 8 admittance coefficients.
+  void bind(const double* adm, const double* vbound, double rate2, const double* d,
+            const double* yk, const double* rhok);
+  void set_line_multipliers(double lam_ij, double lam_ji, double rho_t);
+
+  [[nodiscard]] int dim() const override { return rate2_ > 0.0 ? 6 : 4; }
+  void bounds(std::span<double> lower, std::span<double> upper) const override;
+  double eval_f(std::span<const double> x) override;
+  void eval_gradient(std::span<const double> x, std::span<double> grad) override;
+  void eval_hessian(std::span<const double> x, linalg::DenseMatrix& hess) override {
+    eval_hessian_into(x, hess);
+  }
+
+  /// One copy of the Hessian math for every matrix target: DenseMatrix for
+  /// the generic TronSolver, SmallMatrix<4>/<6> for the fixed-dimension
+  /// fast path. `Mat` needs set_zero() and operator()(int, int).
+  template <typename Mat>
+  void eval_hessian_into(std::span<const double> x, Mat& hess);
+
+  // ---- Prepared (fused) evaluation: the fast-path surface ----
+  //
+  // The generic TronProblem interface evaluates f, gradient, and Hessian
+  // through independent virtual calls, each re-deriving the branch flows
+  // (a sin/cos plus the 4x4 flow Jacobian) from scratch — four
+  // trigonometric evaluations per accepted TRON iteration. The prepared
+  // surface evaluates the point ONCE: eval_f_prepared computes the flow
+  // values, Jacobian, and (rated) constraint subexpressions and caches
+  // them; eval_gradient_prepared / eval_hessian_prepared then read the
+  // cache. Every cached value is produced by the exact expressions the
+  // plain entry points use, so the prepared results are bit-identical to
+  // eval_f / eval_gradient / eval_hessian_into at the same x (asserted by
+  // tests/test_tron.cpp through whole-solve bit-equality).
+  //
+  // Contract: eval_gradient_prepared and eval_hessian_prepared require the
+  // last eval_f_prepared call to have been at a bitwise-equal x with the
+  // same bound data and multipliers — exactly the call pattern of
+  // SmallTronSolver, which (re)evaluates gradient and Hessian only at the
+  // accepted point whose objective it just evaluated.
+
+  // Defined inline below: these run ~100M times per batch solve and the
+  // call overhead of an out-of-line definition is measurable against their
+  // few dozen flops.
+
+  /// Evaluates f at x and caches the point (flows, Jacobian, rated tail).
+  inline double eval_f_prepared(std::span<const double> x);
+  /// Gradient at the prepared point.
+  inline void eval_gradient_prepared(std::span<const double> x, std::span<double> grad) const;
+  /// Hessian at the prepared point.
+  template <typename Mat>
+  void eval_hessian_prepared(std::span<const double> x, Mat& hess) const;
+
+  /// Line-limit constraint values c = p^2 + q^2 + s at x (rated only).
+  void constraint_values(std::span<const double> x, double& cij, double& cji) const;
+
+ private:
+  grid::BranchAdmittance adm_{};
+  double vbound_[4] = {0, 0, 0, 0};
+  double rate2_ = 0.0;
+  double d_[8] = {0};
+  double yk_[8] = {0};
+  double rhok_[8] = {0};
+  double lam_ij_ = 0.0, lam_ji_ = 0.0, rho_t_ = 0.0;
+  // Objective normalization: the consensus penalties scale like
+  // rho * admittance^2, which can reach 1e7-1e9; TRON's absolute gradient
+  // tolerance only makes sense at O(1), so every eval is multiplied by
+  // scale_ = 1 / max(1, max_k rho_k, rho_t). The minimizer is unchanged.
+  double scale_ = 1.0;
+  double rho_max_ = 1.0;  ///< max(1, max_k rho_k), cached at bind time
+
+  // Prepared-point cache (see the fused-evaluation contract above).
+  grid::FlowTrig ptrig_;       ///< cos/sin/vv at the prepared x
+  grid::FlowValues pf_;        ///< flow values
+  grid::FlowGradients pjac_;   ///< flow Jacobian
+  double pcij_ = 0.0, pcji_ = 0.0;  ///< constraint values (rated)
+  double ptij_ = 0.0, ptji_ = 0.0;  ///< first-order multipliers lam + rho_t c
+  double pgij_[4] = {0}, pgji_[4] = {0};  ///< constraint gradients (rated)
+};
+
+extern template void BranchProblem::eval_hessian_into(std::span<const double>,
+                                                      linalg::DenseMatrix&);
+extern template void BranchProblem::eval_hessian_into(std::span<const double>,
+                                                      linalg::SmallMatrix<4>&);
+extern template void BranchProblem::eval_hessian_into(std::span<const double>,
+                                                      linalg::SmallMatrix<6>&);
+
+inline double BranchProblem::eval_f_prepared(std::span<const double> x) {
+  // One trigonometric evaluation and one flow-Jacobian pass serve f,
+  // gradient, and Hessian at this point. The flow values produced by
+  // eval_flow_gradients are bit-identical to eval_flows' (same
+  // subexpressions), so the objective below matches eval_f exactly.
+  ptrig_ = grid::flow_trig(x[0], x[1], x[2], x[3]);
+  grid::eval_flow_gradients(adm_, x[0], x[1], ptrig_, pf_, pjac_);
+  double obj = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    const double t = pf_[k] + d_[k];
+    obj += yk_[k] * t + 0.5 * rhok_[k] * t * t;
+  }
+  const double uw[4] = {x[0] * x[0], x[2], x[1] * x[1], x[3]};
+  for (int k = 0; k < 4; ++k) {
+    const double t = uw[k] + d_[4 + k];
+    obj += yk_[4 + k] * t + 0.5 * rhok_[4 + k] * t * t;
+  }
+  if (rate2_ > 0.0) {
+    pcij_ = pf_[grid::kPij] * pf_[grid::kPij] + pf_[grid::kQij] * pf_[grid::kQij] + x[4];
+    pcji_ = pf_[grid::kPji] * pf_[grid::kPji] + pf_[grid::kQji] * pf_[grid::kQji] + x[5];
+    ptij_ = lam_ij_ + rho_t_ * pcij_;
+    ptji_ = lam_ji_ + rho_t_ * pcji_;
+    for (int a = 0; a < 4; ++a) {
+      pgij_[a] = 2.0 * pf_[grid::kPij] * pjac_.g[grid::kPij][a] +
+                 2.0 * pf_[grid::kQij] * pjac_.g[grid::kQij][a];
+      pgji_[a] = 2.0 * pf_[grid::kPji] * pjac_.g[grid::kPji][a] +
+                 2.0 * pf_[grid::kQji] * pjac_.g[grid::kQji][a];
+    }
+    obj += lam_ij_ * pcij_ + 0.5 * rho_t_ * pcij_ * pcij_;
+    obj += lam_ji_ * pcji_ + 0.5 * rho_t_ * pcji_ * pcji_;
+  }
+  return scale_ * obj;
+}
+
+inline void BranchProblem::eval_gradient_prepared(std::span<const double> x,
+                                                  std::span<double> grad) const {
+  std::fill(grad.begin(), grad.end(), 0.0);
+  for (int k = 0; k < 4; ++k) {
+    const double w = yk_[k] + rhok_[k] * (pf_[k] + d_[k]);
+    for (int a = 0; a < 4; ++a) grad[a] += w * pjac_.g[k][a];
+  }
+  // Voltage terms.
+  const double wwi = yk_[4] + rhok_[4] * (x[0] * x[0] + d_[4]);
+  grad[0] += wwi * 2.0 * x[0];
+  grad[2] += yk_[5] + rhok_[5] * (x[2] + d_[5]);
+  const double wwj = yk_[6] + rhok_[6] * (x[1] * x[1] + d_[6]);
+  grad[1] += wwj * 2.0 * x[1];
+  grad[3] += yk_[7] + rhok_[7] * (x[3] + d_[7]);
+  if (rate2_ > 0.0) {
+    // pgij_ holds exactly the parenthesized sums the plain gradient forms
+    // inline, so these += are the same operations on the same values.
+    for (int a = 0; a < 4; ++a) {
+      grad[a] += ptij_ * pgij_[a];
+      grad[a] += ptji_ * pgji_[a];
+    }
+    grad[4] = ptij_;
+    grad[5] = ptji_;
+  }
+  for (double& g : grad) g *= scale_;
+}
+
+template <typename Mat>
+void BranchProblem::eval_hessian_prepared(std::span<const double> x, Mat& hess) const {
+  hess.set_zero();
+  double h4[16] = {0};
+
+  std::array<double, 4> curve_w{};
+  for (int k = 0; k < 4; ++k) {
+    const double w = yk_[k] + rhok_[k] * (pf_[k] + d_[k]);
+    curve_w[k] = w;
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) h4[a * 4 + b] += rhok_[k] * pjac_.g[k][a] * pjac_.g[k][b];
+    }
+  }
+
+  if (rate2_ > 0.0) {
+    curve_w[grid::kPij] += 2.0 * ptij_ * pf_[grid::kPij];
+    curve_w[grid::kQij] += 2.0 * ptij_ * pf_[grid::kQij];
+    curve_w[grid::kPji] += 2.0 * ptji_ * pf_[grid::kPji];
+    curve_w[grid::kQji] += 2.0 * ptji_ * pf_[grid::kQji];
+    for (int a = 0; a < 4; ++a) {
+      for (int b = 0; b < 4; ++b) {
+        h4[a * 4 + b] += rho_t_ * (pgij_[a] * pgij_[b] + pgji_[a] * pgji_[b]);
+        h4[a * 4 + b] += 2.0 * ptij_ * (pjac_.g[grid::kPij][a] * pjac_.g[grid::kPij][b] +
+                                        pjac_.g[grid::kQij][a] * pjac_.g[grid::kQij][b]);
+        h4[a * 4 + b] += 2.0 * ptji_ * (pjac_.g[grid::kPji][a] * pjac_.g[grid::kPji][b] +
+                                        pjac_.g[grid::kQji][a] * pjac_.g[grid::kQji][b]);
+      }
+    }
+  }
+  grid::accumulate_flow_hessian(adm_, x[0], x[1], ptrig_, curve_w, h4);
+
+  // Voltage-pair terms.
+  const double wwi = yk_[4] + rhok_[4] * (x[0] * x[0] + d_[4]);
+  h4[0] += 2.0 * wwi + rhok_[4] * 4.0 * x[0] * x[0];
+  h4[2 * 4 + 2] += rhok_[5];
+  const double wwj = yk_[6] + rhok_[6] * (x[1] * x[1] + d_[6]);
+  h4[1 * 4 + 1] += 2.0 * wwj + rhok_[6] * 4.0 * x[1] * x[1];
+  h4[3 * 4 + 3] += rhok_[7];
+
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) hess(a, b) = scale_ * h4[a * 4 + b];
+  }
+  if (rate2_ > 0.0) {
+    for (int a = 0; a < 4; ++a) {
+      hess(a, 4) = scale_ * rho_t_ * pgij_[a];
+      hess(4, a) = scale_ * rho_t_ * pgij_[a];
+      hess(a, 5) = scale_ * rho_t_ * pgji_[a];
+      hess(5, a) = scale_ * rho_t_ * pgji_[a];
+    }
+    hess(4, 4) = scale_ * rho_t_;
+    hess(5, 5) = scale_ * rho_t_;
+    hess(4, 5) = 0.0;
+    hess(5, 4) = 0.0;
+  }
+}
+
+/// Per-worker-lane scratch for the branch updates: one problem instance and
+/// the three solver variants — the fixed-dimension pair (unrated branches
+/// solve in 4 variables, rated ones in 6) and the generic reference — so
+/// one lane serves every branch it processes whatever path is selected.
+/// Owned persistently (AdmmState / the batch engine's shards) and reused
+/// across all fused steps; the construction counter lets tests assert the
+/// hot path never rebuilds workspaces. The pad keeps the stats counters of
+/// neighboring lanes off the same cache line.
+struct BranchWorkspace {
+  BranchWorkspace() { created_counter().fetch_add(1, std::memory_order_relaxed); }
+
+  BranchProblem problem;
+  tron::SmallTronSolver<4> solver4;  ///< fast path, unrated (no line limit)
+  tron::SmallTronSolver<6> solver6;  ///< fast path, rated (+ 2 slacks)
+  tron::TronSolver generic;          ///< reference path (virtual dispatch)
+  BranchUpdateStats stats;
+  char pad[64] = {0};
+
+  /// Applies one TronOptions to all three solver variants.
+  void bind_options(const tron::TronOptions& options) {
+    solver4.options() = options;
+    solver6.options() = options;
+    generic.options() = options;
+  }
+
+  /// Process-wide count of default constructions. Steady-state solves must
+  /// not grow it: the per-launch workspace-reconstruction bug this PR fixes
+  /// showed up as one increment per lane per kernel launch.
+  static std::uint64_t created() {
+    return created_counter().load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<std::uint64_t>& created_counter() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter;
+  }
+};
+
+}  // namespace gridadmm::admm

@@ -3,6 +3,9 @@
 // property, asserted by tests/test_admm.cpp).
 #pragma once
 
+#include <vector>
+
+#include "admm/branch_problem.hpp"
 #include "admm/component_model.hpp"
 #include "device/buffer.hpp"
 
@@ -31,6 +34,13 @@ struct AdmmState {
   device::DeviceBuffer<double> branch_lambda;  ///< 2 per branch
 
   double beta = 0.0;  ///< outer penalty on z = 0
+
+  /// Persistent per-worker-lane TRON workspaces for the branch kernel:
+  /// sized lazily to the device's worker count on the first branch launch
+  /// and reused across every subsequent launch and solve, so the hot loop
+  /// never reconstructs solver state (host-side zero-steady-state-
+  /// allocation, the branch-phase analogue of the device-buffer invariant).
+  std::vector<BranchWorkspace> branch_lanes;
 
   /// Allocates all buffers for the given model (zero-filled).
   static AdmmState zeros(const ComponentModel& model);

@@ -4,34 +4,13 @@
 
 namespace gridadmm::grid {
 
-namespace {
-
-/// Coefficients of the generic flow form F = alpha v_side^2 + vi vj K(theta),
-/// K = A cos(theta) + B sin(theta).
-struct Coeffs {
-  double alpha;
-  int side;  // 0: alpha multiplies vi^2, 1: vj^2
-  double a, b;
-};
-
-inline Coeffs coeffs(const BranchAdmittance& y, int flow) {
-  switch (flow) {
-    case kPij: return {y.gii, 0, y.gij, y.bij};
-    case kQij: return {-y.bii, 0, -y.bij, y.gij};
-    case kPji: return {y.gjj, 1, y.gji, -y.bji};
-    default:   return {-y.bjj, 1, -y.bji, -y.gji};
-  }
-}
-
-}  // namespace
-
 FlowValues eval_flows(const BranchAdmittance& y, double vi, double vj, double ti, double tj) {
   const double c = std::cos(ti - tj);
   const double s = std::sin(ti - tj);
   const double vv = vi * vj;
   FlowValues out;
   for (int flow = 0; flow < 4; ++flow) {
-    const Coeffs k = coeffs(y, flow);
+    const detail::Coeffs k = detail::coeffs(y, flow);
     const double vside = k.side == 0 ? vi : vj;
     out.f[flow] = k.alpha * vside * vside + vv * (k.a * c + k.b * s);
   }
@@ -40,63 +19,12 @@ FlowValues eval_flows(const BranchAdmittance& y, double vi, double vj, double ti
 
 void eval_flow_gradients(const BranchAdmittance& y, double vi, double vj, double ti, double tj,
                          FlowValues& values, FlowGradients& grads) {
-  const double c = std::cos(ti - tj);
-  const double s = std::sin(ti - tj);
-  const double vv = vi * vj;
-  for (int flow = 0; flow < 4; ++flow) {
-    const Coeffs k = coeffs(y, flow);
-    const double kk = k.a * c + k.b * s;    // K(theta)
-    const double kp = -k.a * s + k.b * c;   // K'(theta)
-    const double vside = k.side == 0 ? vi : vj;
-    values.f[flow] = k.alpha * vside * vside + vv * kk;
-    auto& g = grads.g[flow];
-    g[0] = (k.side == 0 ? 2.0 * k.alpha * vi : 0.0) + vj * kk;  // d/dvi
-    g[1] = (k.side == 1 ? 2.0 * k.alpha * vj : 0.0) + vi * kk;  // d/dvj
-    g[2] = vv * kp;                                              // d/dti
-    g[3] = -vv * kp;                                             // d/dtj
-  }
+  eval_flow_gradients(y, vi, vj, flow_trig(vi, vj, ti, tj), values, grads);
 }
 
 void accumulate_flow_hessian(const BranchAdmittance& y, double vi, double vj, double ti,
                              double tj, const std::array<double, 4>& w, double h[16]) {
-  const double c = std::cos(ti - tj);
-  const double s = std::sin(ti - tj);
-  const double vv = vi * vj;
-  for (int flow = 0; flow < 4; ++flow) {
-    const double wf = w[flow];
-    if (wf == 0.0) continue;
-    const Coeffs k = coeffs(y, flow);
-    const double kk = k.a * c + k.b * s;
-    const double kp = -k.a * s + k.b * c;
-    // Second derivatives of F in (vi, vj, ti, tj):
-    //   F_vivi = 2 alpha [side i]     F_vjvj = 2 alpha [side j]
-    //   F_vivj = K
-    //   F_viti = vj K'   F_vitj = -vj K'   F_vjti = vi K'   F_vjtj = -vi K'
-    //   F_titi = F_tjtj = -vi vj K        F_titj = +vi vj K
-    const double h_vivi = k.side == 0 ? 2.0 * k.alpha : 0.0;
-    const double h_vjvj = k.side == 1 ? 2.0 * k.alpha : 0.0;
-    const double h_vivj = kk;
-    const double h_viti = vj * kp;
-    const double h_vjti = vi * kp;
-    const double h_tt = -vv * kk;
-
-    h[0 * 4 + 0] += wf * h_vivi;
-    h[1 * 4 + 1] += wf * h_vjvj;
-    h[0 * 4 + 1] += wf * h_vivj;
-    h[1 * 4 + 0] += wf * h_vivj;
-    h[0 * 4 + 2] += wf * h_viti;
-    h[2 * 4 + 0] += wf * h_viti;
-    h[0 * 4 + 3] += wf * -h_viti;
-    h[3 * 4 + 0] += wf * -h_viti;
-    h[1 * 4 + 2] += wf * h_vjti;
-    h[2 * 4 + 1] += wf * h_vjti;
-    h[1 * 4 + 3] += wf * -h_vjti;
-    h[3 * 4 + 1] += wf * -h_vjti;
-    h[2 * 4 + 2] += wf * h_tt;
-    h[3 * 4 + 3] += wf * h_tt;
-    h[2 * 4 + 3] += wf * -h_tt;
-    h[3 * 4 + 2] += wf * -h_tt;
-  }
+  accumulate_flow_hessian(y, vi, vj, flow_trig(vi, vj, ti, tj), w, h);
 }
 
 }  // namespace gridadmm::grid

@@ -140,6 +140,7 @@ BatchTrackingResult run_batched_tracking_impl(const grid::Network& net,
   scenario::BatchSolveOptions solve_options;
   solve_options.ping_pong = options.ping_pong;
   solve_options.layout = options.layout;
+  solve_options.branch_pack = options.branch_pack;
   BatchTrackingResult result;
   if (pool != nullptr) {
     scenario::BatchAdmmSolver solver(set, params, *pool);

@@ -39,6 +39,10 @@ struct TrackingOptions {
   /// (see scenario::BatchSolveOptions::layout). Interleaved vectorizes the
   /// elementwise kernels across profiles; results are identical either way.
   admm::BatchLayout layout = admm::BatchLayout::kScenarioMajor;
+  /// Batched mode only: branch-pack factor of the TRON branch phase (see
+  /// scenario::BatchSolveOptions::branch_pack). Results are identical for
+  /// every value.
+  int branch_pack = 1;
 };
 
 struct PeriodRecord {

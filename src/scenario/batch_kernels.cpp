@@ -56,29 +56,30 @@ void batch_update_generators(device::Device& dev, const ModelView& m,
 
 void batch_update_branches(device::Device& dev, const ModelView& m,
                            const admm::AdmmParams& params, std::span<const ScenarioView> views,
-                           std::span<const int> slots,
+                           std::span<const int> slots, int pack,
                            std::vector<admm::BranchWorkspace>& lanes,
                            admm::BranchUpdateStats* stats) {
   const int nl = m.num_branches;
-  if (lanes.size() != static_cast<std::size_t>(dev.workers())) {
-    lanes = std::vector<admm::BranchWorkspace>(static_cast<std::size_t>(dev.workers()));
-    for (auto& lane : lanes) lane.solver.options() = params.tron;
-  }
+  admm::ensure_branch_lanes(lanes, dev.workers(), params);
 
-  dev.launch_with_lane(static_cast<int>(slots.size()) * nl,
-                       [&lanes, &params, m, views, slots, nl](int b, int lane_id) {
-                         const int s = slots[static_cast<std::size_t>(b / nl)];
-                         admm::branch_update_one(m, params, views[static_cast<std::size_t>(s)],
-                                                 b % nl, lanes[lane_id]);
-                       });
+  // ceil(total / pack) blocks; block b sweeps the `pack` consecutive
+  // (scenario, branch) subproblems starting at b * pack with one lane
+  // workspace. Each subproblem's solve is independent, so the grouping (and
+  // which worker lane runs it) cannot change any iterate.
+  const int total = static_cast<int>(slots.size()) * nl;
+  const int blocks = (total + pack - 1) / pack;
+  dev.launch_with_lane(blocks, [&lanes, &params, m, views, slots, nl, pack, total](int b,
+                                                                                   int lane_id) {
+    const int end = std::min((b + 1) * pack, total);
+    for (int t = b * pack; t < end; ++t) {
+      const int s = slots[static_cast<std::size_t>(t / nl)];
+      admm::branch_update_one(m, params, views[static_cast<std::size_t>(s)], t % nl,
+                              lanes[lane_id]);
+    }
+  });
 
   for (auto& lane : lanes) {
-    if (stats != nullptr) {
-      stats->tron_iterations += lane.stats.tron_iterations;
-      stats->cg_iterations += lane.stats.cg_iterations;
-      stats->auglag_iterations += lane.stats.auglag_iterations;
-      stats->failures += lane.stats.failures;
-    }
+    if (stats != nullptr) *stats += lane.stats;
     lane.stats = admm::BranchUpdateStats{};
   }
 }

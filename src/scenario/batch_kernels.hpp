@@ -59,10 +59,20 @@ void batch_update_generators(device::Device& dev, const admm::ModelView& m,
 /// and options-bound on first use); hoisting it out of the fused inner loop
 /// avoids per-iteration solver construction. Each call accumulates the
 /// lanes' work into `stats` and clears the lane counters.
+///
+/// `pack` is the branch-pack factor: the launch covers the
+/// |slots| * num_branches (scenario, branch) subproblems with
+/// ceil(total / pack) blocks, each block sweeping `pack` consecutive
+/// subproblems in a lane loop — the TRON analogue of the TileGroup block
+/// amortization of the elementwise kernels. Every subproblem is still
+/// solved exactly once by exactly one lane workspace and each solve is
+/// independent and deterministic, so results are bit-identical for every
+/// pack value; only per-block dispatch overhead changes. pack = 1 is the
+/// classic ExaTron one-block-per-branch launch.
 void batch_update_branches(device::Device& dev, const admm::ModelView& m,
                            const admm::AdmmParams& params,
                            std::span<const admm::ScenarioView> views, std::span<const int> slots,
-                           std::vector<admm::BranchWorkspace>& lanes,
+                           int pack, std::vector<admm::BranchWorkspace>& lanes,
                            admm::BranchUpdateStats* stats);
 
 void batch_update_buses(device::Device& dev, const admm::ModelView& m,

@@ -459,8 +459,8 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       batch_update_generators(*shard.dev, mview_, views, slots);
     }
     take_phase(shard.phases.generator_seconds);
-    batch_update_branches(*shard.dev, mview_, params_, views, slots, shard.branch_lanes,
-                          &shard.branch_stats);
+    batch_update_branches(*shard.dev, mview_, params_, views, slots, options.branch_pack,
+                          shard.branch_lanes, &shard.branch_stats);
     take_phase(shard.phases.branch_seconds);
     if (interleaved) {
       batch_update_buses(*shard.dev, mview_, views, groups, partial_dual, row);
@@ -624,6 +624,7 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   WallTimer total;
   ScenarioReport report;
   const int S = num_scenarios();
+  require(options.branch_pack >= 1, "BatchAdmmSolver::solve: branch_pack must be >= 1");
   ensure_storage(options.ping_pong, options.layout);
   report.num_shards = num_shards();
   ctrl_.assign(static_cast<std::size_t>(S), Control{});
@@ -763,10 +764,7 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   }
   report.stats = stats_;
   for (const auto& shard : shards_) {
-    report.branch.tron_iterations += shard.branch_stats.tron_iterations;
-    report.branch.cg_iterations += shard.branch_stats.cg_iterations;
-    report.branch.auglag_iterations += shard.branch_stats.auglag_iterations;
-    report.branch.failures += shard.branch_stats.failures;
+    report.branch += shard.branch_stats;
     report.phases += shard.phases;
     report.fused_steps += shard.fused_steps;
   }
@@ -937,10 +935,7 @@ ScenarioReport solve_sequential(const ScenarioSet& set, const admm::AdmmParams& 
     auto stats = solver->solve();
     const auto sol = solver->solution();
     apply_scenario_loads(eval_net, sc);
-    report.branch.tron_iterations += stats.branch.tron_iterations;
-    report.branch.cg_iterations += stats.branch.cg_iterations;
-    report.branch.auglag_iterations += stats.branch.auglag_iterations;
-    report.branch.failures += stats.branch.failures;
+    report.branch += stats.branch;
     report.records.push_back(make_record(s, sc, stats, scenario_quality(eval_net, sc, sol)));
     report.stats.push_back(std::move(stats));
     if (children_left[static_cast<std::size_t>(s)] > 0) {

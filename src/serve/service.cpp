@@ -291,6 +291,7 @@ void SolveService::process_batch(Batch work, int shard) {
     scenario::BatchAdmmSolver solver(set, params_, &device);
     scenario::BatchSolveOptions solve_options;
     solve_options.layout = options_.layout;
+    solve_options.branch_pack = options_.branch_pack;
     solve_options.initial_iterates.assign(accepted.size(), nullptr);
     for (std::size_t s = 0; s < accepted.size(); ++s) {
       if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();

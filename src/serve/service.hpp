@@ -76,6 +76,10 @@ struct ServiceOptions {
   /// elementwise kernels across the batch's requests; results are
   /// identical either way.
   admm::BatchLayout layout = admm::BatchLayout::kScenarioMajor;
+  /// Branch-pack factor of the fused micro-batch solves' TRON branch phase
+  /// (see scenario::BatchSolveOptions::branch_pack). Results are identical
+  /// for every value.
+  int branch_pack = 1;
   /// Devices in the service-owned pool. Micro-batches are routed to the
   /// least-loaded device, so up to num_devices batches solve concurrently.
   int num_devices = 1;

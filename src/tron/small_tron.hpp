@@ -1,0 +1,346 @@
+// Fixed-dimension, devirtualized TRON: the branch-kernel fast path.
+//
+// TronSolver (tron.hpp) is a generic solver: virtual TronProblem dispatch
+// on every objective/gradient/Hessian evaluation and heap-allocated
+// workspaces sized at runtime. For the ADMM branch subproblems — 4 or 6
+// variables, solved millions of times per batch — that generality is pure
+// overhead: the dimension is a compile-time fact of the problem family.
+// SmallTronSolver<N> is the ExaTron-style specialization (Kim & Kim,
+// arXiv:2110.06879): every workspace is a stack array of exactly N doubles,
+// the symmetric factorization and subspace CG run over SmallMatrix<N>
+// (linalg/small.hpp), and the problem is a template parameter, so every
+// evaluation call binds statically (no vtable) and every full-space loop
+// has a compile-time trip count the compiler can unroll.
+//
+// The algorithm is an exact operation-for-operation transcription of
+// TronSolver::minimize — same constants (tron.hpp detail), same evaluation
+// order, same reductions through the same linalg::dot/norm2 kernels — so
+// the iterates are bit-identical to the generic solver's, which is what
+// lets the batch engine switch paths without changing a single result
+// (asserted by tests/test_tron.cpp and tests/test_batch_admm.cpp).
+//
+// On top of the transcription, two classes of redundant work are removed —
+// both provably value-preserving, so bit-identity survives:
+//   - Fused point evaluation: the problem's prepared surface
+//     (eval_f_prepared / eval_gradient_prepared / eval_hessian_prepared)
+//     derives f, gradient, and Hessian from ONE trigonometric + Jacobian
+//     evaluation per point, where the generic virtual interface re-derives
+//     the flows for each of the three calls. Gradient/Hessian are only
+//     ever needed at the point whose objective was just evaluated, so the
+//     cache is always hot.
+//   - Exact quadratic reuse: the solver tracks q(s) through the Cauchy and
+//     Armijo updates (each already computes the quadratic value of the s
+//     it installs), so the minor loop's q_s and the acceptance test's
+//     predicted reduction reuse the tracked double instead of re-running
+//     the N^2 quadratic form on bitwise-identical inputs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/small.hpp"
+#include "tron/tron.hpp"
+
+namespace gridadmm::tron {
+
+/// Reusable fixed-dimension solver; the problem's dim() must equal N.
+/// Not thread-safe; use one instance per device lane.
+template <int N>
+class SmallTronSolver {
+ public:
+  explicit SmallTronSolver(TronOptions options = {}) : options_(options) {}
+
+  /// Minimizes `problem` starting from (a clamped copy of) `x`; the
+  /// solution is written back into `x`. `Problem` needs dim(), bounds(),
+  /// and the prepared (fused) evaluation surface: eval_f_prepared,
+  /// eval_gradient_prepared, eval_hessian_prepared(x, SmallMatrix<N>&) —
+  /// see admm::BranchProblem. Calls bind statically to the concrete type.
+  template <typename Problem>
+  TronResult minimize(Problem& problem, std::span<double> x);
+
+  [[nodiscard]] const TronOptions& options() const { return options_; }
+  TronOptions& options() { return options_; }
+
+ private:
+  [[nodiscard]] double quadratic_value(const double* s) const;  // g's + s'Hs/2
+  /// s = P[x - alpha g] - x; returns q(s).
+  double cauchy_step(double alpha, double* s) const;
+  /// Trust-region PCG on the free subspace; returns CG iterations.
+  int subspace_cg(int nf, double radius, double* w, bool& hit_boundary);
+
+  TronOptions options_;
+  double lower_[N] = {}, upper_[N] = {}, x_[N] = {}, g_[N] = {}, s_[N] = {}, s_try_[N] = {},
+         grad_q_[N] = {}, w_full_[N] = {};
+  double r_[N] = {}, z_[N] = {}, p_[N] = {}, hp_[N] = {}, wf_[N] = {};
+  int free_[N] = {};
+  linalg::SmallMatrix<N> hess_, hess_ff_, chol_;
+};
+
+template <int N>
+double SmallTronSolver<N>::quadratic_value(const double* s) const {
+  // q(s) = g's + 0.5 s'Hs
+  double gs = 0.0;
+  double shs = 0.0;
+  for (int i = 0; i < N; ++i) {
+    gs += g_[i] * s[i];
+    double hi = 0.0;
+    for (int j = 0; j < N; ++j) hi += hess_(i, j) * s[j];
+    shs += s[i] * hi;
+  }
+  return gs + 0.5 * shs;
+}
+
+template <int N>
+double SmallTronSolver<N>::cauchy_step(double alpha, double* s) const {
+  for (int i = 0; i < N; ++i) {
+    s[i] = detail::clamp(x_[i] - alpha * g_[i], lower_[i], upper_[i]) - x_[i];
+  }
+  return quadratic_value(s);
+}
+
+template <int N>
+int SmallTronSolver<N>::subspace_cg(int nf, double radius, double* w, bool& hit_boundary) {
+  hit_boundary = false;
+  // Reduced residual r = -(g + H s) on the free set, w starts at 0.
+  for (int a = 0; a < nf; ++a) {
+    r_[a] = -grad_q_[free_[a]];
+    wf_[a] = 0.0;
+  }
+  // Reduced Hessian and its shifted Cholesky factor as preconditioner
+  // (exact modified Newton preconditioner, as in the generic solver).
+  for (int a = 0; a < nf; ++a) {
+    for (int b = 0; b < nf; ++b) hess_ff_(a, b) = hess_(free_[a], free_[b]);
+  }
+  chol_ = hess_ff_;
+  linalg::shifted_cholesky(chol_, nf);
+
+  auto precondition = [&](const double* in, double* out) {
+    for (int a = 0; a < nf; ++a) out[a] = in[a];
+    linalg::cholesky_solve(chol_, nf, {out, static_cast<std::size_t>(nf)});
+  };
+  auto reduced_matvec = [&](const double* in, double* out) {
+    for (int a = 0; a < nf; ++a) {
+      double acc = 0.0;
+      for (int b = 0; b < nf; ++b) acc += hess_ff_(a, b) * in[b];
+      out[a] = acc;
+    }
+  };
+  auto boundary_step = [&](const double* dir) {
+    // tau >= 0 with || w + tau dir || = radius.
+    double ww = 0.0, wd = 0.0, dd = 0.0;
+    for (int a = 0; a < nf; ++a) {
+      ww += wf_[a] * wf_[a];
+      wd += wf_[a] * dir[a];
+      dd += dir[a] * dir[a];
+    }
+    const double disc = std::max(wd * wd - dd * (ww - radius * radius), 0.0);
+    const double tau = dd > 0.0 ? (-wd + std::sqrt(disc)) / dd : 0.0;
+    for (int a = 0; a < nf; ++a) wf_[a] += tau * dir[a];
+  };
+
+  const double rnorm0 = std::sqrt(
+      linalg::dot({r_, static_cast<std::size_t>(nf)}, {r_, static_cast<std::size_t>(nf)}));
+  const double target = options_.cg_rtol * rnorm0;
+  precondition(r_, z_);
+  for (int a = 0; a < nf; ++a) p_[a] = z_[a];
+  double rz = linalg::dot({r_, static_cast<std::size_t>(nf)}, {z_, static_cast<std::size_t>(nf)});
+  int iters = 0;
+  for (; iters < 2 * nf + 4; ++iters) {
+    double rnorm = 0.0;
+    for (int a = 0; a < nf; ++a) rnorm += r_[a] * r_[a];
+    if (std::sqrt(rnorm) <= target) break;
+    reduced_matvec(p_, hp_);
+    double php = 0.0;
+    for (int a = 0; a < nf; ++a) php += p_[a] * hp_[a];
+    if (php <= 0.0) {
+      // Negative curvature: follow the direction to the boundary.
+      boundary_step(p_);
+      hit_boundary = true;
+      ++iters;
+      break;
+    }
+    const double alpha = rz / php;
+    double wnorm2 = 0.0;
+    for (int a = 0; a < nf; ++a) {
+      wf_[a] += alpha * p_[a];
+      wnorm2 += wf_[a] * wf_[a];
+    }
+    if (std::sqrt(wnorm2) >= radius) {
+      // Retreat, then advance to the trust-region boundary.
+      for (int a = 0; a < nf; ++a) wf_[a] -= alpha * p_[a];
+      boundary_step(p_);
+      hit_boundary = true;
+      ++iters;
+      break;
+    }
+    for (int a = 0; a < nf; ++a) r_[a] -= alpha * hp_[a];
+    precondition(r_, z_);
+    const double rz_next =
+        linalg::dot({r_, static_cast<std::size_t>(nf)}, {z_, static_cast<std::size_t>(nf)});
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (int a = 0; a < nf; ++a) p_[a] = z_[a] + beta * p_[a];
+  }
+  for (int i = 0; i < N; ++i) w[i] = 0.0;
+  for (int a = 0; a < nf; ++a) w[free_[a]] = wf_[a];
+  return iters;
+}
+
+template <int N>
+template <typename Problem>
+TronResult SmallTronSolver<N>::minimize(Problem& problem, std::span<double> x) {
+  require(problem.dim() == N, "SmallTronSolver: problem dimension mismatch");
+  require(static_cast<int>(x.size()) == N, "SmallTronSolver: x size mismatch");
+  problem.bounds({lower_, N}, {upper_, N});
+  for (int i = 0; i < N; ++i) {
+    require(lower_[i] <= upper_[i], "SmallTronSolver: inverted bounds");
+    x_[i] = detail::clamp(x[i], lower_[i], upper_[i]);
+  }
+
+  TronResult result;
+  double f = problem.eval_f_prepared({x_, N});
+  ++result.function_evals;
+  problem.eval_gradient_prepared({x_, N}, {g_, N});
+  problem.eval_hessian_prepared({x_, N}, hess_);
+
+  double gnorm0 = linalg::norm2({g_, N});
+  double delta = options_.delta0 > 0.0 ? options_.delta0 : std::max(gnorm0, 1.0);
+  double alpha_cauchy = 1.0;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Projected gradient convergence test.
+    double pgnorm = 0.0;
+    for (int i = 0; i < N; ++i) {
+      pgnorm = std::max(pgnorm,
+                        std::abs(detail::clamp(x_[i] - g_[i], lower_[i], upper_[i]) - x_[i]));
+    }
+    result.projected_gradient_norm = pgnorm;
+    if (pgnorm <= options_.gtol) {
+      result.status = TronStatus::kConverged;
+      break;
+    }
+
+    // ---- Generalized Cauchy point ----
+    double alpha = alpha_cauchy;
+    double q = cauchy_step(alpha, s_);
+    auto sufficient = [&](double qv) {
+      double gs = 0.0;
+      for (int i = 0; i < N; ++i) gs += g_[i] * s_[i];
+      return qv <= options_.mu0 * gs && linalg::norm2({s_, N}) <= delta;
+    };
+    if (sufficient(q)) {
+      // Extrapolate while the larger step still satisfies the conditions.
+      for (int k = 0; k < detail::kMaxSearchSteps; ++k) {
+        const double alpha_next = alpha * 10.0;
+        const double q_next = cauchy_step(alpha_next, s_try_);
+        double gs = 0.0;
+        for (int i = 0; i < N; ++i) gs += g_[i] * s_try_[i];
+        if (q_next <= options_.mu0 * gs && linalg::norm2({s_try_, N}) <= delta) {
+          alpha = alpha_next;
+          std::copy(s_try_, s_try_ + N, s_);
+          q = q_next;
+        } else {
+          break;
+        }
+      }
+    } else {
+      for (int k = 0; k < detail::kMaxSearchSteps && !sufficient(q); ++k) {
+        alpha *= 0.1;
+        q = cauchy_step(alpha, s_);
+      }
+    }
+    alpha_cauchy = alpha;
+
+    // ---- Subspace refinement (minor iterations) ----
+    for (int minor = 0; minor < options_.max_minor_iterations; ++minor) {
+      // grad of the quadratic at s: g + H s.
+      for (int i = 0; i < N; ++i) {
+        double acc = g_[i];
+        for (int j = 0; j < N; ++j) acc += hess_(i, j) * s_[j];
+        grad_q_[i] = acc;
+      }
+      int nf = 0;
+      const double tol_bound = 1e-12;
+      for (int i = 0; i < N; ++i) {
+        const double xi = x_[i] + s_[i];
+        if (xi > lower_[i] + tol_bound && xi < upper_[i] - tol_bound) free_[nf++] = i;
+      }
+      if (nf == 0) break;
+      double rnorm = 0.0;
+      for (int a = 0; a < nf; ++a) rnorm += grad_q_[free_[a]] * grad_q_[free_[a]];
+      if (std::sqrt(rnorm) <= options_.cg_rtol * std::max(gnorm0, 1e-12)) break;
+      const double radius = delta - linalg::norm2({s_, N});
+      if (radius <= 1e-12) break;
+
+      bool hit_boundary = false;
+      result.cg_iterations += subspace_cg(nf, radius, w_full_, hit_boundary);
+
+      // Projected Armijo search along w. q already holds quadratic_value(s_)
+      // (tracked through every update of s_), so reuse it exactly.
+      const double q_s = q;
+      double beta = 1.0;
+      bool accepted = false;
+      for (int k = 0; k < detail::kMaxSearchSteps; ++k) {
+        for (int i = 0; i < N; ++i) {
+          s_try_[i] =
+              detail::clamp(x_[i] + s_[i] + beta * w_full_[i], lower_[i], upper_[i]) - x_[i];
+        }
+        const double q_try = quadratic_value(s_try_);
+        double dir = 0.0;
+        for (int i = 0; i < N; ++i) dir += grad_q_[i] * (s_try_[i] - s_[i]);
+        if (q_try <= q_s + options_.mu0 * std::min(dir, 0.0)) {
+          std::copy(s_try_, s_try_ + N, s_);
+          q = q_try;  // quadratic_value(s_) of the freshly installed s_
+          accepted = true;
+          break;
+        }
+        beta *= 0.5;
+      }
+      if (!accepted || hit_boundary) break;
+    }
+
+    // ---- Accept / reject and trust-region update ----
+    for (int i = 0; i < N; ++i) s_try_[i] = detail::clamp(x_[i] + s_[i], lower_[i], upper_[i]);
+    const double f_try = problem.eval_f_prepared({s_try_, N});
+    ++result.function_evals;
+    const double ared = f - f_try;
+    const double pred = -q;  // q tracks quadratic_value(s_) exactly
+    const double snorm = linalg::norm2({s_, N});
+    const double ratio = pred > 0.0 ? ared / pred : (ared > 0.0 ? 1.0 : -1.0);
+
+    if (ratio > detail::kEta0 && std::isfinite(f_try)) {
+      const double reduction = std::abs(ared);
+      std::copy(s_try_, s_try_ + N, x_);
+      f = f_try;
+      // x_ is bitwise the point eval_f_prepared just cached, so the fused
+      // gradient/Hessian reads are free of any flow re-evaluation.
+      problem.eval_gradient_prepared({x_, N}, {g_, N});
+      problem.eval_hessian_prepared({x_, N}, hess_);
+      gnorm0 = std::max(linalg::norm2({g_, N}), 1e-12);
+      if (reduction <= options_.frtol * std::max(std::abs(f), 1.0)) {
+        result.iterations = iter + 1;
+        result.status = TronStatus::kSmallReduction;
+        break;
+      }
+    }
+    if (ratio < detail::kEtaShrink) {
+      delta = std::max(detail::kSigmaShrink * std::min(snorm, delta), 1e-12);
+    } else if (ratio > detail::kEtaGrow && snorm >= 0.9 * delta) {
+      delta = std::min(detail::kSigmaGrow * delta, detail::kDeltaMax);
+    }
+    if (delta <= 1e-12) {
+      result.status = TronStatus::kLineSearchFailed;
+      break;
+    }
+  }
+
+  result.f = f;
+  std::copy(x_, x_ + N, x.begin());
+  return result;
+}
+
+}  // namespace gridadmm::tron

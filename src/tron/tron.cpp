@@ -7,17 +7,14 @@
 
 namespace gridadmm::tron {
 
-namespace {
-constexpr double kSigmaShrink = 0.25;   // trust-region shrink factor
-constexpr double kSigmaGrow = 4.0;      // trust-region growth factor
-constexpr double kEta0 = 1e-4;          // step acceptance threshold
-constexpr double kEtaShrink = 0.25;     // ratio below which the region shrinks
-constexpr double kEtaGrow = 0.75;       // ratio above which the region grows
-constexpr double kDeltaMax = 1e10;
-constexpr int kMaxSearchSteps = 25;     // backtracking/extrapolation cap
-
-double clamp(double v, double lo, double hi) { return v < lo ? lo : (v > hi ? hi : v); }
-}  // namespace
+using detail::kDeltaMax;
+using detail::kEta0;
+using detail::kEtaGrow;
+using detail::kEtaShrink;
+using detail::kMaxSearchSteps;
+using detail::kSigmaGrow;
+using detail::kSigmaShrink;
+using detail::clamp;
 
 void TronSolver::resize(int n) {
   if (n == n_) return;

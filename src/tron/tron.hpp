@@ -42,6 +42,24 @@ struct TronOptions {
   double mu0 = 0.01;         ///< sufficient-decrease parameter
 };
 
+// Trust-region control constants of the Lin-More algorithm, shared by the
+// generic TronSolver and the fixed-dimension SmallTronSolver (small_tron.hpp)
+// so the two paths cannot drift: the fast path is bit-identical to the
+// generic one precisely because every constant and operation is the same.
+namespace detail {
+inline constexpr double kSigmaShrink = 0.25;   // trust-region shrink factor
+inline constexpr double kSigmaGrow = 4.0;      // trust-region growth factor
+inline constexpr double kEta0 = 1e-4;          // step acceptance threshold
+inline constexpr double kEtaShrink = 0.25;     // ratio below which the region shrinks
+inline constexpr double kEtaGrow = 0.75;       // ratio above which the region grows
+inline constexpr double kDeltaMax = 1e10;
+inline constexpr int kMaxSearchSteps = 25;     // backtracking/extrapolation cap
+
+inline double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+}  // namespace detail
+
 enum class TronStatus {
   kConverged,      ///< projected gradient below gtol
   kSmallReduction, ///< function reduction below frtol (practically converged)

@@ -748,16 +748,171 @@ TEST(BatchAdmm, SteadyStateSolveAllocatesNoDeviceMemory) {
     BatchAdmmSolver solver(set, params);
     BatchSolveOptions options;
     options.layout = layout;
-    solver.solve(options);  // allocates shard storage
+    solver.solve(options);  // allocates shard storage + branch lane workspaces
     const auto before = device::allocation_stats();
+    const auto workspaces_before = admm::BranchWorkspace::created();
     const auto report = solver.solve(options);  // steady state: reuse everything
     const auto after = device::allocation_stats();
     EXPECT_EQ(after.allocations, before.allocations);
     EXPECT_EQ(after.live_bytes, before.live_bytes);
+    // The branch phase's host side is covered too: the per-lane TRON
+    // workspaces persist in the shard, so a steady-state solve constructs
+    // zero of them (the pre-fix engine built one per lane per launch).
+    EXPECT_EQ(admm::BranchWorkspace::created(), workspaces_before);
     int rescales = 0;
     for (const auto& stats : report.stats) rescales += stats.rho_rescales;
     EXPECT_GT(rescales, 0);  // the rescale path really ran in the window
   }
+}
+
+TEST(BatchAdmm, FixedDimBranchPathMatchesGenericAcrossLayoutsAndShards) {
+  // The branch fast path's acceptance bar: with the fixed-dimension
+  // devirtualized TRON (the default) the batch engine must reproduce the
+  // generic TronSolver path bit for bit — identical per-scenario iteration
+  // counts, residual doubles, and objectives — across both memory layouts
+  // and 1/2/4 shards. S = 13 straddles a tile boundary so the interleaved
+  // repacking runs too.
+  const auto net = grid::load_embedded_case("case9");
+  auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(13, 0.92, 1.08);
+
+  params.branch_solver = admm::BranchSolverPath::kGeneric;
+  BatchAdmmSolver reference(set, params);
+  const auto generic = reference.solve();
+
+  params.branch_solver = admm::BranchSolverPath::kFixedDim;
+  for (const auto layout : {admm::BatchLayout::kScenarioMajor, admm::BatchLayout::kInterleaved}) {
+    for (const int D : {1, 2, 4}) {
+      SCOPED_TRACE(std::string(admm::layout_name(layout)) + ", " + std::to_string(D) + " shards");
+      device::DevicePool pool(D, 1);
+      BatchAdmmSolver solver(set, params, pool);
+      BatchSolveOptions options;
+      options.layout = layout;
+      const auto fixed = solver.solve(options);
+      for (int s = 0; s < set.size(); ++s) {
+        SCOPED_TRACE("scenario " + std::to_string(s));
+        EXPECT_EQ(fixed.records[s].inner_iterations, generic.records[s].inner_iterations);
+        EXPECT_EQ(fixed.records[s].outer_iterations, generic.records[s].outer_iterations);
+        EXPECT_EQ(fixed.records[s].converged, generic.records[s].converged);
+        EXPECT_DOUBLE_EQ(fixed.records[s].primal_residual, generic.records[s].primal_residual);
+        EXPECT_DOUBLE_EQ(fixed.records[s].dual_residual, generic.records[s].dual_residual);
+        EXPECT_DOUBLE_EQ(fixed.records[s].objective, generic.records[s].objective);
+      }
+      // Same iterates means the same branch-solve work, call for call.
+      EXPECT_EQ(fixed.branch.tron_iterations, generic.branch.tron_iterations);
+      EXPECT_EQ(fixed.branch.cg_iterations, generic.branch.cg_iterations);
+      EXPECT_EQ(fixed.branch.function_evals, generic.branch.function_evals);
+    }
+  }
+}
+
+TEST(BatchAdmm, FixedDimBranchPathMatchesGenericOnRatedAndOutagedBranches) {
+  // case30 carries line ratings, so this exercises the 6-variable
+  // augmented-Lagrangian fast path (SmallTronSolver<6>) plus outage masks;
+  // budgets are capped to keep the solves fast (capped scenarios exhaust
+  // the budget on the identical iterate either way).
+  const auto net = grid::load_embedded_case("case30");
+  auto params = admm::params_for_case("case30", net.num_buses());
+  params.max_inner_iterations = 60;
+  params.max_outer_iterations = 2;
+  ScenarioSet set(net);
+  set.add_load_scale(3, 0.96, 1.04);
+  ASSERT_GE(set.add_n1_contingencies(3), 2);
+
+  params.branch_solver = admm::BranchSolverPath::kGeneric;
+  BatchAdmmSolver reference(set, params);
+  const auto generic = reference.solve();
+
+  params.branch_solver = admm::BranchSolverPath::kFixedDim;
+  BatchAdmmSolver solver(set, params);
+  const auto fixed = solver.solve();
+  for (int s = 0; s < set.size(); ++s) {
+    SCOPED_TRACE(set[s].name);
+    EXPECT_EQ(fixed.records[s].inner_iterations, generic.records[s].inner_iterations);
+    EXPECT_DOUBLE_EQ(fixed.records[s].primal_residual, generic.records[s].primal_residual);
+    EXPECT_DOUBLE_EQ(fixed.records[s].dual_residual, generic.records[s].dual_residual);
+    EXPECT_DOUBLE_EQ(fixed.records[s].objective, generic.records[s].objective);
+  }
+  EXPECT_EQ(fixed.branch.auglag_iterations, generic.branch.auglag_iterations);
+  EXPECT_GT(fixed.branch.auglag_iterations, 0);  // the rated path really ran
+}
+
+TEST(BatchAdmm, FixedDimBranchPathMatchesGenericThroughPingPongChains) {
+  // Bit-equality must survive the chained-wave machinery: ping-pong
+  // buffers, on-device chain copies, and ramp bounds, in both layouts.
+  const auto net = grid::load_embedded_case("case9");
+  auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  for (int p = 0; p < 2; ++p) {
+    grid::LoadProfileSpec spec;
+    spec.periods = 4;
+    spec.seed = 17 + static_cast<std::uint64_t>(p);
+    set.add_tracking_sequence(spec, 0.02);
+  }
+
+  params.branch_solver = admm::BranchSolverPath::kGeneric;
+  BatchAdmmSolver reference(set, params);
+  BatchSolveOptions pp;
+  pp.ping_pong = true;
+  const auto generic = reference.solve(pp);
+
+  params.branch_solver = admm::BranchSolverPath::kFixedDim;
+  for (const auto layout : {admm::BatchLayout::kScenarioMajor, admm::BatchLayout::kInterleaved}) {
+    SCOPED_TRACE(admm::layout_name(layout));
+    BatchAdmmSolver solver(set, params);
+    BatchSolveOptions options;
+    options.ping_pong = true;
+    options.layout = layout;
+    const auto fixed = solver.solve(options);
+    for (int s = 0; s < set.size(); ++s) {
+      SCOPED_TRACE("scenario " + std::to_string(s));
+      EXPECT_EQ(fixed.records[s].inner_iterations, generic.records[s].inner_iterations);
+      EXPECT_EQ(fixed.records[s].outer_iterations, generic.records[s].outer_iterations);
+      EXPECT_DOUBLE_EQ(fixed.records[s].primal_residual, generic.records[s].primal_residual);
+      EXPECT_DOUBLE_EQ(fixed.records[s].objective, generic.records[s].objective);
+    }
+  }
+}
+
+TEST(BatchAdmm, BranchPackIsBitIdenticalAndCutsBranchBlocks) {
+  // The branch-pack knob may only change launch geometry: every pack value
+  // must reproduce pack=1 bit for bit while issuing fewer blocks (each
+  // block sweeps `pack` subproblems, so the branch phase's block count
+  // drops by ~pack).
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  ScenarioSet set(net);
+  set.add_load_scale(8, 0.94, 1.06);
+
+  BatchAdmmSolver reference(set, params);
+  const auto base = reference.solve();
+
+  std::uint64_t prev_blocks = base.launch_stats.blocks;
+  for (const int pack : {3, 8, 64}) {
+    SCOPED_TRACE("pack " + std::to_string(pack));
+    BatchAdmmSolver solver(set, params);
+    BatchSolveOptions options;
+    options.branch_pack = pack;
+    const auto packed = solver.solve(options);
+    for (int s = 0; s < set.size(); ++s) {
+      SCOPED_TRACE("scenario " + std::to_string(s));
+      EXPECT_EQ(packed.records[s].inner_iterations, base.records[s].inner_iterations);
+      EXPECT_DOUBLE_EQ(packed.records[s].primal_residual, base.records[s].primal_residual);
+      EXPECT_DOUBLE_EQ(packed.records[s].dual_residual, base.records[s].dual_residual);
+      EXPECT_DOUBLE_EQ(packed.records[s].objective, base.records[s].objective);
+    }
+    // Same launches (launch count per fused step is constant in S and
+    // pack), strictly fewer blocks as the pack grows.
+    EXPECT_EQ(packed.launch_stats.launches, base.launch_stats.launches);
+    EXPECT_LT(packed.launch_stats.blocks, prev_blocks);
+    prev_blocks = packed.launch_stats.blocks;
+  }
+
+  BatchSolveOptions bad;
+  bad.branch_pack = 0;
+  BatchAdmmSolver invalid(set, params);
+  EXPECT_THROW(invalid.solve(bad), GridError);
 }
 
 TEST(BatchAdmm, RunBatchedTrackingProducesPerProfileRecords) {

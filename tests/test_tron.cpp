@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "admm/branch_problem.hpp"
 #include "common/rng.hpp"
+#include "grid/cases.hpp"
+#include "tron/small_tron.hpp"
 #include "tron/tron.hpp"
 
 namespace gridadmm::tron {
@@ -187,6 +190,117 @@ TEST_P(TronRandomQpTest, SatisfiesProjectedKktConditions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomQps, TronRandomQpTest, ::testing::Range(0, 20));
+
+// ---- Fixed-dimension fast path: bit-equality against the generic solver ----
+//
+// SmallTronSolver<N> claims to execute the exact operation sequence of
+// TronSolver; these tests hold it to the strongest possible standard on the
+// problem family it exists for — randomized ADMM branch subproblems built
+// on real network admittances — comparing every result field and every
+// iterate component for exact (bit-level) equality.
+
+/// Runs both solvers on identically-bound branch problems from the same
+/// start and asserts exact agreement. N is 4 (unrated) or 6 (rated).
+template <int N>
+void expect_bit_identical(admm::BranchProblem& problem, std::span<const double> x0,
+                          const TronOptions& options) {
+  std::vector<double> x_generic(x0.begin(), x0.end());
+  std::vector<double> x_small(x0.begin(), x0.end());
+
+  TronSolver generic(options);
+  const auto ref = generic.minimize(problem, x_generic);
+
+  SmallTronSolver<N> small(options);
+  const auto fast = small.minimize(problem, x_small);
+
+  EXPECT_EQ(fast.status, ref.status);
+  EXPECT_EQ(fast.iterations, ref.iterations);
+  EXPECT_EQ(fast.cg_iterations, ref.cg_iterations);
+  EXPECT_EQ(fast.function_evals, ref.function_evals);
+  EXPECT_EQ(fast.f, ref.f);  // exact: same operations in the same order
+  EXPECT_EQ(fast.projected_gradient_norm, ref.projected_gradient_norm);
+  for (int i = 0; i < N; ++i) {
+    EXPECT_EQ(x_small[static_cast<std::size_t>(i)], x_generic[static_cast<std::size_t>(i)])
+        << "component " << i;
+  }
+}
+
+class SmallTronBranchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmallTronBranchTest, BitIdenticalToGenericOnRandomBranchProblems) {
+  gridadmm::Rng rng(1300 + GetParam());
+  const auto net = grid::load_embedded_case("case30");
+  const int l = static_cast<int>(rng.uniform_index(
+      static_cast<std::size_t>(net.num_branches())));
+  const bool rated = GetParam() % 2 == 0;
+
+  const auto& y = net.admittances[static_cast<std::size_t>(l)];
+  const double adm[8] = {y.gii, y.bii, y.gij, y.bij, y.gji, y.bji, y.gjj, y.bjj};
+  const double vb[4] = {0.9, 1.1, 0.9, 1.1};
+  double d[8], yk[8], rhok[8];
+  for (int k = 0; k < 8; ++k) {
+    d[k] = rng.uniform(-0.5, 0.5);
+    yk[k] = rng.uniform(-5, 5);
+    // Spread penalties over the realistic range (Table I presets reach
+    // 1e3-1e5); the spread exercises the objective normalization.
+    rhok[k] = rng.uniform(1.0, 2000.0);
+  }
+  admm::BranchProblem problem;
+  problem.bind(adm, vb, rated ? rng.uniform(0.5, 4.0) : 0.0, d, yk, rhok);
+  problem.set_line_multipliers(rated ? rng.uniform(-2, 2) : 0.0, rated ? rng.uniform(-2, 2) : 0.0,
+                               rated ? rng.uniform(1.0, 100.0) : 0.0);
+
+  TronOptions options;
+  options.max_iterations = 50;
+  options.gtol = 1e-7;
+
+  if (rated) {
+    const double x0[6] = {rng.uniform(0.92, 1.08), rng.uniform(0.92, 1.08),
+                          rng.uniform(-0.4, 0.4),  rng.uniform(-0.4, 0.4),
+                          rng.uniform(-1.0, 0.0),  rng.uniform(-1.0, 0.0)};
+    ASSERT_EQ(problem.dim(), 6);
+    expect_bit_identical<6>(problem, x0, options);
+  } else {
+    const double x0[4] = {rng.uniform(0.92, 1.08), rng.uniform(0.92, 1.08),
+                          rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4)};
+    ASSERT_EQ(problem.dim(), 4);
+    expect_bit_identical<4>(problem, x0, options);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBranchProblems, SmallTronBranchTest, ::testing::Range(0, 40));
+
+TEST(SmallTron, BitIdenticalOnDegenerateOutageStagedData) {
+  // An outaged branch's consensus data is zeroed by the batch staging; the
+  // kernel then skips it, but the solver must still agree bit for bit on
+  // the degenerate all-zero problem data (flat objective, immediate
+  // convergence paths) a partially-staged iterate can present.
+  const auto net = grid::load_embedded_case("case9");
+  const auto& y = net.admittances[0];
+  const double adm[8] = {y.gii, y.bii, y.gij, y.bij, y.gji, y.bji, y.gjj, y.bjj};
+  const double vb[4] = {0.9, 1.1, 0.9, 1.1};
+  double d[8] = {0}, yk[8] = {0}, rhok[8];
+  std::fill(rhok, rhok + 8, 10.0);
+  admm::BranchProblem problem;
+  problem.bind(adm, vb, 0.0, d, yk, rhok);
+  problem.set_line_multipliers(0.0, 0.0, 0.0);
+  const double x0[4] = {1.0, 1.0, 0.0, 0.0};
+  expect_bit_identical<4>(problem, x0, TronOptions{});
+}
+
+TEST(SmallTron, RejectsDimensionMismatch) {
+  const auto net = grid::load_embedded_case("case9");
+  const auto& y = net.admittances[0];
+  const double adm[8] = {y.gii, y.bii, y.gij, y.bij, y.gji, y.bji, y.gjj, y.bjj};
+  const double vb[4] = {0.9, 1.1, 0.9, 1.1};
+  double d[8] = {0}, yk[8] = {0}, rhok[8];
+  std::fill(rhok, rhok + 8, 10.0);
+  admm::BranchProblem problem;
+  problem.bind(adm, vb, /*rate2=*/2.0, d, yk, rhok);  // dim() == 6
+  SmallTronSolver<4> solver;
+  double x[4] = {1.0, 1.0, 0.0, 0.0};
+  EXPECT_THROW(solver.minimize(problem, {x, 4}), GridError);
+}
 
 }  // namespace
 }  // namespace gridadmm::tron
