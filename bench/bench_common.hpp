@@ -19,6 +19,7 @@
 #include "device/device.hpp"
 #include "grid/cases.hpp"
 #include "grid/synthetic.hpp"
+#include "obs/trace.hpp"
 
 namespace gridadmm::bench {
 
@@ -92,6 +93,33 @@ inline std::vector<std::string> split_csv(const std::string& text) {
   }
   return out;
 }
+
+/// `--trace=PATH` support for the bench harnesses: enables the process
+/// tracer at construction and flushes the Chrome trace-event JSON to PATH
+/// at scope exit (validate with scripts/trace_check.py, open in Perfetto).
+/// Inert when the option is absent. Construct it before the measured work
+/// so every span of the run lands in the file.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const Options& opts) : path_(opts.get("trace", "")) {
+    if (!path_.empty()) obs::Tracer::instance().enable();
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    if (obs::Tracer::instance().write_file(path_)) {
+      std::fprintf(stderr, "# trace written to %s (%zu events, %llu dropped)\n", path_.c_str(),
+                   obs::Tracer::instance().event_count(),
+                   static_cast<unsigned long long>(obs::Tracer::instance().dropped()));
+    } else {
+      std::fprintf(stderr, "# trace write FAILED: %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string path_;
+};
 
 inline void print_mode_banner(const char* what) {
   std::printf("# %s — %s mode (set GRIDADMM_FULL=1 for the full paper protocol)\n", what,

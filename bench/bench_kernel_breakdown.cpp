@@ -17,7 +17,7 @@
 //   ./bench_kernel_breakdown [--cases=case9,case30] [--sizes=16,64,256]
 //                            [--layouts=scenario_major,interleaved]
 //                            [--paths=fixed,generic] [--branch-pack=1]
-//                            [--smoke]
+//                            [--smoke] [--trace=PATH]
 //
 // Emits one JsonRecord per (case, S, layout, path, phase): total seconds,
 // microseconds per fused step, and the phase's share of the loop — plus a
@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
     paths.push_back(admm::branch_path_from_name(name));
   }
   const int branch_pack = opts.get_int("branch-pack", 1);
+  const bench::TraceGuard trace_guard(opts);
 
   Table table({"case", "S", "layout", "path", "steps", "branch us/it", "tron it/step",
                "cg it/step", "evals/step", "scen/s"});
@@ -127,6 +128,7 @@ int main(int argc, char** argv) {
               // TRON sub-attribution: work per fused step inside the branch
               // phase (identical across paths when the fast path is
               // bit-identical; only us_per_step should move).
+              .field("iters_per_step", per_step(report.branch.tron_iterations))
               .field("tron_iters_per_step", per_step(report.branch.tron_iterations))
               .field("cg_iters_per_step", per_step(report.branch.cg_iterations))
               .field("auglag_iters_per_step", per_step(report.branch.auglag_iterations))

@@ -8,13 +8,16 @@
 //   ./bench_scenario_batch [--cases=case9,case30] [--sizes=1,4,16,64]
 //                          [--layouts=scenario_major,interleaved]
 //                          [--branch-packs=1,8] [--shards=N] [--smoke]
+//                          [--trace=PATH]
 //
 // --shards=N (or GRIDADMM_SHARDS=N) runs the batched engine over an
 // N-device pool instead of one device; the sequential baseline always runs
 // on a single device. --branch-packs sweeps the TRON branch phase's pack
 // factor (scenario::BatchSolveOptions::branch_pack); every record carries
 // its branch_pack, and results are bit-identical across the sweep, so only
-// throughput should move.
+// throughput should move. --trace=PATH writes a Chrome trace-event JSON of
+// the run (fused-phase, wave, and device-launch spans; open in Perfetto,
+// validate with scripts/trace_check.py).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
     branch_packs.push_back(std::max(1, std::stoi(s)));
   }
   const int shards = std::max(1, opts.get_int("shards", bench::env_int("GRIDADMM_SHARDS", 1)));
+  const bench::TraceGuard trace_guard(opts);
   std::unique_ptr<device::DevicePool> pool;
   if (shards > 1) pool = std::make_unique<device::DevicePool>(shards);
   // Actual worker parallelism behind the batched engine: the pool splits
@@ -109,7 +113,12 @@ int main(int argc, char** argv) {
               .field("launches", static_cast<long long>(batched.launch_stats.launches))
               .field("blocks", static_cast<long long>(batched.launch_stats.blocks))
               .field("converged", batched.num_converged())
-              .field("scenarios_per_second", batched.scenarios_per_second());
+              .field("scenarios_per_second", batched.scenarios_per_second())
+              .field("iters_per_step",
+                     batched.fused_steps > 0
+                         ? static_cast<double>(batched.branch.tron_iterations) /
+                               static_cast<double>(batched.fused_steps)
+                         : 0.0);
           record.emit();
         }
       }

@@ -17,7 +17,13 @@
 // summary table.
 //
 //   ./bench_serve_throughput [--cases=case9,case30] [--concurrency=8,16]
-//                            [--smoke]
+//                            [--shards=N] [--smoke] [--trace=PATH]
+//
+// --shards=N (or GRIDADMM_SHARDS=N) runs the service over N devices, one
+// shard worker per device. --trace=PATH writes a Chrome trace-event JSON of
+// the run — the request lifecycle (serve.admit / serve.queue / serve.batch
+// / serve.solve / serve.fulfill) across the dispatcher, shard-worker, and
+// device threads; validate with scripts/trace_check.py.
 #include <cstdio>
 #include <future>
 #include <string>
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
   for (const auto& c : split_csv(opts.get("concurrency", smoke ? "8" : "8,16"))) {
     concurrencies.push_back(std::stoi(c));
   }
+  const int shards = std::max(1, opts.get_int("shards", bench::env_int("GRIDADMM_SHARDS", 1)));
+  const bench::TraceGuard trace_guard(opts);
 
   Table table({"case", "N", "seq (s)", "service (s)", "req/s", "seq launches",
                "svc launches", "warm hit rate", "iter savings"});
@@ -97,6 +105,7 @@ int main(int argc, char** argv) {
       service_options.max_batch_size = n;
       service_options.batching_window_seconds = 0.05;
       service_options.cache.capacity = 2 * n;
+      service_options.num_devices = shards;
       serve::SolveService service(net, params, service_options);
 
       auto run_wave = [&](double perturb) {
@@ -152,7 +161,7 @@ int main(int argc, char** argv) {
           .field("converged", sequential.converged);
       seq_record.emit();
 
-      bench::JsonRecord cold_record("serve_throughput");
+      bench::JsonRecord cold_record("serve_throughput", shards);
       cold_record.field("case", case_name)
           .field("concurrency", n)
           .field("engine", "service-cold")
@@ -164,7 +173,7 @@ int main(int argc, char** argv) {
           .field("converged", cold.converged);
       cold_record.emit();
 
-      bench::JsonRecord warm_record("serve_throughput");
+      bench::JsonRecord warm_record("serve_throughput", shards);
       warm_record.field("case", case_name)
           .field("concurrency", n)
           .field("engine", "service-warm")
@@ -174,6 +183,7 @@ int main(int argc, char** argv) {
           .field("iteration_savings", iteration_savings)
           .field("p50_latency", stats.p50_latency)
           .field("p95_latency", stats.p95_latency)
+          .field("p99_latency", stats.p99_latency)
           .field("converged", warm.converged);
       warm_record.emit();
     }

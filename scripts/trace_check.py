@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Trace check: validate a Chrome trace-event JSON emitted by obs::Tracer.
+
+Usage: trace_check.py TRACE_JSON [--require=name1,name2,...]
+
+Structural validation of the `--trace=PATH` / GRIDADMM_TRACE output (the
+format Perfetto and chrome://tracing load):
+
+- the file is valid JSON with a "traceEvents" list;
+- every event has a string "name" and "ph", and a numeric "ts"
+  (metadata "M" events are exempt from "ts");
+- every complete-span "X" event has a numeric, non-negative "dur";
+- at least one non-metadata event exists (an empty trace usually means the
+  tracer was never enabled, which is exactly the bug this guards against).
+
+Prints a per-name summary (event count, total span duration) and the number
+of distinct threads, so a CI log shows at a glance which subsystems traced.
+With --require=..., exits non-zero unless every named event appears at
+least once — CI uses this to pin the request-lifecycle spans (serve.admit,
+serve.queue, serve.solve, device.launch, ...) across dispatcher, shard, and
+device threads.
+
+Exits 0 on success, 1 on any validation failure or missing required name.
+Stdlib only.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(message):
+    print(f"trace check: FAIL: {message}")
+    return 1
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    required = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--require="):
+            required.extend(n for n in arg[len("--require="):].split(",") if n)
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    path = args[0]
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(f"cannot load {path}: {err}")
+
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        return fail('top level must be an object with a "traceEvents" list')
+    events = trace["traceEvents"]
+
+    names = defaultdict(int)
+    span_duration_us = defaultdict(float)
+    threads = set()
+    checked = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return fail(f"event {i} is not an object")
+        name = event.get("name")
+        phase = event.get("ph")
+        if not isinstance(name, str) or not isinstance(phase, str):
+            return fail(f'event {i} lacks a string "name"/"ph"')
+        if phase != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                return fail(f'event {i} ({name}) lacks a numeric "ts"')
+            names[name] += 1
+            threads.add((event.get("pid"), event.get("tid")))
+            checked += 1
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f'X event {i} ({name}) lacks a non-negative numeric "dur"')
+            span_duration_us[name] += dur
+
+    if checked == 0:
+        return fail("no events (was the tracer enabled?)")
+
+    print(f"trace check: {checked} events, {len(names)} distinct names, "
+          f"{len(threads)} threads")
+    for name in sorted(names):
+        total_ms = span_duration_us[name] / 1000.0
+        print(f"  {name:<24} x{names[name]:<6} {total_ms:10.3f} ms")
+
+    missing = [name for name in required if name not in names]
+    if missing:
+        return fail(f"required event name(s) absent: {', '.join(missing)}")
+    print("trace check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/trace.hpp"
+
 namespace gridadmm::log {
 
 namespace {
@@ -44,9 +46,15 @@ Level level() { return static_cast<Level>(level_storage().load(std::memory_order
 void set_level(Level lvl) { level_storage().store(static_cast<int>(lvl), std::memory_order_relaxed); }
 
 void write(Level lvl, const std::string& message) {
+  // Monotonic seconds since the process trace epoch plus the small
+  // per-thread label — both shared with obs::Tracer, so log lines correlate
+  // with trace spans by timestamp and tid. obs::thread_label() never
+  // allocates trace state, so logging stays allocation-free of the tracer.
+  const double seconds = static_cast<double>(obs::now_ns()) * 1e-9;
   static std::mutex mu;
   const std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[gridadmm %s] %s\n", tag(lvl), message.c_str());
+  std::fprintf(stderr, "[gridadmm %s +%.6fs tid=%llu] %s\n", tag(lvl), seconds,
+               static_cast<unsigned long long>(obs::thread_label()), message.c_str());
 }
 
 }  // namespace gridadmm::log

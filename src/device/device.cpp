@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace gridadmm::device {
 
@@ -40,6 +41,7 @@ Device::~Device() {
 }
 
 void Device::worker_main(int lane) {
+  obs::set_thread_name("device.worker");
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::function<void(int, int)>* kernel = nullptr;
@@ -52,11 +54,17 @@ void Device::worker_main(int lane) {
       kernel = job_.kernel;
       nblocks = job_.nblocks;
     }
+    // Per-job execution span: records the window this worker spent running
+    // blocks of the launch (skipped when the worker woke too late to claim
+    // any), so the trace shows the launch fanned out across worker threads.
+    const std::uint64_t exec_start = obs::Tracer::enabled() ? obs::now_ns() : 0;
+    std::uint64_t executed = 0;
     const int chunk = chunk_size(nblocks, workers());
     while (true) {
       const int begin = job_.next_block.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= nblocks) break;
       const int end = begin + chunk < nblocks ? begin + chunk : nblocks;
+      executed += static_cast<std::uint64_t>(end - begin);
       for (int block = begin; block < end; ++block) {
         try {
           (*kernel)(block, lane);
@@ -65,6 +73,10 @@ void Device::worker_main(int lane) {
           if (!first_error_) first_error_ = std::current_exception();
         }
       }
+    }
+    if (executed > 0 && obs::Tracer::enabled()) {
+      obs::span_between("device.exec", exec_start, obs::now_ns(), "blocks", executed, "dev",
+                        static_cast<std::uint64_t>(trace_id_));
     }
     // Acknowledge completion. `remaining` counts workers, not blocks, so the
     // launcher cannot recycle the job slot while any worker may still touch
@@ -79,6 +91,9 @@ void Device::worker_main(int lane) {
 void Device::run_job(const std::function<void(int, int)>& kernel, int nblocks) {
   if (nblocks < 0) throw GridError("Device::launch: negative block count");
   const std::lock_guard<std::mutex> serialize(launch_mu_);
+  const obs::TraceSpan launch_span("device.launch", "blocks",
+                                   static_cast<std::uint64_t>(nblocks), "dev",
+                                   static_cast<std::uint64_t>(trace_id_));
   WallTimer timer;
   if (nblocks > 0 && nblocks <= 8) {
     // Tiny launches run inline on the calling thread (lane 0): waking the

@@ -75,6 +75,11 @@ class Device {
   [[nodiscard]] const LaunchStats& stats() const { return stats_; }
   void reset_stats() { stats_ = LaunchStats{}; }
 
+  /// Device label in trace output ("dev" arg of device.launch spans).
+  /// DevicePool numbers its devices; the process-wide default stays 0.
+  void set_trace_id(int id) { trace_id_ = id; }
+  [[nodiscard]] int trace_id() const { return trace_id_; }
+
  private:
   struct Job {
     const std::function<void(int, int)>* kernel = nullptr;
@@ -97,6 +102,7 @@ class Device {
   std::mutex error_mu_;
   LaunchStats stats_;
   std::mutex launch_mu_;
+  int trace_id_ = 0;
 };
 
 /// Returns a process-wide default device (lazily constructed).

@@ -14,6 +14,7 @@ DevicePool::DevicePool(int num_devices, int workers_per_device) {
   devices_.reserve(static_cast<std::size_t>(num_devices));
   for (int d = 0; d < num_devices; ++d) {
     devices_.push_back(std::make_unique<Device>(workers));
+    devices_.back()->set_trace_id(d);
   }
 }
 

@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace gridadmm::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(double lowest, double growth, int buckets) {
+  require(lowest > 0.0, "Histogram: lowest bound must be positive");
+  require(growth > 1.0, "Histogram: growth factor must exceed 1");
+  require(buckets > 0, "Histogram: need at least one bucket");
+  bounds_.reserve(static_cast<std::size_t>(buckets));
+  double bound = lowest;
+  for (int i = 0; i < buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) {
+  // Branchless-ish bucket search: bounds are few (default 24), the upper
+  // bound is the first bound >= value; everything above lands in overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = counts_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow saturates
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // Linear interpolation of the rank within the bucket; biased to the
+      // upper bound when the whole rank mass sits in this bucket.
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(const std::string& name,
+                                                        const std::string& help, Kind kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry->name == name) {
+      require(entry->kind == kind, "MetricsRegistry: '" + name + "' already registered "
+                                   "with a different instrument kind");
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  Entry& entry = find_or_create(name, help, Kind::kCounter);
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  Entry& entry = find_or_create(name, help, Kind::kGauge);
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      double lowest, double growth, int buckets) {
+  Entry& entry = find_or_create(name, help, Kind::kHistogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(lowest, growth, buckets);
+  }
+  return *entry.histogram;
+}
+
+std::string MetricsRegistry::expose_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& entry : entries_) {
+    if (!entry->help.empty()) out += "# HELP " + entry->name + " " + entry->help + "\n";
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " " + std::to_string(entry->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + format_double(entry->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        const auto counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out += entry->name + "_bucket{le=\"" + format_double(h.bounds()[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts.back();
+        out += entry->name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+        out += entry->name + "_sum " + format_double(h.sum()) + "\n";
+        out += entry->name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  const auto field = [&out, &first](const std::string& key, const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value;
+  };
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        field(entry->name, std::to_string(entry->counter->value()));
+        break;
+      case Kind::kGauge:
+        field(entry->name, format_double(entry->gauge->value()));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        field(entry->name + "_count", std::to_string(h.count()));
+        field(entry->name + "_sum", format_double(h.sum()));
+        field(entry->name + "_p50", format_double(h.quantile(0.50)));
+        field(entry->name + "_p95", format_double(h.quantile(0.95)));
+        field(entry->name + "_p99", format_double(h.quantile(0.99)));
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gridadmm::obs

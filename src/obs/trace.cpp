@@ -1,0 +1,262 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gridadmm::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> next_thread_label{0};
+std::atomic<std::uint64_t> buffers_created_count{0};
+
+/// The per-thread label is assigned on first use and never changes; it is
+/// deliberately independent of the tracer so the log prefix can use it
+/// without creating trace state.
+std::uint64_t& thread_label_storage() {
+  thread_local std::uint64_t label = next_thread_label.fetch_add(1, std::memory_order_relaxed);
+  return label;
+}
+
+/// Thread name note: plain static pointer set by set_thread_name before or
+/// after the thread's buffer exists; the buffer (or flush) picks it up.
+const char*& thread_name_storage() {
+  thread_local const char* name = nullptr;
+  return name;
+}
+
+std::uint64_t epoch_ns() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+  if (e.arg1_name == nullptr && e.arg2_name == nullptr) return;
+  out += ", \"args\": {";
+  bool first = true;
+  if (e.arg1_name != nullptr) {
+    out += "\"";
+    out += e.arg1_name;
+    out += "\": " + std::to_string(e.arg1);
+    first = false;
+  }
+  if (e.arg2_name != nullptr) {
+    if (!first) out += ", ";
+    out += "\"";
+    out += e.arg2_name;
+    out += "\": " + std::to_string(e.arg2);
+  }
+  out += "}";
+}
+
+void append_microseconds(std::string& out, std::uint64_t ns) {
+  // Fixed-point ns -> us without float formatting: "123.456".
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const auto frac = static_cast<unsigned>(ns % 1000);
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_ns();
+}
+
+std::uint64_t thread_label() { return thread_label_storage(); }
+
+void set_thread_name(const char* name) { thread_name_storage() = name; }
+
+std::atomic<bool> Tracer::enabled_{false};
+
+/// One thread's preallocated event ring. Owned jointly by the thread
+/// (thread_local shared_ptr) and the tracer registry, so events survive
+/// thread exit until clear(). The mutex only contends with flush/clear.
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity, std::uint64_t tid_label)
+      : tid(tid_label), name(thread_name_storage()) {
+    ring.resize(capacity);
+    buffers_created_count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void push(const TraceEvent& event) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (name == nullptr) name = thread_name_storage();
+    ring[head] = event;
+    head = (head + 1) % ring.size();
+    if (count < ring.size()) {
+      ++count;
+    } else {
+      ++dropped;
+    }
+  }
+
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  std::size_t head = 0;   ///< next write position
+  std::size_t count = 0;  ///< live events
+  std::uint64_t dropped = 0;
+  std::uint64_t tid = 0;
+  const char* name = nullptr;
+};
+
+Tracer::Tracer() {
+  const char* env = std::getenv("GRIDADMM_TRACE");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) return;
+  enable();
+  if (std::strcmp(env, "1") != 0 && std::strcmp(env, "true") != 0 &&
+      std::strcmp(env, "yes") != 0) {
+    exit_path_ = env;
+    std::atexit([] {
+      Tracer& tracer = Tracer::instance();
+      tracer.write_file(tracer.exit_path_);
+    });
+  }
+}
+
+Tracer& Tracer::instance() {
+  // Intentionally leaked: the GRIDADMM_TRACE exit flush (std::atexit) and
+  // instrumented static destructors may record or serialize after every
+  // static destructor has run, so the tracer must outlive them all.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  if (ring_capacity > 0) ring_capacity_.store(ring_capacity, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer& Tracer::thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (local == nullptr) {
+    local = std::make_shared<ThreadBuffer>(ring_capacity_.load(std::memory_order_relaxed),
+                                           thread_label());
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers_.push_back(local);
+  }
+  return *local;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  thread_buffer().push(event);
+}
+
+std::string Tracer::to_json() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mu);
+    const std::string tid = std::to_string(buffer->tid);
+    if (buffer->name != nullptr) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " + tid +
+             ", \"args\": {\"name\": \"";
+      out += buffer->name;
+      out += "\"}}";
+    }
+    // Ring order: oldest event first. head points one past the newest.
+    const std::size_t capacity = buffer->ring.size();
+    const std::size_t start = (buffer->head + capacity - buffer->count) % capacity;
+    for (std::size_t k = 0; k < buffer->count; ++k) {
+      const TraceEvent& e = buffer->ring[(start + k) % capacity];
+      if (!first) out += ",";
+      first = false;
+      out += "\n{\"name\": \"";
+      out += e.name != nullptr ? e.name : "?";
+      out += "\", \"ph\": \"";
+      out += e.phase;
+      out += "\", \"ts\": ";
+      append_microseconds(out, e.ts_ns);
+      if (e.phase == 'X') {
+        out += ", \"dur\": ";
+        append_microseconds(out, e.dur_ns);
+      }
+      out += ", \"pid\": 1, \"tid\": " + tid;
+      append_args(out, e);
+      out += "}";
+    }
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    ThreadBuffer& buffer = **it;
+    {
+      const std::lock_guard<std::mutex> buffer_lock(buffer.mu);
+      buffer.head = 0;
+      buffer.count = 0;
+      buffer.dropped = 0;
+    }
+    // An exited thread's buffer has use_count 1 (registry only): forget it.
+    it = it->use_count() == 1 ? buffers_.erase(it) : it + 1;
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->count;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::buffers_created() {
+  return buffers_created_count.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// GRIDADMM_TRACE must take effect even when no code path ever calls
+/// instance() explicitly: every record path short-circuits on the static
+/// enabled() flag, so the singleton (whose constructor reads the env var
+/// and registers the exit flush) is touched once at startup.
+[[maybe_unused]] const bool tracer_env_touched = (Tracer::instance(), true);
+
+}  // namespace
+
+}  // namespace gridadmm::obs

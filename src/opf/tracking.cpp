@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/timer.hpp"
 #include "grid/solution.hpp"
+#include "obs/trace.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 
@@ -46,9 +47,12 @@ std::vector<PeriodRecord> TrackingSimulator::run() {
   std::vector<double> pmin(ng), pmax(ng);
   std::vector<double> admm_prev_pg, ipm_prev_pg;
 
+  if (options_.trace) obs::Tracer::instance().enable();
   std::vector<PeriodRecord> records;
   records.reserve(static_cast<std::size_t>(options_.periods));
   for (int t = 0; t < options_.periods; ++t) {
+    const obs::TraceSpan period_span("tracking.period", "period",
+                                     static_cast<std::uint64_t>(t + 1));
     PeriodRecord rec;
     rec.period = t + 1;
     rec.load_scale = profile_[t];
@@ -141,6 +145,12 @@ BatchTrackingResult run_batched_tracking_impl(const grid::Network& net,
   solve_options.ping_pong = options.ping_pong;
   solve_options.layout = options.layout;
   solve_options.branch_pack = options.branch_pack;
+  solve_options.trace = options.trace;
+  solve_options.convergence_sample_interval = options.convergence_sample_interval;
+  if (options.trace) obs::Tracer::instance().enable();
+  const obs::TraceSpan tracking_span("tracking.batched", "profiles",
+                                     static_cast<std::uint64_t>(num_profiles), "periods",
+                                     static_cast<std::uint64_t>(options.periods));
   BatchTrackingResult result;
   if (pool != nullptr) {
     scenario::BatchAdmmSolver solver(set, params, *pool);

@@ -43,6 +43,14 @@ struct TrackingOptions {
   /// scenario::BatchSolveOptions::branch_pack). Results are identical for
   /// every value.
   int branch_pack = 1;
+  /// Enables the process-wide obs::Tracer for the run: sequential mode
+  /// emits one tracking.period span per period, batched mode traces each
+  /// period's fused wave (see scenario::BatchSolveOptions::trace).
+  bool trace = false;
+  /// Batched mode only: per-scenario convergence sampling interval of the
+  /// fused solve (trajectories on BatchTrackingResult::report.convergence,
+  /// indexed scenario-major: profile's first_index + period). 0 = off.
+  int convergence_sample_interval = 0;
 };
 
 struct PeriodRecord {

@@ -58,9 +58,11 @@ void batch_update_branches(device::Device& dev, const ModelView& m,
                            const admm::AdmmParams& params, std::span<const ScenarioView> views,
                            std::span<const int> slots, int pack,
                            std::vector<admm::BranchWorkspace>& lanes,
-                           admm::BranchUpdateStats* stats) {
+                           admm::BranchUpdateStats* stats, std::span<std::uint64_t> slot_tron,
+                           int row_stride) {
   const int nl = m.num_branches;
   admm::ensure_branch_lanes(lanes, dev.workers(), params);
+  std::fill(slot_tron.begin(), slot_tron.end(), 0);
 
   // ceil(total / pack) blocks; block b sweeps the `pack` consecutive
   // (scenario, branch) subproblems starting at b * pack with one lane
@@ -68,13 +70,19 @@ void batch_update_branches(device::Device& dev, const ModelView& m,
   // which worker lane runs it) cannot change any iterate.
   const int total = static_cast<int>(slots.size()) * nl;
   const int blocks = (total + pack - 1) / pack;
-  dev.launch_with_lane(blocks, [&lanes, &params, m, views, slots, nl, pack, total](int b,
-                                                                                   int lane_id) {
+  dev.launch_with_lane(blocks, [&lanes, &params, m, views, slots, nl, pack, total, slot_tron,
+                                row_stride](int b, int lane_id) {
     const int end = std::min((b + 1) * pack, total);
     for (int t = b * pack; t < end; ++t) {
       const int s = slots[static_cast<std::size_t>(t / nl)];
+      const std::uint64_t before = lanes[lane_id].stats.tron_iterations;
       admm::branch_update_one(m, params, views[static_cast<std::size_t>(s)], t % nl,
                               lanes[lane_id]);
+      if (!slot_tron.empty()) {
+        slot_tron[static_cast<std::size_t>(lane_id) * row_stride +
+                  static_cast<std::size_t>(t / nl)] +=
+            lanes[lane_id].stats.tron_iterations - before;
+      }
     }
   });
 

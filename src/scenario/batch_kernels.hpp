@@ -29,6 +29,7 @@
 // bit-identical residuals.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -69,11 +70,20 @@ void batch_update_generators(device::Device& dev, const admm::ModelView& m,
 /// independent and deterministic, so results are bit-identical for every
 /// pack value; only per-block dispatch overhead changes. pack = 1 is the
 /// classic ExaTron one-block-per-branch launch.
+///
+/// `slot_tron` (optional, for convergence telemetry): when non-empty it
+/// must hold dev.workers() rows of `row_stride` entries (row_stride >=
+/// |slots|), the same per-(lane, slot) partial shape as the residual
+/// reductions; each lane adds the TRON iterations it spent on slot j into
+/// its own row, and the caller takes the per-slot sum over lanes (sums are
+/// order-free, so attribution is exact and deterministic). Recording is
+/// observation-only — iterates are bit-identical with it on or off.
 void batch_update_branches(device::Device& dev, const admm::ModelView& m,
                            const admm::AdmmParams& params,
                            std::span<const admm::ScenarioView> views, std::span<const int> slots,
                            int pack, std::vector<admm::BranchWorkspace>& lanes,
-                           admm::BranchUpdateStats* stats);
+                           admm::BranchUpdateStats* stats,
+                           std::span<std::uint64_t> slot_tron = {}, int row_stride = 0);
 
 void batch_update_buses(device::Device& dev, const admm::ModelView& m,
                         std::span<const admm::ScenarioView> views, std::span<const int> slots,

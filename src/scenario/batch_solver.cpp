@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "scenario/batch_kernels.hpp"
 
 namespace gridadmm::scenario {
@@ -362,6 +363,8 @@ void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
       plan_.wave_shards[static_cast<std::size_t>(wave_index)][static_cast<std::size_t>(shard_id)];
   if (wave.empty()) return;
   WallTimer wave_timer;
+  const obs::TraceSpan wave_span("solver.wave", "wave", static_cast<std::uint64_t>(wave_index),
+                                 "scenarios", static_cast<std::uint64_t>(wave.size()));
 
   const int buf = plan_.ping_pong ? wave_index % 2 : 0;
   const int src_buf = plan_.ping_pong ? (wave_index + 1) % 2 : 0;
@@ -378,7 +381,7 @@ void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
     links.push_back({dst_slot, src_slot});
     if (sc.ramp_fraction > 0.0) ramps.push_back({dst_slot, src_slot, sc.ramp_fraction});
   }
-  WallTimer chain_timer;
+  obs::PhaseTimer chain_timer;
   if (!links.empty()) {
     batch_chain_state(*shard.dev, model_, src_state, dst_state, links);
     for (const int s : wave) {
@@ -391,7 +394,7 @@ void BatchAdmmSolver::run_shard_wave(int shard_id, int wave_index,
     }
   }
   if (!ramps.empty()) batch_apply_ramp(*shard.dev, model_, src_state, dst_state, ramps);
-  shard.phases.chain_seconds += chain_timer.seconds();
+  shard.phases.chain_seconds += chain_timer.take("fused.chain");
 
   run_fused(shard, buf, wave, options);
 
@@ -420,10 +423,27 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
   std::vector<int> next_active, slots, outer_slots, rho_slots;
   std::vector<double> rho_factors;
   std::vector<std::pair<int, double>> beta_updates;
-  WallTimer phase_timer;
-  const auto take_phase = [&phase_timer](double& accumulator) {
-    accumulator += phase_timer.seconds();
-    phase_timer.reset();
+  // Phase attribution and the trace come from ONE clock read per boundary:
+  // take(name) returns the seconds accumulated into PhaseBreakdown and
+  // emits the span over the identical interval, so the two cannot drift.
+  obs::PhaseTimer phase_timer;
+  const auto take_phase = [&phase_timer](double& accumulator, const char* name) {
+    accumulator += phase_timer.take(name);
+  };
+  // Convergence sampling (observation-only; see BatchSolveOptions).
+  const int sample_interval = options.convergence_sample_interval;
+  const auto sample = [this](int s) {
+    const auto& stats = stats_[static_cast<std::size_t>(s)];
+    auto& trajectory = traj_[static_cast<std::size_t>(s)];
+    obs::ConvergenceSample point;
+    point.inner_iteration = stats.inner_iterations;
+    point.outer_iteration = stats.outer_iterations;
+    point.primal_residual = stats.primal_residual;
+    point.dual_residual = stats.dual_residual;
+    point.rho_scale = rho_scale_[static_cast<std::size_t>(s)];
+    point.beta = beta_[static_cast<std::size_t>(s)];
+    point.tron_iterations = tron_accum_[static_cast<std::size_t>(s)];
+    trajectory.samples.push_back(point);
   };
 
   while (!active.empty()) {
@@ -435,6 +455,7 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
     partial_primal.resize(cells);
     partial_dual.resize(cells);
     partial_z.resize(cells);
+    if (sample_interval > 0) shard.tron_partial.resize(cells);
     slots.resize(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       slots[static_cast<std::size_t>(j)] =
@@ -445,7 +466,7 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
     // and drop to the masked path while every remaining full tile keeps
     // the vectorized lane loop.
     if (interleaved) pack_tile_groups(slots, shard.tile_groups);
-    take_phase(shard.phases.residual_seconds);
+    take_phase(shard.phases.residual_seconds, "fused.pack");
 
     // One fused step: every active scenario advances one inner iteration
     // with a constant number of launches on this shard's device. The
@@ -458,16 +479,19 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
     } else {
       batch_update_generators(*shard.dev, mview_, views, slots);
     }
-    take_phase(shard.phases.generator_seconds);
+    take_phase(shard.phases.generator_seconds, "fused.generator");
     batch_update_branches(*shard.dev, mview_, params_, views, slots, options.branch_pack,
-                          shard.branch_lanes, &shard.branch_stats);
-    take_phase(shard.phases.branch_seconds);
+                          shard.branch_lanes, &shard.branch_stats,
+                          sample_interval > 0 ? std::span<std::uint64_t>(shard.tron_partial)
+                                              : std::span<std::uint64_t>{},
+                          row);
+    take_phase(shard.phases.branch_seconds, "fused.branch");
     if (interleaved) {
       batch_update_buses(*shard.dev, mview_, views, groups, partial_dual, row);
     } else {
       batch_update_buses(*shard.dev, mview_, views, slots, partial_dual, row);
     }
-    take_phase(shard.phases.bus_seconds);
+    take_phase(shard.phases.bus_seconds, "fused.bus");
     if (interleaved) {
       batch_update_zy(*shard.dev, mview_, params_.two_level, views, groups, partial_primal,
                       partial_z, row);
@@ -475,7 +499,7 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       batch_update_zy(*shard.dev, mview_, params_.two_level, views, slots, partial_primal,
                       partial_z, row);
     }
-    take_phase(shard.phases.zy_seconds);
+    take_phase(shard.phases.zy_seconds, "fused.zy");
 
     next_active.clear();
     outer_slots.clear();
@@ -496,6 +520,17 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       if (options.record_history) {
         stats.primal_history.push_back(primal);
         stats.dual_history.push_back(dual);
+      }
+      if (sample_interval > 0) {
+        // Per-slot TRON attribution: sum this step's lane partials (sums
+        // are order-free, so the attribution is deterministic).
+        std::uint64_t step_tron = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+          step_tron += shard.tron_partial[static_cast<std::size_t>(lane) * row +
+                                          static_cast<std::size_t>(j)];
+        }
+        tron_accum_[static_cast<std::size_t>(s)] += step_tron;
+        if (stats.inner_iterations % sample_interval == 0) sample(s);
       }
 
       bool inner_done = false;
@@ -571,7 +606,7 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       next_active.push_back(s);
     }
 
-    take_phase(shard.phases.residual_seconds);
+    take_phase(shard.phases.residual_seconds, "fused.residual");
 
     if (!rho_slots.empty()) {
       batch_scale_rho(*shard.dev, model_, shard.states[static_cast<std::size_t>(buf)], rho_slots,
@@ -588,12 +623,28 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
                                       params_.lambda_bound);
       }
     }
-    take_phase(shard.phases.outer_seconds);
+    take_phase(shard.phases.outer_seconds, "fused.outer");
     // Beta escalation applies after the multiplier update, exactly as in
     // the sequential outer loop.
     for (const auto& [s, beta] : beta_updates) set_beta(s, beta);
 
     active.swap(next_active);
+  }
+
+  if (sample_interval > 0) {
+    // Retirement capture: every scenario's trajectory ends with its final
+    // state even when the interval does not divide its iteration count.
+    for (const int s : wave) {
+      const auto& stats = stats_[static_cast<std::size_t>(s)];
+      auto& trajectory = traj_[static_cast<std::size_t>(s)];
+      trajectory.scenario = s;
+      trajectory.converged = stats.converged;
+      trajectory.hit_iteration_cap = !stats.converged;
+      if (trajectory.samples.empty() ||
+          trajectory.samples.back().inner_iteration != stats.inner_iterations) {
+        sample(s);
+      }
+    }
   }
 }
 
@@ -625,6 +676,9 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
   ScenarioReport report;
   const int S = num_scenarios();
   require(options.branch_pack >= 1, "BatchAdmmSolver::solve: branch_pack must be >= 1");
+  if (options.trace) obs::Tracer::instance().enable();
+  const obs::TraceSpan solve_span("solver.solve", "scenarios", static_cast<std::uint64_t>(S),
+                                  "shards", static_cast<std::uint64_t>(num_shards()));
   ensure_storage(options.ping_pong, options.layout);
   report.num_shards = num_shards();
   ctrl_.assign(static_cast<std::size_t>(S), Control{});
@@ -638,6 +692,13 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
     shard.fused_steps = 0;
   }
   if (plan_.ping_pong) pp_solutions_.assign(static_cast<std::size_t>(S), grid::OpfSolution{});
+  if (options.convergence_sample_interval > 0) {
+    traj_.assign(static_cast<std::size_t>(S), obs::ConvergenceTrajectory{});
+    tron_accum_.assign(static_cast<std::size_t>(S), 0);
+  } else {
+    traj_.clear();
+    tron_accum_.clear();
+  }
 
   if (!options.initial_iterates.empty()) {
     require(static_cast<int>(options.initial_iterates.size()) == S,
@@ -763,6 +824,7 @@ ScenarioReport BatchAdmmSolver::solve(const BatchSolveOptions& options) {
     }
   }
   report.stats = stats_;
+  if (options.convergence_sample_interval > 0) report.convergence = traj_;
   for (const auto& shard : shards_) {
     report.branch += shard.branch_stats;
     report.phases += shard.phases;

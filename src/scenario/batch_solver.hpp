@@ -78,6 +78,18 @@ struct BatchSolveOptions {
   /// that slot. Chained scenarios cannot take one (the chain copy would
   /// overwrite it). This is the serve layer's cache-hit entry point.
   std::vector<const admm::WarmStartIterate*> initial_iterates;
+  /// Enables the process-wide obs::Tracer for this solve (idempotent; the
+  /// tracer stays on afterwards — it is process state, like GRIDADMM_TRACE).
+  /// Tracing only observes the loop (spans share the PhaseBreakdown's
+  /// clock reads), so iterates are bit-identical with it on or off.
+  bool trace = false;
+  /// Sample each scenario's convergence state (primal/dual residual,
+  /// rho_scale, beta, cumulative branch TRON iterations) every this many
+  /// fused steps into ScenarioReport::convergence; the final state is
+  /// always appended at retirement. 0 disables sampling (and the report's
+  /// convergence vector stays empty). Sampling is observation-only:
+  /// iterates are bit-identical with it on or off.
+  int convergence_sample_interval = 0;
   /// Two-buffer wave memory for chained sets: each shard allocates a pair
   /// of max-wave-size states instead of one O(S) state; wave d + 1 chains
   /// on device from wave d's buffer and reuses wave d - 1's. Live
@@ -169,6 +181,10 @@ class BatchAdmmSolver {
     /// loop allocates nothing once their capacity is reached.
     std::vector<TileGroup> tile_groups;
     std::vector<TileGroup> outer_groups;
+    /// Per-(lane, slot) TRON-iteration partial rows for convergence
+    /// sampling, same shape as the residual partials; reused across steps
+    /// and empty while sampling is off.
+    device::AlignedVector<std::uint64_t> tron_partial;
     PhaseBreakdown phases;       ///< per-phase wall time of this shard's loop
     std::uint64_t fused_steps = 0;  ///< while-loop iterations executed
   };
@@ -217,6 +233,12 @@ class BatchAdmmSolver {
   std::vector<double> rho_scale_;  ///< cumulative adaptive-penalty scaling
   std::vector<admm::AdmmStats> stats_;
   std::vector<grid::OpfSolution> pp_solutions_;  ///< per-wave captures (ping-pong)
+  /// Convergence sampling state (empty unless
+  /// options.convergence_sample_interval > 0): per-scenario trajectories
+  /// and cumulative branch TRON iterations. Shards own disjoint scenarios,
+  /// so concurrent shard threads write disjoint entries.
+  std::vector<obs::ConvergenceTrajectory> traj_;
+  std::vector<std::uint64_t> tron_accum_;
 };
 
 /// Batch params with one scenario's ScenarioControls overrides applied.

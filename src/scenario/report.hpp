@@ -9,6 +9,7 @@
 #include "admm/branch_kernel.hpp"
 #include "admm/solver.hpp"
 #include "device/device.hpp"
+#include "obs/convergence.hpp"
 #include "scenario/scenario.hpp"
 
 namespace gridadmm::scenario {
@@ -85,6 +86,11 @@ struct ScenarioReport {
   /// Fused steps executed (while-loop iterations, summed across shards and
   /// waves): the denominator for per-iteration phase figures.
   std::uint64_t fused_steps = 0;
+  /// Per-scenario convergence trajectories (one entry per scenario, in
+  /// scenario order), filled when
+  /// BatchSolveOptions::convergence_sample_interval > 0; empty otherwise.
+  /// Feed obs::should_escalate to detect non-converging scenarios.
+  std::vector<obs::ConvergenceTrajectory> convergence;
 
   [[nodiscard]] int num_converged() const;
   [[nodiscard]] double scenarios_per_second() const;

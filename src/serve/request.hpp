@@ -13,6 +13,7 @@
 #include "admm/solver.hpp"
 #include "grid/network.hpp"
 #include "grid/solution.hpp"
+#include "obs/convergence.hpp"
 #include "scenario/scenario.hpp"
 
 namespace gridadmm::serve {
@@ -52,6 +53,11 @@ struct SolveResult {
   double cache_distance = 0.0;  ///< load distance to the seed (when cache_hit)
   double wait_seconds = 0.0;    ///< submit -> dispatch (injected clock)
   double total_seconds = 0.0;   ///< submit -> future fulfilled (injected clock)
+  /// Sampled convergence trajectory of this request's batch slot, filled
+  /// when ServiceOptions::convergence_sample_interval > 0 (empty samples
+  /// otherwise). Feed obs::should_escalate to decide whether this request
+  /// should be retried on a more robust engine.
+  obs::ConvergenceTrajectory trajectory;
 };
 
 }  // namespace gridadmm::serve

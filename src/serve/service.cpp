@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "common/numeric.hpp"
 #include "grid/solution.hpp"
+#include "obs/trace.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 
@@ -49,6 +50,24 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
   base_fingerprint_ = grid::network_fingerprint(base_);
   base_bridges_ = grid::bridge_branches(base_);
   clock_ = options_.clock != nullptr ? options_.clock : std::make_shared<SteadyClock>();
+  if (options_.trace) obs::Tracer::instance().enable();
+  m_submitted_ = &metrics_.counter("serve_requests_submitted_total",
+                                   "Requests accepted into the queue");
+  m_shed_ = &metrics_.counter("serve_requests_shed_total",
+                              "Requests rejected by admission control");
+  m_completed_ = &metrics_.counter("serve_requests_completed_total",
+                                   "Futures fulfilled with a result");
+  m_failed_ = &metrics_.counter("serve_requests_failed_total",
+                                "Futures fulfilled with an exception");
+  m_batches_ = &metrics_.counter("serve_batches_total", "Dispatched micro-batches");
+  m_latency_ = &metrics_.histogram("serve_latency_seconds",
+                                   "Submit-to-fulfilled latency (injected clock)");
+  m_occupancy_ = &metrics_.histogram("serve_batch_occupancy",
+                                     "Requests coalesced per micro-batch", 1.0, 2.0, 10);
+  m_queue_depth_ = &metrics_.gauge("serve_queue_depth",
+                                   "Undispatched requests (refreshed by stats())");
+  m_in_flight_ = &metrics_.gauge("serve_in_flight",
+                                 "Requests inside batch solves (refreshed by stats())");
   pool_ = std::make_unique<device::DevicePool>(options_.num_devices, options_.device_workers);
   live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
   live_.per_shard.assign(static_cast<std::size_t>(options_.num_devices), ShardServiceStats{});
@@ -122,12 +141,15 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
   pending.request = std::move(request);
   pending.submit_time = clock_->now();
   pending.arrival = std::chrono::steady_clock::now();
+  pending.admit_ns = obs::now_ns();
   auto future = pending.promise.get_future();
 
+  std::uint64_t request_id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_ || shutdown_) {
       ++live_.shed;
+      m_shed_->inc();
       throw CapacityError("SolveService::submit: service is draining, request shed");
     }
     // Admission bounds everything accepted and unfulfilled — main queue,
@@ -135,18 +157,24 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
     // pool cannot launder backpressure away.
     if (pending_total_ >= options_.max_queue_depth) {
       ++live_.shed;
+      m_shed_->inc();
       throw CapacityError("SolveService::submit: queue full (max_queue_depth reached), "
                           "request shed");
     }
+    request_id = next_request_id_++;
+    pending.id = request_id;
     queue_.push_back(std::move(pending));
     ++pending_total_;
     ++live_.submitted;
+    m_submitted_->inc();
   }
+  obs::instant("serve.admit", "req", request_id);
   cv_work_.notify_all();
   return future;
 }
 
 void SolveService::dispatcher_main() {
+  obs::set_thread_name("serve.dispatcher");
   const auto window = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(options_.batching_window_seconds));
   std::unique_lock<std::mutex> lock(mu_);
@@ -186,12 +214,23 @@ void SolveService::dispatcher_main() {
     Batch batch;
     batch.requests = pop_batch_locked();
     batch.id = next_batch_id_++;
+    if (obs::Tracer::enabled()) {
+      // Queue-wait spans: admission (stamped on the submitting thread) to
+      // coalescing, one per request, plus one dispatch marker per batch.
+      const std::uint64_t popped_ns = obs::now_ns();
+      for (const Pending& p : batch.requests) {
+        obs::span_between("serve.queue", p.admit_ns, popped_ns, "req", p.id, "batch", batch.id);
+      }
+      obs::instant("serve.dispatch", "batch", batch.id, "size",
+                   static_cast<std::uint64_t>(batch.requests.size()));
+    }
     dispatched_.push_back(std::move(batch));
     cv_shard_.notify_one();
   }
 }
 
 void SolveService::shard_worker_main(int shard) {
+  obs::set_thread_name("serve.shard");
   const auto d = static_cast<std::size_t>(shard);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -251,6 +290,9 @@ void SolveService::process_batch(Batch work, int shard) {
   const std::uint64_t batch_id = work.id;
   const bool use_cache = options_.cache.capacity > 0;
   device::Device& device = pool_->device(shard);
+  const obs::TraceSpan batch_span("serve.batch", "batch", batch_id, "shard",
+                                  static_cast<std::uint64_t>(shard));
+  obs::PhaseTimer stage_timer;
 
   // ---- Stage the batch as one ScenarioSet ----
   scenario::ScenarioSet set(*batch.front().request.network);
@@ -272,6 +314,7 @@ void SolveService::process_batch(Batch work, int shard) {
       p.promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mu_);
       ++live_.failed;
+      m_failed_->inc();
       continue;
     }
     CacheHit seed;
@@ -282,6 +325,7 @@ void SolveService::process_batch(Batch work, int shard) {
     accepted.push_back(i);
   }
   if (accepted.empty()) return;
+  stage_timer.take("serve.stage", "batch", batch_id);
 
   // ---- Fused micro-batch solve on this shard's device ----
   device::LaunchStats batch_launches;
@@ -292,14 +336,18 @@ void SolveService::process_batch(Batch work, int shard) {
     scenario::BatchSolveOptions solve_options;
     solve_options.layout = options_.layout;
     solve_options.branch_pack = options_.branch_pack;
+    solve_options.convergence_sample_interval = options_.convergence_sample_interval;
     solve_options.initial_iterates.assign(accepted.size(), nullptr);
     for (std::size_t s = 0; s < accepted.size(); ++s) {
       if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();
     }
     {
+      const obs::TraceSpan solve_span("serve.solve", "batch", batch_id, "size",
+                                      static_cast<std::uint64_t>(accepted.size()));
       device::LaunchStatsScope scope(device, batch_launches);
       report = solver.solve(solve_options);
     }
+    const obs::TraceSpan extract_span("serve.extract", "batch", batch_id);
     solutions = solver.solutions();
     // ---- Refresh the warm-start cache with converged iterates ----
     for (std::size_t s = 0; s < accepted.size(); ++s) {
@@ -316,7 +364,10 @@ void SolveService::process_batch(Batch work, int shard) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
     live_.failed += accepted.size();
+    m_failed_->inc(accepted.size());
     ++live_.batches;
+    m_batches_->inc();
+    m_occupancy_->observe(static_cast<double>(accepted.size()));
     ++shard_stats.batches;
     shard_stats.requests += accepted.size();
     live_.launch_stats += batch_launches;
@@ -327,6 +378,7 @@ void SolveService::process_batch(Batch work, int shard) {
   }
 
   // ---- Fulfill futures ----
+  const obs::TraceSpan fulfill_span("serve.fulfill", "batch", batch_id);
   const double completion_time = clock_->now();
   std::vector<double> latencies;
   latencies.reserve(accepted.size());
@@ -344,14 +396,20 @@ void SolveService::process_batch(Batch work, int shard) {
     result.cache_distance = seeds[s].distance;
     result.wait_seconds = dispatch_time - p.submit_time;
     result.total_seconds = completion_time - p.submit_time;
+    if (!report.convergence.empty()) result.trajectory = std::move(report.convergence[s]);
     latencies.push_back(result.total_seconds);
+    m_latency_->observe(result.total_seconds);
+    obs::instant("serve.fulfill.req", "req", p.id, "batch", batch_id);
     p.promise.set_value(std::move(result));
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
   live_.completed += accepted.size();
+  m_completed_->inc(accepted.size());
   ++live_.batches;
+  m_batches_->inc();
+  m_occupancy_->observe(static_cast<double>(accepted.size()));
   ++shard_stats.batches;
   shard_stats.requests += accepted.size();
   live_.launch_stats += batch_launches;
@@ -383,6 +441,11 @@ ServiceStats SolveService::stats() const {
   snapshot.cache_entries = static_cast<std::uint64_t>(cache_.size());
   snapshot.p50_latency = latency_quantile(latency_samples_, 0.50);
   snapshot.p95_latency = latency_quantile(latency_samples_, 0.95);
+  snapshot.p99_latency = latency_quantile(latency_samples_, 0.99);
+  // Refresh the registry's gauges from the same locked snapshot, so the
+  // Prometheus exposition and ServiceStats agree at snapshot time.
+  m_queue_depth_->set(static_cast<double>(snapshot.queue_depth));
+  m_in_flight_->set(static_cast<double>(snapshot.in_flight));
   return snapshot;
 }
 

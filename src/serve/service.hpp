@@ -53,6 +53,7 @@
 #include "device/device.hpp"
 #include "device/pool.hpp"
 #include "grid/network.hpp"
+#include "obs/metrics.hpp"
 #include "serve/clock.hpp"
 #include "serve/request.hpp"
 #include "serve/solution_cache.hpp"
@@ -91,6 +92,15 @@ struct ServiceOptions {
   std::shared_ptr<const Clock> clock;
   /// Bound on retained latency samples for the percentile telemetry.
   int latency_sample_capacity = 4096;
+  /// Enables the process-wide obs::Tracer at construction, so the request
+  /// lifecycle (admit -> queue -> dispatch -> per-shard solve -> fulfill)
+  /// lands in the Chrome trace. Equivalent to GRIDADMM_TRACE=1; the same
+  /// plumbing pattern as layout/branch_pack.
+  bool trace = false;
+  /// Per-scenario convergence sampling interval of the fused micro-batch
+  /// solves (see scenario::BatchSolveOptions::convergence_sample_interval);
+  /// each SolveResult then carries its slot's trajectory. 0 = off.
+  int convergence_sample_interval = 0;
 };
 
 class SolveService {
@@ -125,6 +135,13 @@ class SolveService {
   [[nodiscard]] device::Device& device() { return pool_->device(0); }
   [[nodiscard]] device::DevicePool& pool() { return *pool_; }
   [[nodiscard]] SolutionCache& cache() { return cache_; }
+  /// The service's metrics registry (admission counters, latency and
+  /// occupancy histograms, queue gauges). Expose via
+  /// metrics().expose_prometheus() or metrics().snapshot_json(); gauges are
+  /// refreshed by stats(). The exact ring-buffer percentiles stay on
+  /// ServiceStats — the registry's histogram percentiles are the bucketed
+  /// exposition-friendly approximation of the same series.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct Pending {
@@ -133,6 +150,8 @@ class SolveService {
     std::uint64_t fingerprint = 0;  ///< structural key incl. outage branch
     double submit_time = 0.0;       ///< injected clock
     std::chrono::steady_clock::time_point arrival;  ///< scheduling clock
+    std::uint64_t id = 0;           ///< trace correlation id ("req" span arg)
+    std::uint64_t admit_ns = 0;     ///< trace-clock admission stamp
   };
 
   /// One popped micro-batch, routed to a shard's solve worker.
@@ -183,10 +202,24 @@ class SolveService {
   std::vector<double> latency_samples_;
   std::size_t latency_next_ = 0;      ///< ring-buffer cursor
   std::uint64_t next_batch_id_ = 1;
+  std::uint64_t next_request_id_ = 1;  ///< trace correlation ids (under mu_)
   bool draining_ = false;
   bool shutdown_ = false;
   std::thread dispatcher_;
   std::vector<std::thread> shard_workers_;
+
+  /// Metrics registry and its hot-path instruments (pointers stay valid for
+  /// the registry's lifetime; updates are lock-free atomics).
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
+  obs::Histogram* m_occupancy_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_in_flight_ = nullptr;
 };
 
 }  // namespace gridadmm::serve

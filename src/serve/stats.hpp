@@ -52,6 +52,7 @@ struct ServiceStats {
   std::uint64_t latency_samples = 0;
   double p50_latency = 0.0;
   double p95_latency = 0.0;
+  double p99_latency = 0.0;  ///< tail percentile the serving SLOs are stated in
 
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
