@@ -44,6 +44,12 @@ struct Wave {
   int total_inner_iterations = 0;
   int converged = 0;
   std::uint64_t cache_hits = 0;
+  // Mean per-request stage times from the RequestTimeline (microseconds):
+  // queue = admit->worker pickup, solve = batch form through solve, extract
+  // = result extraction through fulfillment.
+  double stage_queue_us = 0.0;
+  double stage_solve_us = 0.0;
+  double stage_extract_us = 0.0;
 };
 
 }  // namespace
@@ -106,6 +112,7 @@ int main(int argc, char** argv) {
       service_options.batching_window_seconds = 0.05;
       service_options.cache.capacity = 2 * n;
       service_options.num_devices = shards;
+      service_options.slo = true;  // per-request stage timelines for the breakdown
       serve::SolveService service(net, params, service_options);
 
       auto run_wave = [&](double perturb) {
@@ -125,6 +132,16 @@ int main(int argc, char** argv) {
           const auto result = future.get();
           wave.total_inner_iterations += result.stats.inner_iterations;
           wave.converged += result.converged ? 1 : 0;
+          const auto& tl = result.timeline;
+          wave.stage_queue_us += (tl.stage_seconds(0) + tl.stage_seconds(1)) * 1e6;
+          wave.stage_solve_us +=
+              (tl.stage_seconds(2) + tl.stage_seconds(3) + tl.stage_seconds(4)) * 1e6;
+          wave.stage_extract_us += (tl.stage_seconds(5) + tl.stage_seconds(6)) * 1e6;
+        }
+        if (n > 0) {
+          wave.stage_queue_us /= n;
+          wave.stage_solve_us /= n;
+          wave.stage_extract_us /= n;
         }
         wave.seconds = timer.seconds();
         wave.cache_hits = service.stats().cache_hits - hits_before;
@@ -169,6 +186,9 @@ int main(int argc, char** argv) {
           .field("launches", static_cast<long long>(cold_launches))
           .field("requests_per_second", requests_per_second)
           .field("mean_batch_occupancy", stats.mean_batch_occupancy())
+          .field("stage_queue_us", cold.stage_queue_us)
+          .field("stage_solve_us", cold.stage_solve_us)
+          .field("stage_extract_us", cold.stage_extract_us)
           .field("inner_iterations", cold.total_inner_iterations)
           .field("converged", cold.converged);
       cold_record.emit();

@@ -21,6 +21,12 @@ baseline may carry extra full-protocol evidence records:
   (CI runners vary widely) — it catches structural regressions such as
   losing the branch fast path or the fused launch geometry, not percent
   drift.
+- serve_slo records, keyed by (rate, case_mix, shards): end-to-end p99 must
+  stay below SLO_P99_RATIO x baseline p99 + SLO_P99_SLACK_MS (the slack
+  absorbs timer noise on near-zero smoke latencies), and the shed rate must
+  not exceed the baseline's by more than SLO_SHED_TOLERANCE (absolute).
+  Catches serving-path regressions the throughput figures can't see:
+  queueing pathologies, lost micro-batch coalescing, admission bugs.
 
 Exits non-zero, listing every violation, if any check fails or if the
 record intersection is empty (a guard that compares nothing guards nothing).
@@ -31,6 +37,9 @@ import sys
 
 BRANCH_SHARE_TOLERANCE = 0.08  # absolute share points
 SCEN_PER_SEC_RATIO = 0.4       # fresh must be >= this fraction of baseline
+SLO_P99_RATIO = 5.0            # fresh p99 ceiling, as a multiple of baseline
+SLO_P99_SLACK_MS = 20.0        # plus this absolute slack (timer noise floor)
+SLO_SHED_TOLERANCE = 0.15      # absolute shed-rate points
 
 
 def load_records(path):
@@ -79,6 +88,16 @@ def batched_throughput(records):
     return out
 
 
+def serve_slo_points(records):
+    out = {}
+    for rec in records:
+        if rec.get("bench") != "serve_slo":
+            continue
+        key = (rec.get("rate"), rec.get("case_mix"), rec.get("shards", 1))
+        out[key] = rec
+    return out
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__)
@@ -115,6 +134,26 @@ def main():
             violations.append(
                 f"batched scen/s regressed for {key}: {fresh_rate:.2f} vs baseline "
                 f"{base_rate:.2f} (floor {SCEN_PER_SEC_RATIO:.0%})"
+            )
+
+    fresh_slo = serve_slo_points(fresh)
+    base_slo = serve_slo_points(baseline)
+    for key in sorted(set(fresh_slo) & set(base_slo)):
+        compared += 1
+        fresh_p99 = fresh_slo[key].get("p99_ms", 0.0)
+        base_p99 = base_slo[key].get("p99_ms", 0.0)
+        ceiling = SLO_P99_RATIO * base_p99 + SLO_P99_SLACK_MS
+        if base_p99 > 0.0 and fresh_p99 > ceiling:
+            violations.append(
+                f"serve_slo p99 regressed for {key}: {fresh_p99:.2f} ms vs baseline "
+                f"{base_p99:.2f} ms (ceiling {ceiling:.2f} ms)"
+            )
+        fresh_shed = fresh_slo[key].get("shed_rate", 0.0)
+        base_shed = base_slo[key].get("shed_rate", 0.0)
+        if fresh_shed > base_shed + SLO_SHED_TOLERANCE:
+            violations.append(
+                f"serve_slo shed rate regressed for {key}: {fresh_shed:.3f} vs baseline "
+                f"{base_shed:.3f} (+{SLO_SHED_TOLERANCE} allowed)"
             )
 
     if compared == 0:

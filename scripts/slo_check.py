@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate bench_serve_slo JSONL output (the CI slo-smoke artifact).
+
+Usage: slo_check.py JSONL_PATH [--min-points=N]
+
+Checks, stdlib only:
+- at least --min-points (default 3) serve_slo records with DISTINCT offered
+  rates — the committed BENCH_serve_slo.json must be a real sweep, not one
+  point repeated;
+- every record carries the required fields (rate, offered, shed, shed_rate,
+  latency and per-stage percentiles, burn figures);
+- quantiles are ordered (p50 <= p95 <= p99) and non-negative;
+- shed_rate is a fraction in [0, 1] and consistent with shed/offered;
+- per-stage p95s are non-negative and the solve stage is not identically
+  zero across the sweep (a zero solve stage means timelines were never
+  stamped — the instrumentation is dead).
+
+Exits non-zero listing every violation.
+"""
+
+import json
+import sys
+
+REQUIRED = [
+    "rate",
+    "offered",
+    "shed",
+    "shed_rate",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "slo_healthy",
+    "latency_burn_fast",
+    "latency_burn_slow",
+]
+STAGES = ["queue", "dispatch", "form", "stage", "solve", "extract", "fulfill"]
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_points = 3
+    for arg in sys.argv[1:]:
+        if arg.startswith("--min-points="):
+            min_points = int(arg.split("=", 1)[1])
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+
+    records = []
+    with open(args[0], encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if rec.get("bench") == "serve_slo":
+                records.append(rec)
+
+    errors = []
+    rates = {rec.get("rate") for rec in records}
+    if len(rates) < min_points:
+        errors.append(
+            f"need >= {min_points} distinct offered-load points, found {len(rates)}: "
+            f"{sorted(r for r in rates if r is not None)}"
+        )
+
+    any_solve_time = False
+    for i, rec in enumerate(records):
+        where = f"record {i} (rate={rec.get('rate')})"
+        for field in REQUIRED:
+            if field not in rec:
+                errors.append(f"{where}: missing field '{field}'")
+        for stage in STAGES:
+            field = f"stage_{stage}_p95_us"
+            if field not in rec:
+                errors.append(f"{where}: missing field '{field}'")
+            elif rec[field] < 0:
+                errors.append(f"{where}: {field} is negative ({rec[field]})")
+        if rec.get("stage_solve_p95_us", 0) > 0:
+            any_solve_time = True
+
+        p50, p95, p99 = (rec.get(k, 0) for k in ("p50_ms", "p95_ms", "p99_ms"))
+        if not 0 <= p50 <= p95 <= p99:
+            errors.append(f"{where}: quantiles disordered: p50={p50} p95={p95} p99={p99}")
+
+        shed_rate = rec.get("shed_rate", 0)
+        if not 0.0 <= shed_rate <= 1.0:
+            errors.append(f"{where}: shed_rate {shed_rate} outside [0, 1]")
+        offered, shed = rec.get("offered", 0), rec.get("shed", 0)
+        if offered > 0 and abs(shed_rate - shed / offered) > 1e-6:
+            errors.append(
+                f"{where}: shed_rate {shed_rate} inconsistent with shed/offered "
+                f"{shed}/{offered}"
+            )
+
+    if records and not any_solve_time:
+        errors.append(
+            "stage_solve_p95_us is zero in every record: stage timelines were never stamped"
+        )
+
+    if errors:
+        print(f"slo check: {len(errors)} violation(s) in {args[0]}:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"slo check: OK ({len(records)} records, {len(rates)} offered-load points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#include "obs/expo.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace gridadmm::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; a scraper retry is cheap
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ExpoServer::ExpoServer(ExpoOptions options) : options_(std::move(options)) {}
+
+ExpoServer::~ExpoServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ExpoServer::handle(std::string path, Handler handler) {
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+void ExpoServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "ExpoServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  require(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+          "ExpoServer: invalid bind host '" + options_.host + "'");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw GridError("ExpoServer: cannot bind " + options_.host + ":" +
+                    std::to_string(options_.port) + " (" + detail + ")");
+  }
+  require(::listen(listen_fd_, 8) == 0, "ExpoServer: listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  log::info("exposition endpoint listening on ", url(),
+            " (/metrics, /healthz, /slo; loopback unless configured otherwise)");
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void ExpoServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // 100 ms stop-flag cadence
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void ExpoServer::handle_connection(int fd) {
+  // Scrape requests fit one read; anything longer gets truncated parsing
+  // of its first line, which is all we use.
+  timeval timeout{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char buffer[2048];
+  const ssize_t n = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
+  if (n <= 0) return;
+  buffer[n] = '\0';
+  const std::string request(buffer);
+
+  ExpoResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    response.status = 405;
+    response.body = "only GET is served\n";
+  } else {
+    std::string path = line.substr(4, line.find(' ', 4) - 4);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    response.status = 404;
+    response.body = "unknown path\n";
+    for (const auto& [registered, handler] : handlers_) {
+      if (registered == path) {
+        try {
+          response = handler();
+        } catch (const std::exception& error) {
+          response = ExpoResponse{503, "text/plain; charset=utf-8",
+                                  std::string("handler failed: ") + error.what() + "\n"};
+        }
+        break;
+      }
+    }
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\nContent-Type: " +
+                    response.content_type + "\r\nContent-Length: " +
+                    std::to_string(response.body.size()) + "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  write_all(fd, out);
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace gridadmm::obs

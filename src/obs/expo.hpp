@@ -1,0 +1,81 @@
+// Minimal metrics exposition endpoint: a knob-gated, single-threaded
+// POSIX-socket HTTP/1.1 server for scrapers (curl, Prometheus).
+//
+// Scope is deliberately tiny: GET only, one request per connection
+// (Connection: close), handlers registered per exact path, everything
+// served from one background accept loop. The server binds 127.0.0.1 by
+// default — it carries no authentication, so binding a public interface
+// is an explicit operator decision (see DESIGN.md §11 security note).
+// Port 0 binds an ephemeral port; port() reports the bound one.
+//
+// Handlers run on the server thread and return a Response; they are
+// expected to be cheap snapshot renderers (Prometheus text, JSON
+// verdicts). Scrape-path allocations are fine — the serving hot path
+// never enters this file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gridadmm::obs {
+
+struct ExpoOptions {
+  std::string host = "127.0.0.1";  ///< bind address (loopback by default)
+  int port = 0;                    ///< 0 = ephemeral
+};
+
+struct ExpoResponse {
+  int status = 200;  ///< 200, 404, 503, ...
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class ExpoServer {
+ public:
+  using Handler = std::function<ExpoResponse()>;
+
+  explicit ExpoServer(ExpoOptions options = {});
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+  /// Stops the accept loop and closes the socket.
+  ~ExpoServer();
+
+  /// Registers `handler` for exact-match GET `path` (e.g. "/metrics").
+  /// Must be called before start().
+  void handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept loop. Throws GridError when
+  /// the address cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] const std::string& host() const { return options_.host; }
+  [[nodiscard]] std::string url() const {
+    return "http://" + options_.host + ":" + std::to_string(port_);
+  }
+
+  /// Requests served since start (scrape accounting, tests).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  ExpoOptions options_;
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace gridadmm::obs

@@ -1,0 +1,96 @@
+#include "obs/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace gridadmm::obs {
+
+namespace {
+
+bool path_wants_jsonl(const std::string& path) {
+  auto ends_with = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with(".json") || ends_with(".jsonl");
+}
+
+}  // namespace
+
+MetricsDump::MetricsDump(EnvTag) {
+  const char* env = std::getenv("GRIDADMM_METRICS");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") return;
+  env_path_ = env;
+  std::atexit([] {
+    MetricsDump& dump = MetricsDump::instance();
+    dump.write_file(dump.env_path_);
+  });
+}
+
+MetricsDump& MetricsDump::instance() {
+  // Intentionally leaked, like the Tracer: the atexit flush runs after
+  // static destructors, so the dump must outlive them all.
+  static MetricsDump* dump = new MetricsDump(EnvTag{});
+  return *dump;
+}
+
+void MetricsDump::attach(std::string name, const MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{std::move(name), registry, "", ""});
+}
+
+void MetricsDump::detach(const MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.registry == registry) {
+      entry.final_prometheus = registry->expose_prometheus();
+      entry.final_json = registry->snapshot_json();
+      entry.registry = nullptr;
+    }
+  }
+}
+
+std::string MetricsDump::render(bool jsonl) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (jsonl) {
+      const std::string body =
+          entry.registry != nullptr ? entry.registry->snapshot_json() : entry.final_json;
+      if (body.empty()) continue;
+      // Splice the registry name into the snapshot object: {"registry": N, ...}.
+      if (body == "{}") {
+        out += "{\"registry\": \"" + entry.name + "\"}\n";
+      } else {
+        out += "{\"registry\": \"" + entry.name + "\", " + body.substr(1) + "\n";
+      }
+    } else {
+      out += "# registry " + entry.name + "\n";
+      out += entry.registry != nullptr ? entry.registry->expose_prometheus()
+                                       : entry.final_prometheus;
+    }
+  }
+  return out;
+}
+
+bool MetricsDump::write_file(const std::string& path) const {
+  if (path.empty()) return false;
+  std::ofstream file(path);
+  if (!file) {
+    log::warn("GRIDADMM_METRICS: cannot open '", path, "' for writing");
+    return false;
+  }
+  file << render(path_wants_jsonl(path));
+  return static_cast<bool>(file);
+}
+
+namespace detail {
+/// Touch the singleton at static init so the atexit hook is registered in
+/// every binary that links obs, even if no service ever attaches.
+[[maybe_unused]] const bool metrics_dump_env_touched = (MetricsDump::instance(), true);
+}  // namespace detail
+
+}  // namespace gridadmm::obs

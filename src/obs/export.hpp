@@ -1,0 +1,73 @@
+// Env-driven metrics dump: GRIDADMM_METRICS=PATH writes a final snapshot
+// of every attached MetricsRegistry at process exit, mirroring how
+// GRIDADMM_TRACE flushes the tracer. Paths ending in .json/.jsonl get one
+// JSONL line per registry ({"registry": name, ...metrics}); anything else
+// gets Prometheus text with a "# registry <name>" banner per section.
+//
+// Registries usually die before exit (a SolveService owns one), so
+// detach() renders the registry's final state into a retained snapshot —
+// the atexit writer then emits live registries and captured snapshots
+// alike. attach/detach are setup/teardown-path only; nothing here runs
+// during serving.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gridadmm::obs {
+
+class MetricsRegistry;
+
+class MetricsDump {
+ public:
+  /// Standalone dump (tests): no env read, no atexit hook.
+  MetricsDump() = default;
+
+  /// Process-wide instance (leaked; flushed via atexit when
+  /// GRIDADMM_METRICS is set — mirrors the Tracer env idiom).
+  static MetricsDump& instance();
+
+  /// Registers `registry` under `name` for the exit dump. No-op storage
+  /// cost when GRIDADMM_METRICS is unset (render simply walks nothing).
+  void attach(std::string name, const MetricsRegistry* registry);
+
+  /// Unregisters `registry`, capturing its final rendered state so a
+  /// registry destroyed mid-run still appears in the exit dump.
+  void detach(const MetricsRegistry* registry);
+
+  /// Renders all live registries plus captured snapshots; `jsonl` picks
+  /// the format (JSONL lines vs Prometheus sections).
+  [[nodiscard]] std::string render(bool jsonl) const;
+
+  /// Writes render() to `path`, choosing JSONL for .json/.jsonl
+  /// extensions. Returns false (with a log::warn) when the file cannot
+  /// be opened.
+  bool write_file(const std::string& path) const;
+
+  /// The GRIDADMM_METRICS path seen at static init ("" when unset).
+  [[nodiscard]] const std::string& env_path() const { return env_path_; }
+
+ private:
+  struct EnvTag {};
+  explicit MetricsDump(EnvTag);  ///< singleton path: reads env, hooks atexit
+
+  struct Entry {
+    std::string name;
+    const MetricsRegistry* registry = nullptr;  ///< null once detached
+    std::string final_prometheus;               ///< captured at detach
+    std::string final_json;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::string env_path_;
+};
+
+/// Static-init touch so the atexit hook registers before main() in every
+/// binary that links obs (same idiom as tracer_env_touched).
+namespace detail {
+extern const bool metrics_dump_env_touched;
+}
+
+}  // namespace gridadmm::obs

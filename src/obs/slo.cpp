@@ -1,0 +1,326 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace gridadmm::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> slo_allocations{0};
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void burn_json(std::string& out, const char* name, const SloBurn& burn) {
+  out += "\"";
+  out += name;
+  out += "\": {\"enabled\": ";
+  out += burn.enabled ? "true" : "false";
+  out += ", \"fast_burn\": " + format_double(burn.fast_burn);
+  out += ", \"slow_burn\": " + format_double(burn.slow_burn);
+  out += ", \"fast_bad_fraction\": " + format_double(burn.fast_bad_fraction);
+  out += ", \"breached\": ";
+  out += burn.breached ? "true" : "false";
+  out += "}";
+}
+
+}  // namespace
+
+/// One time bucket: an epoch tag plus counters and a histogram row. All
+/// fields are overwritten in place on rotation — never reallocated.
+struct SloMonitor::Bucket {
+  std::atomic<std::int64_t> epoch{-1};
+  std::atomic<std::uint64_t> count{0};  ///< latency observations
+  std::atomic<std::uint64_t> bad{0};    ///< observations over the ceiling
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<double> sum{0.0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hist;  ///< bounds + overflow
+};
+
+std::string SloVerdict::to_json(const SloObjectives& objectives) const {
+  std::string out = "{\"healthy\": ";
+  out += healthy ? "true" : "false";
+  out += ", \"now_seconds\": " + format_double(now_seconds);
+  out += ", \"objectives\": {\"latency_ceiling_seconds\": " +
+         format_double(objectives.latency_ceiling_seconds);
+  out += ", \"latency_budget_fraction\": " + format_double(objectives.latency_budget_fraction);
+  out += ", \"shed_budget_fraction\": " + format_double(objectives.shed_budget_fraction);
+  out += ", \"fast_window_seconds\": " + format_double(objectives.fast_window_seconds);
+  out += ", \"slow_window_seconds\": " + format_double(objectives.slow_window_seconds);
+  out += ", \"burn_threshold\": " + format_double(objectives.burn_threshold);
+  out += "}, ";
+  burn_json(out, "latency", latency);
+  out += ", ";
+  burn_json(out, "shed", shed);
+  out += ", \"fast_window\": {\"count\": " + std::to_string(fast_count);
+  out += ", \"shed\": " + std::to_string(fast_shed);
+  out += ", \"p50_seconds\": " + format_double(fast_p50);
+  out += ", \"p95_seconds\": " + format_double(fast_p95);
+  out += ", \"p99_seconds\": " + format_double(fast_p99);
+  out += ", \"shed_fraction\": " + format_double(fast_shed_fraction);
+  out += "}}";
+  return out;
+}
+
+SloMonitor::SloMonitor(SloObjectives objectives, SloWindowOptions window)
+    : objectives_(objectives), window_(window) {
+  require(window_.bucket_seconds > 0.0, "SloMonitor: bucket_seconds must be positive");
+  require(window_.buckets > 1, "SloMonitor: need at least two ring buckets");
+  require(window_.histogram_buckets > 0, "SloMonitor: need at least one histogram bucket");
+  require(window_.lowest > 0.0 && window_.growth > 1.0,
+          "SloMonitor: histogram bounds must be positive and growing");
+  const double slow = std::max(objectives_.fast_window_seconds, objectives_.slow_window_seconds);
+  require(static_cast<double>(window_.buckets) * window_.bucket_seconds > slow,
+          "SloMonitor: ring must span the slow evaluation window");
+
+  bounds_.reserve(static_cast<std::size_t>(window_.histogram_buckets));
+  double bound = window_.lowest;
+  for (int i = 0; i < window_.histogram_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= window_.growth;
+  }
+  const auto n = static_cast<std::size_t>(window_.buckets);
+  buckets_ = std::make_unique<Bucket[]>(n);
+  slo_allocations.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets_[i].hist = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    slo_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  scratch_.assign(bounds_.size() + 1, 0);
+  slo_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+SloMonitor::~SloMonitor() = default;
+
+std::uint64_t SloMonitor::allocations() {
+  return slo_allocations.load(std::memory_order_relaxed);
+}
+
+SloMonitor::Bucket& SloMonitor::bucket_for(double now_seconds) {
+  const std::int64_t epoch = epoch_of(now_seconds);
+  Bucket& bucket =
+      buckets_[static_cast<std::size_t>(epoch % window_.buckets)];
+  std::int64_t seen = bucket.epoch.load(std::memory_order_acquire);
+  if (seen != epoch) {
+    // Rotation: the first writer of the new epoch re-zeroes the bucket in
+    // place. The CAS elects one winner; a concurrent recorder that loses
+    // the race proceeds immediately, so an increment racing the zeroing
+    // can be lost — monitoring-grade accounting, never a hot-path stall.
+    if (bucket.epoch.compare_exchange_strong(seen, epoch, std::memory_order_acq_rel)) {
+      bucket.count.store(0, std::memory_order_relaxed);
+      bucket.bad.store(0, std::memory_order_relaxed);
+      bucket.shed.store(0, std::memory_order_relaxed);
+      bucket.sum.store(0.0, std::memory_order_relaxed);
+      for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        bucket.hist[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  return bucket;
+}
+
+void SloMonitor::record_latency(double seconds, double now_seconds) {
+  Bucket& bucket = bucket_for(now_seconds);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), seconds);
+  bucket.hist[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  bucket.count.fetch_add(1, std::memory_order_relaxed);
+  bucket.sum.fetch_add(seconds, std::memory_order_relaxed);
+  if (objectives_.latency_ceiling_seconds > 0.0 &&
+      seconds > objectives_.latency_ceiling_seconds) {
+    bucket.bad.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SloMonitor::record_shed(double now_seconds) {
+  bucket_for(now_seconds).shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+SloMonitor::WindowSums SloMonitor::sum_window(double window_seconds, double now_seconds,
+                                              std::vector<std::uint64_t>* hist_out) const {
+  WindowSums sums;
+  if (hist_out != nullptr) std::fill(hist_out->begin(), hist_out->end(), 0);
+  const std::int64_t current = epoch_of(now_seconds);
+  // The window covers epochs (current - span, current]: the current
+  // (partial) bucket plus enough whole buckets to reach back
+  // `window_seconds`.
+  const auto span = static_cast<std::int64_t>(
+      std::ceil(window_seconds / window_.bucket_seconds));
+  const std::int64_t oldest = current - std::min<std::int64_t>(span, window_.buckets - 1) + 1;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(window_.buckets); ++i) {
+    const Bucket& bucket = buckets_[i];
+    const std::int64_t epoch = bucket.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > current) continue;  // evicted or unused
+    sums.count += bucket.count.load(std::memory_order_relaxed);
+    sums.bad += bucket.bad.load(std::memory_order_relaxed);
+    sums.shed += bucket.shed.load(std::memory_order_relaxed);
+    sums.sum += bucket.sum.load(std::memory_order_relaxed);
+    if (hist_out != nullptr) {
+      for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+        (*hist_out)[b] += bucket.hist[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return sums;
+}
+
+double SloMonitor::quantile(double q, double window_seconds, double now_seconds) const {
+  const std::lock_guard<std::mutex> lock(eval_mu_);
+  const WindowSums sums = sum_window(window_seconds, now_seconds, &scratch_);
+  if (sums.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(sums.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = scratch_[i];
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow saturates
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+std::uint64_t SloMonitor::window_count(double window_seconds, double now_seconds) const {
+  return sum_window(window_seconds, now_seconds, nullptr).count;
+}
+
+std::uint64_t SloMonitor::window_shed(double window_seconds, double now_seconds) const {
+  return sum_window(window_seconds, now_seconds, nullptr).shed;
+}
+
+double SloMonitor::shed_fraction(double window_seconds, double now_seconds) const {
+  const WindowSums sums = sum_window(window_seconds, now_seconds, nullptr);
+  const std::uint64_t offered = sums.count + sums.shed;
+  return offered == 0 ? 0.0
+                      : static_cast<double>(sums.shed) / static_cast<double>(offered);
+}
+
+void SloMonitor::bind_gauges(MetricsRegistry& registry) {
+  g_healthy_ = &registry.gauge("slo_healthy", "1 when no declared objective is breached");
+  g_latency_burn_fast_ = &registry.gauge(
+      "slo_latency_burn_fast", "Latency budget burn rate over the fast window");
+  g_latency_burn_slow_ = &registry.gauge(
+      "slo_latency_burn_slow", "Latency budget burn rate over the slow window");
+  g_shed_burn_fast_ =
+      &registry.gauge("slo_shed_burn_fast", "Shed budget burn rate over the fast window");
+  g_shed_burn_slow_ =
+      &registry.gauge("slo_shed_burn_slow", "Shed budget burn rate over the slow window");
+  g_p99_fast_ =
+      &registry.gauge("slo_p99_fast_seconds", "p99 latency over the fast window");
+  g_shed_fraction_fast_ =
+      &registry.gauge("slo_shed_fraction_fast", "Shed fraction over the fast window");
+  g_healthy_->set(1.0);
+}
+
+SloVerdict SloMonitor::evaluate(double now_seconds) {
+  SloVerdict verdict;
+  verdict.now_seconds = now_seconds;
+
+  const std::lock_guard<std::mutex> lock(eval_mu_);
+  const WindowSums fast = sum_window(objectives_.fast_window_seconds, now_seconds, &scratch_);
+  verdict.fast_count = fast.count;
+  verdict.fast_shed = fast.shed;
+  // Fast-window quantiles from the already-merged scratch row.
+  const auto scratch_quantile = [&](double q) -> double {
+    if (fast.count == 0) return 0.0;
+    const auto rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(fast.count)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      const std::uint64_t in_bucket = scratch_[i];
+      if (cumulative + in_bucket >= rank && in_bucket > 0) {
+        if (i == bounds_.size()) return bounds_.back();
+        const double hi = bounds_[i];
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        return lo + static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket) * (hi - lo);
+      }
+      cumulative += in_bucket;
+    }
+    return bounds_.back();
+  };
+  verdict.fast_p50 = scratch_quantile(0.50);
+  verdict.fast_p95 = scratch_quantile(0.95);
+  verdict.fast_p99 = scratch_quantile(0.99);
+  const std::uint64_t fast_offered = fast.count + fast.shed;
+  verdict.fast_shed_fraction =
+      fast_offered == 0 ? 0.0
+                        : static_cast<double>(fast.shed) / static_cast<double>(fast_offered);
+
+  const WindowSums slow = sum_window(objectives_.slow_window_seconds, now_seconds, nullptr);
+
+  if (objectives_.latency_ceiling_seconds > 0.0) {
+    verdict.latency.enabled = true;
+    const double budget = std::max(objectives_.latency_budget_fraction, 1e-12);
+    const double fast_bad =
+        fast.count == 0 ? 0.0
+                        : static_cast<double>(fast.bad) / static_cast<double>(fast.count);
+    const double slow_bad =
+        slow.count == 0 ? 0.0
+                        : static_cast<double>(slow.bad) / static_cast<double>(slow.count);
+    verdict.latency.fast_bad_fraction = fast_bad;
+    verdict.latency.fast_burn = fast_bad / budget;
+    verdict.latency.slow_burn = slow_bad / budget;
+    verdict.latency.breached = verdict.latency.fast_burn > objectives_.burn_threshold &&
+                               verdict.latency.slow_burn > objectives_.burn_threshold;
+  }
+
+  if (objectives_.shed_budget_fraction >= 0.0) {
+    verdict.shed.enabled = true;
+    // A zero-shed objective still needs a finite budget to normalize by.
+    const double budget = std::max(objectives_.shed_budget_fraction, 1e-4);
+    const std::uint64_t slow_offered = slow.count + slow.shed;
+    const double slow_fraction =
+        slow_offered == 0 ? 0.0
+                          : static_cast<double>(slow.shed) / static_cast<double>(slow_offered);
+    verdict.shed.fast_bad_fraction = verdict.fast_shed_fraction;
+    verdict.shed.fast_burn = verdict.fast_shed_fraction / budget;
+    verdict.shed.slow_burn = slow_fraction / budget;
+    verdict.shed.breached = verdict.shed.fast_burn > objectives_.burn_threshold &&
+                            verdict.shed.slow_burn > objectives_.burn_threshold;
+  }
+
+  verdict.healthy = !verdict.latency.breached && !verdict.shed.breached;
+
+  if (g_healthy_ != nullptr) {
+    g_healthy_->set(verdict.healthy ? 1.0 : 0.0);
+    g_latency_burn_fast_->set(verdict.latency.fast_burn);
+    g_latency_burn_slow_->set(verdict.latency.slow_burn);
+    g_shed_burn_fast_->set(verdict.shed.fast_burn);
+    g_shed_burn_slow_->set(verdict.shed.slow_burn);
+    g_p99_fast_->set(verdict.fast_p99);
+    g_shed_fraction_fast_->set(verdict.fast_shed_fraction);
+  }
+
+  if (verdict.healthy != was_healthy_) {
+    if (!verdict.healthy) {
+      log::warn("SLO breach: latency burn fast/slow ", verdict.latency.fast_burn, "/",
+                verdict.latency.slow_burn, ", shed burn fast/slow ", verdict.shed.fast_burn,
+                "/", verdict.shed.slow_burn, " (threshold ", objectives_.burn_threshold, ")");
+      obs::instant("slo.breach", "latency", verdict.latency.breached ? 1 : 0, "shed",
+                   verdict.shed.breached ? 1 : 0);
+    } else {
+      log::info("SLO recovered: all objectives back under burn threshold");
+      obs::instant("slo.recovered");
+    }
+    was_healthy_ = verdict.healthy;
+  }
+  return verdict;
+}
+
+}  // namespace gridadmm::obs

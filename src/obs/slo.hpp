@@ -1,0 +1,179 @@
+// SLO monitor: sliding-window latency quantiles, shed rate, and
+// multi-window burn-rate objective evaluation.
+//
+// The monitor keeps a ring of epoch-tagged time buckets (one per
+// `bucket_seconds`); each bucket holds an exponential-bound latency
+// histogram plus count/sum/bad/shed counters. Recording is lock-free —
+// a handful of relaxed atomic increments into the bucket owning `now` —
+// and performs zero steady-state allocations: every bucket and histogram
+// row is preallocated at construction (`SloMonitor::allocations()` is the
+// construction-counter test hook, the Tracer::buffers_created() idiom).
+// Bucket rotation when time wraps the ring re-zeroes counters in place.
+//
+// Time is always passed in explicitly (seconds on any monotonic clock),
+// so the monitor is ManualClock-testable end to end: the serve layer
+// feeds it the service's injected clock, tests hand-advance time and
+// assert exact window eviction and burn-rate transitions.
+//
+// Objectives follow the SRE burn-rate formulation. A latency objective
+// "p99 <= X" means "at most budget_fraction (default 1%) of requests may
+// exceed X"; the burn rate over a window is
+//     (fraction of requests over X in the window) / budget_fraction,
+// so burn 1.0 consumes the error budget exactly as fast as allowed. A
+// breach is declared only when BOTH the fast (default 1 min) and slow
+// (default 10 min) windows burn above the threshold — the fast window
+// gives detection latency, the slow window keeps one spike from paging —
+// and clears as soon as either window recovers. evaluate() emits the
+// verdict to bound gauges, the log (on state transitions only), and an
+// instant trace event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gridadmm::obs {
+
+/// Declared service-level objectives and the windows they are judged over.
+struct SloObjectives {
+  /// Latency ceiling in seconds (the "X" of "p99 <= X"); <= 0 disables the
+  /// latency objective.
+  double latency_ceiling_seconds = 0.0;
+  /// Fraction of requests allowed over the ceiling (0.01 = a p99 objective,
+  /// 0.05 = p95, ...).
+  double latency_budget_fraction = 0.01;
+  /// Allowed shed fraction of offered requests; < 0 disables the shed
+  /// objective (0 means "any shed at all burns budget" against the
+  /// shed_budget_fraction floor below).
+  double shed_budget_fraction = -1.0;
+  /// Fast/slow evaluation windows (seconds). Both must burn above
+  /// `burn_threshold` for a breach.
+  double fast_window_seconds = 60.0;
+  double slow_window_seconds = 600.0;
+  double burn_threshold = 1.0;
+};
+
+/// Ring/bucket geometry of the sliding window storage.
+struct SloWindowOptions {
+  double bucket_seconds = 1.0;  ///< time-bucket width
+  int buckets = 660;            ///< ring span; must cover the slow window
+  double lowest = 1e-4;         ///< first histogram bound (seconds)
+  double growth = 1.6;          ///< histogram bound growth factor
+  int histogram_buckets = 40;   ///< finite bounds per time bucket
+};
+
+/// One objective's verdict over both windows.
+struct SloBurn {
+  bool enabled = false;
+  double fast_burn = 0.0;      ///< budget-normalized bad fraction, fast window
+  double slow_burn = 0.0;      ///< same over the slow window
+  double fast_bad_fraction = 0.0;
+  bool breached = false;       ///< both windows over the burn threshold
+};
+
+/// The monitor's full answer at one evaluation instant.
+struct SloVerdict {
+  double now_seconds = 0.0;
+  bool healthy = true;         ///< no enabled objective breached
+  SloBurn latency;
+  SloBurn shed;
+  // Fast-window telemetry snapshot backing the burn figures.
+  std::uint64_t fast_count = 0;   ///< latency observations in the fast window
+  std::uint64_t fast_shed = 0;    ///< sheds in the fast window
+  double fast_p50 = 0.0;
+  double fast_p95 = 0.0;
+  double fast_p99 = 0.0;
+  double fast_shed_fraction = 0.0;
+
+  /// One-line JSON rendering (the /slo endpoint body).
+  [[nodiscard]] std::string to_json(const SloObjectives& objectives) const;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloObjectives objectives, SloWindowOptions window = {});
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+  ~SloMonitor();  ///< out-of-line: Bucket is incomplete here
+
+  /// Records one fulfilled request's end-to-end latency at time `now`
+  /// (seconds, any monotonic clock — use one clock consistently).
+  /// Lock-free, allocation-free.
+  void record_latency(double seconds, double now_seconds);
+
+  /// Records one shed (admission-rejected) request at time `now`.
+  void record_shed(double now_seconds);
+
+  /// Latency quantile over the trailing `window_seconds` ending at `now`
+  /// (upper-bound-biased bucket interpolation, like obs::Histogram).
+  [[nodiscard]] double quantile(double q, double window_seconds, double now_seconds) const;
+
+  /// Observations / sheds in the trailing window.
+  [[nodiscard]] std::uint64_t window_count(double window_seconds, double now_seconds) const;
+  [[nodiscard]] std::uint64_t window_shed(double window_seconds, double now_seconds) const;
+  /// shed / (shed + fulfilled) over the window; 0 when nothing was offered.
+  [[nodiscard]] double shed_fraction(double window_seconds, double now_seconds) const;
+
+  /// Evaluates every declared objective at `now`: returns the verdict,
+  /// refreshes bound gauges, logs breach/recovery transitions, and emits a
+  /// "slo.breach" / "slo.recovered" instant trace event on transitions.
+  /// Serialized internally; call from one evaluator or many.
+  SloVerdict evaluate(double now_seconds);
+
+  /// Binds the exported gauges (slo_healthy, slo_latency_burn_fast/slow,
+  /// slo_shed_burn_fast/slow, slo_p99_fast_seconds, slo_shed_fraction_fast)
+  /// into `registry`; evaluate() refreshes them.
+  void bind_gauges(MetricsRegistry& registry);
+
+  [[nodiscard]] const SloObjectives& objectives() const { return objectives_; }
+  [[nodiscard]] const SloWindowOptions& window_options() const { return window_; }
+
+  /// Heap allocations any monitor has performed since process start.
+  /// Moves at construction only — the allocation-discipline test hook.
+  static std::uint64_t allocations();
+
+ private:
+  struct Bucket;
+
+  /// Sums counters and histogram rows of the buckets covering the trailing
+  /// window into `scratch` (preallocated). Returns {count, shed, bad, sum}.
+  struct WindowSums {
+    std::uint64_t count = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t bad = 0;
+    double sum = 0.0;
+  };
+  WindowSums sum_window(double window_seconds, double now_seconds,
+                        std::vector<std::uint64_t>* hist_out) const;
+  Bucket& bucket_for(double now_seconds);
+  [[nodiscard]] std::int64_t epoch_of(double now_seconds) const {
+    return static_cast<std::int64_t>(now_seconds / window_.bucket_seconds);
+  }
+
+  SloObjectives objectives_;
+  SloWindowOptions window_;
+  std::vector<double> bounds_;  ///< shared histogram bounds, ascending
+  std::unique_ptr<Bucket[]> buckets_;
+
+  /// evaluate()/quantile merge scratch: preallocated so the scrape path
+  /// stays allocation-free too. Guarded by eval_mu_.
+  mutable std::mutex eval_mu_;
+  mutable std::vector<std::uint64_t> scratch_;
+  bool was_healthy_ = true;  ///< transition edge detector (under eval_mu_)
+
+  // Bound gauges (null until bind_gauges); registry owns the storage.
+  Gauge* g_healthy_ = nullptr;
+  Gauge* g_latency_burn_fast_ = nullptr;
+  Gauge* g_latency_burn_slow_ = nullptr;
+  Gauge* g_shed_burn_fast_ = nullptr;
+  Gauge* g_shed_burn_slow_ = nullptr;
+  Gauge* g_p99_fast_ = nullptr;
+  Gauge* g_shed_fraction_fast_ = nullptr;
+};
+
+}  // namespace gridadmm::obs

@@ -1,0 +1,87 @@
+#include "obs/watchdog.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace gridadmm::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+int Watchdog::register_slot(std::string name) {
+  slots_.push_back(std::make_unique<Slot>(std::move(name)));
+  slots_.back()->last_beat_ns.store(now_ns(), std::memory_order_relaxed);
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+void Watchdog::beat(int id) { beat(id, now_ns()); }
+
+void Watchdog::beat(int id, std::uint64_t now) {
+  slots_[static_cast<std::size_t>(id)]->last_beat_ns.store(now, std::memory_order_relaxed);
+}
+
+void Watchdog::set_idle(int id, bool idle) {
+  Slot& slot = *slots_[static_cast<std::size_t>(id)];
+  if (!idle) slot.last_beat_ns.store(now_ns(), std::memory_order_relaxed);
+  slot.idle.store(idle, std::memory_order_relaxed);
+}
+
+bool Watchdog::healthy(std::uint64_t now, double stall_seconds) const {
+  const auto deadline_ns = static_cast<std::uint64_t>(stall_seconds * 1e9);
+  for (const auto& slot : slots_) {
+    if (slot->idle.load(std::memory_order_relaxed)) continue;
+    const std::uint64_t beat = slot->last_beat_ns.load(std::memory_order_relaxed);
+    if (now > beat && now - beat > deadline_ns) return false;
+  }
+  return true;
+}
+
+std::vector<Watchdog::SlotStatus> Watchdog::status(std::uint64_t now,
+                                                   double stall_seconds) const {
+  const auto deadline_ns = static_cast<std::uint64_t>(stall_seconds * 1e9);
+  std::vector<SlotStatus> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    SlotStatus status;
+    status.name = slot->name;
+    status.idle = slot->idle.load(std::memory_order_relaxed);
+    const std::uint64_t beat = slot->last_beat_ns.load(std::memory_order_relaxed);
+    status.seconds_since_beat = now > beat ? static_cast<double>(now - beat) * 1e-9 : 0.0;
+    status.healthy = status.idle || now <= beat || now - beat <= deadline_ns;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::string Watchdog::healthz_json(std::uint64_t now, double stall_seconds) const {
+  const auto slots = status(now, stall_seconds);
+  bool all_healthy = true;
+  for (const auto& slot : slots) all_healthy = all_healthy && slot.healthy;
+  std::string out = "{\"healthy\": ";
+  out += all_healthy ? "true" : "false";
+  out += ", \"stall_deadline_seconds\": " + format_double(stall_seconds);
+  out += ", \"slots\": [";
+  bool first = true;
+  for (const auto& slot : slots) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + slot.name + "\", \"healthy\": ";
+    out += slot.healthy ? "true" : "false";
+    out += ", \"idle\": ";
+    out += slot.idle ? "true" : "false";
+    out += ", \"seconds_since_beat\": " + format_double(slot.seconds_since_beat) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gridadmm::obs

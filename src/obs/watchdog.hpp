@@ -1,0 +1,76 @@
+// Liveness watchdog backing the /healthz endpoint.
+//
+// Long-lived worker threads (dispatcher, shard solve workers, maintenance)
+// register a named slot at setup and then report liveness with two
+// relaxed atomic stores: beat() stamps "I made progress at T" and
+// set_idle() marks "I am parked on a condition variable" (an idle thread
+// is healthy no matter how long it stays silent — only a *busy* thread
+// that has gone quiet past the stall deadline is flagged). Slots are
+// preallocated at registration; the steady-state cost is the stores.
+//
+// Health checks take the current time explicitly (nanoseconds on the
+// obs::now_ns() trace clock), so stall detection is testable without
+// sleeping: stamp a beat, ask about a later instant, watch the slot trip
+// and then clear on the next beat.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gridadmm::obs {
+
+class Watchdog {
+ public:
+  struct SlotStatus {
+    std::string name;
+    bool healthy = true;
+    bool idle = true;
+    double seconds_since_beat = 0.0;
+  };
+
+  /// Registers a named heartbeat slot (setup-time; allocates). The
+  /// returned id addresses the slot in beat()/set_idle(). Slots start
+  /// idle and healthy.
+  int register_slot(std::string name);
+
+  /// Stamps slot `id` alive at `now_ns` (default: obs::now_ns()).
+  void beat(int id);
+  void beat(int id, std::uint64_t now_ns);
+
+  /// Marks slot `id` parked (true) or working (false). Entering the busy
+  /// state also stamps a beat, so the stall clock starts at the
+  /// transition, not at the previous beat.
+  void set_idle(int id, bool idle);
+
+  /// True when every slot is idle or has beaten within `stall_seconds`
+  /// of `now_ns`.
+  [[nodiscard]] bool healthy(std::uint64_t now_ns, double stall_seconds) const;
+
+  /// Per-slot health snapshot (scrape path; allocates).
+  [[nodiscard]] std::vector<SlotStatus> status(std::uint64_t now_ns,
+                                               double stall_seconds) const;
+
+  /// The /healthz body: {"healthy": ..., "stall_deadline_seconds": ...,
+  /// "slots": [{"name": ..., "healthy": ..., "idle": ...,
+  /// "seconds_since_beat": ...}, ...]}.
+  [[nodiscard]] std::string healthz_json(std::uint64_t now_ns, double stall_seconds) const;
+
+  [[nodiscard]] int slot_count() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct Slot {
+    explicit Slot(std::string slot_name) : name(std::move(slot_name)) {}
+    std::string name;
+    std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<bool> idle{true};
+  };
+
+  /// unique_ptr per slot: registration may grow the vector, but slot
+  /// addresses stay stable for the atomics the worker threads touch.
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace gridadmm::obs

@@ -15,6 +15,7 @@
 #include "grid/solution.hpp"
 #include "obs/convergence.hpp"
 #include "scenario/scenario.hpp"
+#include "serve/timeline.hpp"
 
 namespace gridadmm::serve {
 
@@ -53,6 +54,11 @@ struct SolveResult {
   double cache_distance = 0.0;  ///< load distance to the seed (when cache_hit)
   double wait_seconds = 0.0;    ///< submit -> dispatch (injected clock)
   double total_seconds = 0.0;   ///< submit -> future fulfilled (injected clock)
+  /// Per-request stage timeline on the trace clock (admit -> queue ->
+  /// dispatch -> form -> stage -> solve -> extract -> fulfill), stamped
+  /// when ServiceOptions::slo or tracing is on (all-zero otherwise). The
+  /// same stamps feed the trace spans, so timeline and trace never drift.
+  RequestTimeline timeline;
   /// Sampled convergence trajectory of this request's batch slot, filled
   /// when ServiceOptions::convergence_sample_interval > 0 (empty samples
   /// otherwise). Feed obs::should_escalate to decide whether this request

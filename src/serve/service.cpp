@@ -7,10 +7,13 @@
 #include <string>
 #include <utility>
 
+#include <fstream>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/numeric.hpp"
 #include "grid/solution.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
@@ -44,6 +47,10 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
           "SolveService: batching_window_seconds must be finite and non-negative");
   require(options_.latency_sample_capacity > 0,
           "SolveService: latency_sample_capacity must be positive");
+  require(options_.watchdog_stall_seconds > 0.0,
+          "SolveService: watchdog_stall_seconds must be positive");
+  require(options_.expo_port >= -1 && options_.expo_port <= 65535,
+          "SolveService: expo_port must be in [-1, 65535]");
   // Aliasing shared_ptr: requests that carry no network reference the
   // service's own copy without another Network allocation.
   base_shared_ = std::shared_ptr<const grid::Network>(std::shared_ptr<void>(), &base_);
@@ -71,14 +78,81 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
   pool_ = std::make_unique<device::DevicePool>(options_.num_devices, options_.device_workers);
   live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
   live_.per_shard.assign(static_cast<std::size_t>(options_.num_devices), ShardServiceStats{});
+
+  // ---- SLO observability layer (monitor, per-stage histograms) ----
+  if (options_.slo) {
+    slo_ = std::make_unique<obs::SloMonitor>(options_.slo_objectives, options_.slo_window);
+    slo_->bind_gauges(metrics_);
+    for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+      m_stage_[st] = &metrics_.histogram(
+          std::string("serve_stage_") + RequestTimeline::stage_name(st) + "_seconds",
+          "Per-request stage latency (trace clock)", 1e-6, 2.0, 26);
+    }
+  }
+  // Every watchdog slot registers before any thread starts: workers index
+  // slots_ lock-free, so the vector must not grow once they run.
+  wd_dispatcher_ = watchdog_.register_slot("dispatcher");
+  wd_shards_.reserve(static_cast<std::size_t>(options_.num_devices));
+  for (int d = 0; d < options_.num_devices; ++d) {
+    wd_shards_.push_back(watchdog_.register_slot("shard-" + std::to_string(d)));
+  }
+  wd_maintenance_ = watchdog_.register_slot("maintenance");
+  if (!obs::MetricsDump::instance().env_path().empty()) {
+    obs::MetricsDump::instance().attach("serve", &metrics_);
+    attached_dump_ = true;
+  }
+  // The endpoint binds before the worker threads start, so a bind failure
+  // throws out of a service with no threads to unwind.
+  if (options_.expo_port >= 0) {
+    obs::ExpoOptions expo_options;
+    expo_options.host = options_.expo_host;
+    expo_options.port = options_.expo_port;
+    expo_ = std::make_unique<obs::ExpoServer>(expo_options);
+    expo_->handle("/metrics", [this] {
+      stats();  // refresh gauges so the exposition agrees with ServiceStats
+      return obs::ExpoResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               metrics_.expose_prometheus()};
+    });
+    expo_->handle("/healthz", [this] {
+      const std::uint64_t now = obs::now_ns();
+      const bool ok = watchdog_.healthy(now, options_.watchdog_stall_seconds);
+      return obs::ExpoResponse{
+          ok ? 200 : 503, "application/json",
+          watchdog_.healthz_json(now, options_.watchdog_stall_seconds) + "\n"};
+    });
+    expo_->handle("/slo", [this] {
+      if (slo_ == nullptr) {
+        return obs::ExpoResponse{404, "text/plain; charset=utf-8",
+                                 "slo monitor disabled (ServiceOptions::slo)\n"};
+      }
+      const obs::SloVerdict verdict = slo_->evaluate(clock_->now());
+      return obs::ExpoResponse{200, "application/json",
+                               verdict.to_json(slo_->objectives()) + "\n"};
+    });
+    expo_->start();
+  }
+
   shard_workers_.reserve(static_cast<std::size_t>(options_.num_devices));
   for (int d = 0; d < options_.num_devices; ++d) {
     shard_workers_.emplace_back([this, d] { shard_worker_main(d); });
   }
   dispatcher_ = std::thread([this] { dispatcher_main(); });
+  if ((slo_ != nullptr && options_.slo_eval_interval_seconds > 0.0) ||
+      (!options_.metrics_snapshot_path.empty() &&
+       options_.metrics_snapshot_interval_seconds > 0.0)) {
+    maintenance_ = std::thread([this] { maintenance_main(); });
+  }
 }
 
 SolveService::~SolveService() {
+  // Endpoint first: no scrape may run against a service mid-teardown.
+  expo_.reset();
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    maintenance_stop_ = true;
+  }
+  cv_maintenance_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
   drain();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -88,6 +162,54 @@ SolveService::~SolveService() {
   cv_shard_.notify_all();
   dispatcher_.join();
   for (auto& worker : shard_workers_) worker.join();
+  if (!options_.metrics_snapshot_path.empty()) {
+    stats();  // final gauge refresh before the last snapshot line
+    append_metrics_snapshot();
+  }
+  if (attached_dump_) obs::MetricsDump::instance().detach(&metrics_);
+}
+
+void SolveService::maintenance_main() {
+  obs::set_thread_name("serve.maintenance");
+  using clock = std::chrono::steady_clock;
+  auto as_duration = [](double seconds) {
+    return std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(seconds));
+  };
+  const bool do_eval = slo_ != nullptr && options_.slo_eval_interval_seconds > 0.0;
+  const bool do_snapshot = !options_.metrics_snapshot_path.empty() &&
+                           options_.metrics_snapshot_interval_seconds > 0.0;
+  auto next_eval = clock::now() + as_duration(options_.slo_eval_interval_seconds);
+  auto next_snapshot = clock::now() + as_duration(options_.metrics_snapshot_interval_seconds);
+  std::unique_lock<std::mutex> lock(maintenance_mu_);
+  while (!maintenance_stop_) {
+    auto next = clock::time_point::max();
+    if (do_eval) next = std::min(next, next_eval);
+    if (do_snapshot) next = std::min(next, next_snapshot);
+    cv_maintenance_.wait_until(lock, next, [&] { return maintenance_stop_; });
+    if (maintenance_stop_) return;
+    const auto now = clock::now();
+    watchdog_.set_idle(wd_maintenance_, false);
+    if (do_eval && now >= next_eval) {
+      slo_->evaluate(clock_->now());
+      next_eval = now + as_duration(options_.slo_eval_interval_seconds);
+    }
+    if (do_snapshot && now >= next_snapshot) {
+      stats();  // refresh gauges so each snapshot line is coherent
+      append_metrics_snapshot();
+      next_snapshot = now + as_duration(options_.metrics_snapshot_interval_seconds);
+    }
+    watchdog_.set_idle(wd_maintenance_, true);
+  }
+}
+
+void SolveService::append_metrics_snapshot() {
+  std::ofstream file(options_.metrics_snapshot_path, std::ios::app);
+  if (!file) {
+    log::warn("SolveService: cannot append metrics snapshot to '",
+              options_.metrics_snapshot_path, "'");
+    return;
+  }
+  file << metrics_.snapshot_json() << "\n";
 }
 
 std::uint64_t SolveService::fingerprint_of(const std::shared_ptr<const grid::Network>& network) {
@@ -141,7 +263,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
   pending.request = std::move(request);
   pending.submit_time = clock_->now();
   pending.arrival = std::chrono::steady_clock::now();
-  pending.admit_ns = obs::now_ns();
+  pending.timeline.admit_ns = obs::now_ns();
   auto future = pending.promise.get_future();
 
   std::uint64_t request_id = 0;
@@ -150,6 +272,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
     if (draining_ || shutdown_) {
       ++live_.shed;
       m_shed_->inc();
+      if (slo_ != nullptr) slo_->record_shed(pending.submit_time);
       throw CapacityError("SolveService::submit: service is draining, request shed");
     }
     // Admission bounds everything accepted and unfulfilled — main queue,
@@ -158,6 +281,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
     if (pending_total_ >= options_.max_queue_depth) {
       ++live_.shed;
       m_shed_->inc();
+      if (slo_ != nullptr) slo_->record_shed(pending.submit_time);
       throw CapacityError("SolveService::submit: queue full (max_queue_depth reached), "
                           "request shed");
     }
@@ -179,7 +303,9 @@ void SolveService::dispatcher_main() {
       std::chrono::duration<double>(options_.batching_window_seconds));
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    watchdog_.set_idle(wd_dispatcher_, true);
     cv_work_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    watchdog_.set_idle(wd_dispatcher_, false);
     if (queue_.empty()) {
       if (shutdown_) return;
       continue;
@@ -191,6 +317,7 @@ void SolveService::dispatcher_main() {
     // when fingerprints are mixed, and early means smaller batches, never
     // starvation.
     const auto deadline = queue_.front().arrival + window;
+    watchdog_.set_idle(wd_dispatcher_, true);
     while (!shutdown_ && !draining_ &&
            static_cast<int>(queue_.size()) < options_.max_batch_size &&
            std::chrono::steady_clock::now() < deadline) {
@@ -205,6 +332,7 @@ void SolveService::dispatcher_main() {
       return shutdown_ ||
              static_cast<int>(dispatched_.size()) + busy_workers_ < options_.num_devices;
     });
+    watchdog_.set_idle(wd_dispatcher_, false);
     if (queue_.empty()) continue;  // a shutdown wake-up with nothing left
     // Hand the popped batch to the shared dispatch queue and keep going:
     // the dispatcher never blocks on a solve, the next idle device takes
@@ -214,15 +342,15 @@ void SolveService::dispatcher_main() {
     Batch batch;
     batch.requests = pop_batch_locked();
     batch.id = next_batch_id_++;
-    if (obs::Tracer::enabled()) {
-      // Queue-wait spans: admission (stamped on the submitting thread) to
-      // coalescing, one per request, plus one dispatch marker per batch.
+    if (options_.slo || obs::Tracer::enabled()) {
+      // One stamp serves both views: the timeline's queue_ns and the
+      // serve.queue span end are the same instant by construction.
       const std::uint64_t popped_ns = obs::now_ns();
-      for (const Pending& p : batch.requests) {
-        obs::span_between("serve.queue", p.admit_ns, popped_ns, "req", p.id, "batch", batch.id);
+      for (Pending& p : batch.requests) {
+        p.timeline.queue_ns = popped_ns;
+        obs::span_between("serve.queue", p.timeline.admit_ns, popped_ns, "req", p.id, "batch",
+                          batch.id);
       }
-      obs::instant("serve.dispatch", "batch", batch.id, "size",
-                   static_cast<std::uint64_t>(batch.requests.size()));
     }
     dispatched_.push_back(std::move(batch));
     cv_shard_.notify_one();
@@ -234,11 +362,13 @@ void SolveService::shard_worker_main(int shard) {
   const auto d = static_cast<std::size_t>(shard);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    watchdog_.set_idle(wd_shards_[d], true);
     cv_shard_.wait(lock, [&] { return shutdown_ || !dispatched_.empty(); });
     if (dispatched_.empty()) {
       if (shutdown_) return;
       continue;
     }
+    watchdog_.set_idle(wd_shards_[d], false);
     Batch batch = std::move(dispatched_.front());
     dispatched_.pop_front();
     const int size = static_cast<int>(batch.requests.size());
@@ -289,10 +419,21 @@ void SolveService::process_batch(Batch work, int shard) {
   const double dispatch_time = clock_->now();
   const std::uint64_t batch_id = work.id;
   const bool use_cache = options_.cache.capacity > 0;
+  // Timeline stamping is on when the SLO layer or the tracer wants it; the
+  // batch-scoped stamps are locals here and fan out to every request of the
+  // batch at fulfillment. Each stamp is taken exactly once and feeds both
+  // the RequestTimeline and the trace span it bounds (non-drift invariant).
+  const bool timeline_on = options_.slo || obs::Tracer::enabled();
   device::Device& device = pool_->device(shard);
   const obs::TraceSpan batch_span("serve.batch", "batch", batch_id, "shard",
                                   static_cast<std::uint64_t>(shard));
-  obs::PhaseTimer stage_timer;
+  const std::uint64_t dispatch_ns = timeline_on ? obs::now_ns() : 0;
+  if (timeline_on && !batch.empty()) {
+    // serve.dispatch: the batch's wait in the dispatch queue for a worker
+    // (all requests of a batch share queue_ns, so one span covers it).
+    obs::span_between("serve.dispatch", batch.front().timeline.queue_ns, dispatch_ns, "batch",
+                      batch_id, "size", static_cast<std::uint64_t>(batch.size()));
+  }
 
   // ---- Stage the batch as one ScenarioSet ----
   scenario::ScenarioSet set(*batch.front().request.network);
@@ -325,14 +466,20 @@ void SolveService::process_batch(Batch work, int shard) {
     accepted.push_back(i);
   }
   if (accepted.empty()) return;
-  stage_timer.take("serve.stage", "batch", batch_id);
+  const std::uint64_t form_ns = timeline_on ? obs::now_ns() : 0;
+  if (timeline_on) obs::span_between("serve.form", dispatch_ns, form_ns, "batch", batch_id);
 
   // ---- Fused micro-batch solve on this shard's device ----
   device::LaunchStats batch_launches;
   scenario::ScenarioReport report;
   std::vector<grid::OpfSolution> solutions;
+  std::uint64_t stage_ns = 0;
+  std::uint64_t solve_ns = 0;
+  std::uint64_t extract_ns = 0;
   try {
     scenario::BatchAdmmSolver solver(set, params_, &device);
+    stage_ns = timeline_on ? obs::now_ns() : 0;
+    if (timeline_on) obs::span_between("serve.stage", form_ns, stage_ns, "batch", batch_id);
     scenario::BatchSolveOptions solve_options;
     solve_options.layout = options_.layout;
     solve_options.branch_pack = options_.branch_pack;
@@ -342,12 +489,14 @@ void SolveService::process_batch(Batch work, int shard) {
       if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();
     }
     {
-      const obs::TraceSpan solve_span("serve.solve", "batch", batch_id, "size",
-                                      static_cast<std::uint64_t>(accepted.size()));
       device::LaunchStatsScope scope(device, batch_launches);
       report = solver.solve(solve_options);
     }
-    const obs::TraceSpan extract_span("serve.extract", "batch", batch_id);
+    solve_ns = timeline_on ? obs::now_ns() : 0;
+    if (timeline_on) {
+      obs::span_between("serve.solve", stage_ns, solve_ns, "batch", batch_id, "size",
+                        static_cast<std::uint64_t>(accepted.size()));
+    }
     solutions = solver.solutions();
     // ---- Refresh the warm-start cache with converged iterates ----
     for (std::size_t s = 0; s < accepted.size(); ++s) {
@@ -358,6 +507,8 @@ void SolveService::process_batch(Batch work, int shard) {
                     std::make_shared<admm::WarmStartIterate>(
                         solver.export_iterate(static_cast<int>(s))));
     }
+    extract_ns = timeline_on ? obs::now_ns() : 0;
+    if (timeline_on) obs::span_between("serve.extract", solve_ns, extract_ns, "batch", batch_id);
   } catch (...) {
     const auto error = std::current_exception();
     for (const std::size_t i : accepted) batch[i].promise.set_exception(error);
@@ -378,10 +529,10 @@ void SolveService::process_batch(Batch work, int shard) {
   }
 
   // ---- Fulfill futures ----
-  const obs::TraceSpan fulfill_span("serve.fulfill", "batch", batch_id);
   const double completion_time = clock_->now();
   std::vector<double> latencies;
   latencies.reserve(accepted.size());
+  std::uint64_t last_fulfill_ns = extract_ns;
   for (std::size_t s = 0; s < accepted.size(); ++s) {
     Pending& p = batch[accepted[s]];
     SolveResult result;
@@ -397,10 +548,32 @@ void SolveService::process_batch(Batch work, int shard) {
     result.wait_seconds = dispatch_time - p.submit_time;
     result.total_seconds = completion_time - p.submit_time;
     if (!report.convergence.empty()) result.trajectory = std::move(report.convergence[s]);
+    if (timeline_on) {
+      // Fan the batch-scoped stamps out to the request, add the
+      // per-request fulfill stamp, and ship the timeline with the result.
+      p.timeline.dispatch_ns = dispatch_ns;
+      p.timeline.form_ns = form_ns;
+      p.timeline.stage_ns = stage_ns;
+      p.timeline.solve_ns = solve_ns;
+      p.timeline.extract_ns = extract_ns;
+      p.timeline.fulfill_ns = obs::now_ns();
+      last_fulfill_ns = p.timeline.fulfill_ns;
+      result.timeline = p.timeline;
+    }
+    if (slo_ != nullptr) {
+      for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+        m_stage_[st]->observe(p.timeline.stage_seconds(st));
+      }
+      slo_->record_latency(result.total_seconds, completion_time);
+    }
     latencies.push_back(result.total_seconds);
     m_latency_->observe(result.total_seconds);
     obs::instant("serve.fulfill.req", "req", p.id, "batch", batch_id);
     p.promise.set_value(std::move(result));
+  }
+  if (timeline_on) {
+    obs::span_between("serve.fulfill", extract_ns, last_fulfill_ns, "batch", batch_id, "size",
+                      static_cast<std::uint64_t>(accepted.size()));
   }
 
   std::lock_guard<std::mutex> lock(mu_);

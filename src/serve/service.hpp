@@ -53,11 +53,15 @@
 #include "device/device.hpp"
 #include "device/pool.hpp"
 #include "grid/network.hpp"
+#include "obs/expo.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/watchdog.hpp"
 #include "serve/clock.hpp"
 #include "serve/request.hpp"
 #include "serve/solution_cache.hpp"
 #include "serve/stats.hpp"
+#include "serve/timeline.hpp"
 
 namespace gridadmm::serve {
 
@@ -101,6 +105,36 @@ struct ServiceOptions {
   /// solves (see scenario::BatchSolveOptions::convergence_sample_interval);
   /// each SolveResult then carries its slot's trajectory. 0 = off.
   int convergence_sample_interval = 0;
+
+  // ---- SLO observability layer (DESIGN.md §11) ----
+  /// Enables the SLO layer: per-request stage timelines, per-stage latency
+  /// histograms, and the sliding-window burn-rate monitor. When off, the
+  /// layer costs one pointer load per fulfilled request and solves are
+  /// bit-identical either way.
+  bool slo = false;
+  /// Declared objectives (latency ceiling, shed budget, windows). Only
+  /// read when `slo` is true.
+  obs::SloObjectives slo_objectives;
+  /// Ring/bucket geometry of the monitor's sliding windows.
+  obs::SloWindowOptions slo_window;
+  /// How often the maintenance thread re-evaluates the objectives (gauge
+  /// refresh + breach/recovery transitions); <= 0 = only on /slo scrapes.
+  double slo_eval_interval_seconds = 1.0;
+  /// A busy dispatcher/worker thread silent longer than this trips
+  /// /healthz to 503 (idle threads are always healthy).
+  double watchdog_stall_seconds = 30.0;
+  /// Exposition endpoint port: -1 = no endpoint (default), 0 = ephemeral
+  /// (SolveService::expo()->port() reports the bound one), else fixed.
+  int expo_port = -1;
+  /// Endpoint bind address. Loopback by default: the endpoint has no
+  /// authentication, so exposing it beyond the host is an explicit choice.
+  std::string expo_host = "127.0.0.1";
+  /// When non-empty, the maintenance thread appends one JSONL metrics
+  /// snapshot to this path every `metrics_snapshot_interval_seconds` (and
+  /// the destructor appends a final one). Complements the GRIDADMM_METRICS
+  /// exit dump with an in-run time series.
+  std::string metrics_snapshot_path;
+  double metrics_snapshot_interval_seconds = 0.0;
 };
 
 class SolveService {
@@ -142,6 +176,14 @@ class SolveService {
   /// ServiceStats — the registry's histogram percentiles are the bucketed
   /// exposition-friendly approximation of the same series.
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The SLO monitor (null unless ServiceOptions::slo). evaluate() through
+  /// this pointer and the /slo endpoint see the same windows.
+  [[nodiscard]] obs::SloMonitor* slo() { return slo_.get(); }
+  /// The exposition endpoint (null unless ServiceOptions::expo_port >= 0);
+  /// expo()->port() reports the bound port when 0 (ephemeral) was asked.
+  [[nodiscard]] const obs::ExpoServer* expo() const { return expo_.get(); }
+  /// The liveness watchdog backing /healthz.
+  [[nodiscard]] const obs::Watchdog& watchdog() const { return watchdog_; }
 
  private:
   struct Pending {
@@ -151,7 +193,9 @@ class SolveService {
     double submit_time = 0.0;       ///< injected clock
     std::chrono::steady_clock::time_point arrival;  ///< scheduling clock
     std::uint64_t id = 0;           ///< trace correlation id ("req" span arg)
-    std::uint64_t admit_ns = 0;     ///< trace-clock admission stamp
+    /// Stage stamps on the trace clock; admit_ns doubles as the
+    /// serve.queue span start (the non-drift invariant).
+    RequestTimeline timeline;
   };
 
   /// One popped micro-batch, routed to a shard's solve worker.
@@ -162,6 +206,8 @@ class SolveService {
 
   void dispatcher_main();
   void shard_worker_main(int shard);
+  void maintenance_main();
+  void append_metrics_snapshot();
   /// Pops the front request's fingerprint group, up to max_batch_size, in
   /// arrival order. Caller holds mu_.
   std::vector<Pending> pop_batch_locked();
@@ -220,6 +266,22 @@ class SolveService {
   obs::Histogram* m_occupancy_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_in_flight_ = nullptr;
+
+  // ---- SLO observability layer (all owned here; null/absent when off) ----
+  std::unique_ptr<obs::SloMonitor> slo_;  ///< null unless options_.slo
+  /// Per-stage latency histograms, RequestTimeline stage order (only
+  /// created when options_.slo).
+  obs::Histogram* m_stage_[RequestTimeline::kStageCount] = {};
+  obs::Watchdog watchdog_;
+  int wd_dispatcher_ = -1;
+  int wd_maintenance_ = -1;
+  std::vector<int> wd_shards_;
+  bool attached_dump_ = false;  ///< registered with the GRIDADMM_METRICS dump
+  std::unique_ptr<obs::ExpoServer> expo_;
+  std::mutex maintenance_mu_;
+  std::condition_variable cv_maintenance_;
+  bool maintenance_stop_ = false;
+  std::thread maintenance_;
 };
 
 }  // namespace gridadmm::serve

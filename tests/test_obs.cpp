@@ -6,6 +6,10 @@
 // request-lifecycle spans + instruments.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <future>
 #include <string>
@@ -16,8 +20,11 @@
 #include "common/error.hpp"
 #include "grid/cases.hpp"
 #include "obs/convergence.hpp"
+#include "obs/expo.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "scenario/batch_solver.hpp"
 #include "scenario/scenario_set.hpp"
 #include "serve/service.hpp"
@@ -329,7 +336,8 @@ TEST(Serve, LifecycleSpansInstrumentsAndTrajectories) {
   // The whole request lifecycle landed on the trace, across threads.
   const std::string json = obs::Tracer::instance().to_json();
   for (const char* name : {"serve.admit", "serve.queue", "serve.dispatch", "serve.batch",
-                           "serve.stage", "serve.solve", "serve.fulfill", "device.launch"}) {
+                           "serve.form", "serve.stage", "serve.solve", "serve.extract",
+                           "serve.fulfill", "device.launch"}) {
     EXPECT_NE(json.find(std::string("\"name\": \"") + name + "\""), std::string::npos)
         << "missing trace event: " << name;
   }
@@ -347,6 +355,223 @@ TEST(Serve, LifecycleSpansInstrumentsAndTrajectories) {
   const std::string snapshot = service.metrics().snapshot_json();
   EXPECT_NE(snapshot.find("\"serve_latency_seconds_count\": 4"), std::string::npos);
   EXPECT_NE(snapshot.find("\"serve_batch_occupancy_count\": "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor: windowed quantiles, eviction, burn-rate verdicts, allocation
+// discipline — all under hand-advanced manual time.
+// ---------------------------------------------------------------------------
+
+obs::SloObjectives test_objectives() {
+  obs::SloObjectives objectives;
+  objectives.latency_ceiling_seconds = 0.1;
+  objectives.latency_budget_fraction = 0.10;  // 10% of requests may exceed 100 ms
+  objectives.shed_budget_fraction = 0.10;
+  objectives.fast_window_seconds = 10.0;
+  objectives.slow_window_seconds = 60.0;
+  return objectives;
+}
+
+obs::SloWindowOptions test_window() {
+  obs::SloWindowOptions window;
+  window.bucket_seconds = 1.0;
+  window.buckets = 70;  // spans the 60 s slow window
+  return window;
+}
+
+TEST(SloMonitor, WindowedQuantilesAndEviction) {
+  obs::SloMonitor monitor(test_objectives(), test_window());
+  // 100 fast observations at t=1s, 10 slow ones at t=2s.
+  for (int i = 0; i < 100; ++i) monitor.record_latency(0.01, 1.0);
+  for (int i = 0; i < 10; ++i) monitor.record_latency(0.5, 2.0);
+
+  EXPECT_EQ(monitor.window_count(10.0, 2.0), 110u);
+  // p50 sits in the fast bulk, p99 in the slow tail; interpolation is
+  // upper-bound-biased so the quantile never understates.
+  EXPECT_LE(monitor.quantile(0.50, 10.0, 2.0), 0.02);
+  EXPECT_GE(monitor.quantile(0.99, 10.0, 2.0), 0.1);
+
+  // The fast window slides: at t=11.5 the t=1 bucket has aged out of a
+  // 10 s window but the t=2 bucket has not.
+  EXPECT_EQ(monitor.window_count(10.0, 11.5), 10u);
+  // And everything is still visible to the slow window.
+  EXPECT_EQ(monitor.window_count(60.0, 11.5), 110u);
+  // Far future: all evicted.
+  EXPECT_EQ(monitor.window_count(60.0, 500.0), 0u);
+}
+
+TEST(SloMonitor, RingRotationReclaimsOldBuckets) {
+  obs::SloWindowOptions window = test_window();
+  obs::SloMonitor monitor(test_objectives(), window);
+  // Wrap the ring several times; counts must never accumulate across laps.
+  const double lap = window.bucket_seconds * window.buckets;
+  for (int round = 0; round < 3; ++round) {
+    monitor.record_latency(0.01, 5.0 + round * lap);
+  }
+  EXPECT_EQ(monitor.window_count(10.0, 5.0 + 2 * lap), 1u);
+}
+
+TEST(SloMonitor, BurnRateBreachNeedsBothWindowsAndRecovers) {
+  obs::SloMonitor monitor(test_objectives(), test_window());
+
+  // Healthy traffic: everything under the ceiling.
+  for (int t = 0; t < 5; ++t) {
+    for (int i = 0; i < 10; ++i) monitor.record_latency(0.01, 1.0 + t);
+  }
+  obs::SloVerdict verdict = monitor.evaluate(5.0);
+  EXPECT_TRUE(verdict.healthy);
+  EXPECT_TRUE(verdict.latency.enabled);
+  EXPECT_EQ(verdict.latency.fast_burn, 0.0);
+
+  // Violations in the fast window only: 50% bad over budget 10% = burn 5
+  // in BOTH windows here (same young data) -> breached.
+  for (int i = 0; i < 10; ++i) monitor.record_latency(0.5, 6.0);
+  verdict = monitor.evaluate(6.5);
+  EXPECT_GT(verdict.latency.fast_burn, 1.0);
+  EXPECT_GT(verdict.latency.slow_burn, 1.0);
+  EXPECT_TRUE(verdict.latency.breached);
+  EXPECT_FALSE(verdict.healthy);
+
+  // 15 s later the bad burst has left the fast window (good traffic took
+  // its place) while the slow window still remembers it: fast recovered,
+  // so the breach clears — one window under threshold is enough.
+  for (int t = 0; t < 12; ++t) {
+    for (int i = 0; i < 20; ++i) monitor.record_latency(0.01, 7.0 + t);
+  }
+  verdict = monitor.evaluate(19.5);
+  EXPECT_LE(verdict.latency.fast_burn, 1.0);
+  EXPECT_GT(verdict.latency.slow_burn, 0.0);
+  EXPECT_FALSE(verdict.latency.breached);
+  EXPECT_TRUE(verdict.healthy);
+}
+
+TEST(SloMonitor, ShedObjectiveBurnsAgainstOfferedTraffic) {
+  obs::SloMonitor monitor(test_objectives(), test_window());
+  // 50% shed against a 10% budget: burn 5 in both windows.
+  for (int i = 0; i < 10; ++i) {
+    monitor.record_latency(0.01, 2.0);
+    monitor.record_shed(2.0);
+  }
+  const obs::SloVerdict verdict = monitor.evaluate(3.0);
+  EXPECT_TRUE(verdict.shed.enabled);
+  EXPECT_NEAR(verdict.fast_shed_fraction, 0.5, 1e-12);
+  EXPECT_TRUE(verdict.shed.breached);
+  EXPECT_FALSE(verdict.healthy);
+  EXPECT_NE(verdict.to_json(monitor.objectives()).find("\"healthy\": false"),
+            std::string::npos);
+}
+
+TEST(SloMonitor, SteadyStateRecordingAndEvaluationAllocateNothing) {
+  obs::SloWindowOptions window = test_window();
+  obs::SloMonitor monitor(test_objectives(), window);
+  const std::uint64_t after_construction = obs::SloMonitor::allocations();
+  // Record across several ring laps (forcing rotations) and evaluate
+  // repeatedly: the construction counter must not move.
+  const double lap = window.bucket_seconds * window.buckets;
+  for (int round = 0; round < 4; ++round) {
+    for (int t = 0; t < 20; ++t) {
+      monitor.record_latency(0.001 * (t + 1), round * lap + t);
+      monitor.record_shed(round * lap + t);
+    }
+    monitor.evaluate(round * lap + 20.0);
+    EXPECT_GE(monitor.quantile(0.99, 10.0, round * lap + 20.0), 0.0);
+  }
+  EXPECT_EQ(obs::SloMonitor::allocations(), after_construction);
+}
+
+TEST(SloMonitor, GaugesFollowTheVerdict) {
+  obs::MetricsRegistry registry;
+  obs::SloMonitor monitor(test_objectives(), test_window());
+  monitor.bind_gauges(registry);
+  for (int i = 0; i < 10; ++i) monitor.record_latency(0.5, 1.0);
+  monitor.evaluate(1.5);
+  const std::string prom = registry.expose_prometheus();
+  EXPECT_NE(prom.find("slo_healthy 0"), std::string::npos);
+  EXPECT_NE(prom.find("slo_latency_burn_fast"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: stall detection fires on silent busy threads and clears on the
+// next beat; idle threads never trip it.
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, BusySilenceTripsAndNextBeatClears) {
+  obs::Watchdog watchdog;
+  const int worker = watchdog.register_slot("worker");
+  const std::uint64_t t0 = obs::now_ns();
+  constexpr double kStall = 5.0;
+  constexpr auto kSecond = static_cast<std::uint64_t>(1e9);
+
+  // Idle: healthy regardless of elapsed time.
+  EXPECT_TRUE(watchdog.healthy(t0 + 100 * kSecond, kStall));
+
+  // Busy and recently beaten: healthy. Silent past the deadline: tripped.
+  watchdog.set_idle(worker, false);
+  watchdog.beat(worker, t0);
+  EXPECT_TRUE(watchdog.healthy(t0 + 4 * kSecond, kStall));
+  EXPECT_FALSE(watchdog.healthy(t0 + 6 * kSecond, kStall));
+  const std::string unhealthy = watchdog.healthz_json(t0 + 6 * kSecond, kStall);
+  EXPECT_NE(unhealthy.find("\"healthy\": false"), std::string::npos);
+  EXPECT_NE(unhealthy.find("\"name\": \"worker\""), std::string::npos);
+
+  // The next beat clears the stall; going idle keeps it healthy forever.
+  watchdog.beat(worker, t0 + 7 * kSecond);
+  EXPECT_TRUE(watchdog.healthy(t0 + 8 * kSecond, kStall));
+  watchdog.set_idle(worker, true);
+  EXPECT_TRUE(watchdog.healthy(t0 + 1000 * kSecond, kStall));
+}
+
+// ---------------------------------------------------------------------------
+// ExpoServer: raw-socket GETs against a live endpoint.
+// ---------------------------------------------------------------------------
+
+std::string http_get(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExpoServer, ServesRegisteredPathsAnd404s) {
+  obs::ExpoServer server;  // ephemeral loopback port
+  server.handle("/metrics", [] {
+    return obs::ExpoResponse{200, "text/plain", "metric_a 1\n"};
+  });
+  server.handle("/unhealthy", [] {
+    return obs::ExpoResponse{503, "application/json", "{\"healthy\": false}"};
+  });
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok = http_get(server.port(), "GET /metrics HTTP/1.1");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 11"), std::string::npos);
+  EXPECT_NE(ok.find("metric_a 1\n"), std::string::npos);
+
+  const std::string sad = http_get(server.port(), "GET /unhealthy HTTP/1.1");
+  EXPECT_NE(sad.find("HTTP/1.1 503"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "GET /nope HTTP/1.1");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  const std::string posted = http_get(server.port(), "POST /metrics HTTP/1.1");
+  EXPECT_NE(posted.find("HTTP/1.1 405"), std::string::npos);
+
+  EXPECT_EQ(server.requests_served(), 4u);
 }
 
 }  // namespace

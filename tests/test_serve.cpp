@@ -4,15 +4,26 @@
 // requests.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "admm/solver.hpp"
 #include "common/error.hpp"
 #include "grid/cases.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "opf/service.hpp"
 #include "serve/service.hpp"
 #include "serve/solution_cache.hpp"
@@ -659,6 +670,276 @@ TEST(OpfService, FacadeServesScaledAndContingencyRequests) {
   const auto stats = service.stats();
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_GE(stats.p95_latency, stats.p50_latency);
+}
+
+// ---------------------------------------------------------------------------
+// SLO observability layer (DESIGN.md §11): request timelines, burn-rate
+// monitor wiring, the exposition endpoint, and the disabled-path guarantees.
+// ---------------------------------------------------------------------------
+
+std::string serve_http_get(int port, const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(SolveService, TimelineStagesTelescopeAndFeedStageHistograms) {
+  // With the SLO layer on, every fulfilled request carries a complete
+  // monotone timeline whose stage durations telescope to exactly the
+  // admit->fulfill total (the stamps are shared, so nothing can drift), and
+  // each stage's latency lands in its per-stage histogram.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.01;
+  options.cache.capacity = 0;
+  options.slo = true;
+  SolveService service(net, params, options);
+
+  const std::vector<double> factors = {0.97, 1.0, 1.03};
+  std::vector<std::future<SolveResult>> futures;
+  for (const double f : factors) {
+    SolveRequest request;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    const auto result = future.get();
+    const auto& tl = result.timeline;
+    EXPECT_TRUE(tl.complete());
+    EXPECT_GT(tl.total_seconds(), 0.0);
+    double stage_sum = 0.0;
+    for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+      EXPECT_GE(tl.stage_seconds(st), 0.0) << RequestTimeline::stage_name(st);
+      stage_sum += tl.stage_seconds(st);
+    }
+    // Telescoping is exact at nanosecond resolution; the double sum only
+    // re-rounds it.
+    EXPECT_NEAR(stage_sum, tl.total_seconds(), 1e-12);
+    const auto stamps = tl.stamps();
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+      EXPECT_GE(stamps[i], stamps[i - 1]) << "stamp " << i;
+    }
+  }
+  service.drain();
+
+  const std::string prom = service.metrics().expose_prometheus();
+  for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+    const std::string needle = std::string("serve_stage_") +
+                               RequestTimeline::stage_name(st) + "_seconds_count 3";
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(SolveService, ExpoEndpointsAgreeWithServiceStats) {
+  // /metrics, /healthz, and /slo answer from the same counters, watchdog,
+  // and monitor the in-process accessors read — scrape a live service and
+  // cross-check against stats().
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.01;
+  options.cache.capacity = 0;
+  options.slo = true;
+  options.expo_port = 0;  // ephemeral loopback port
+  SolveService service(net, params, options);
+  ASSERT_NE(service.expo(), nullptr);
+  ASSERT_GT(service.expo()->port(), 0);
+
+  std::vector<std::future<SolveResult>> futures;
+  for (const double f : {0.96, 1.0, 1.04, 1.08}) {
+    SolveRequest request;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  for (auto& future : futures) future.get();
+  service.drain();
+  const auto stats = service.stats();
+
+  const std::string metrics =
+      serve_http_get(service.expo()->port(), "GET /metrics HTTP/1.1");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_requests_submitted_total " +
+                         std::to_string(stats.submitted)),
+            std::string::npos);
+  EXPECT_NE(metrics.find("serve_requests_completed_total " +
+                         std::to_string(stats.completed)),
+            std::string::npos);
+
+  // Every thread is idle post-drain, and idle threads are always healthy.
+  const std::string healthz =
+      serve_http_get(service.expo()->port(), "GET /healthz HTTP/1.1");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("\"healthy\": true"), std::string::npos);
+
+  const std::string slo = serve_http_get(service.expo()->port(), "GET /slo HTTP/1.1");
+  EXPECT_NE(slo.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(slo.find("\"healthy\": true"), std::string::npos);
+
+  EXPECT_EQ(service.expo()->requests_served(), 3u);
+}
+
+TEST(SolveService, SloLayerPreservesBitIdenticalSolves) {
+  // The SLO layer only observes: the same requests through an slo=true and
+  // an slo=false service produce bit-identical solutions and identical
+  // iteration counts.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  const std::vector<double> factors = {0.95, 1.0, 1.06};
+
+  auto run = [&](bool slo) {
+    ServiceOptions options;
+    options.max_batch_size = static_cast<int>(factors.size());
+    options.batching_window_seconds = 0.25;  // coalesce all three either way
+    options.cache.capacity = 0;
+    options.slo = slo;
+    SolveService service(net, params, options);
+    std::vector<std::future<SolveResult>> futures;
+    for (const double f : factors) {
+      SolveRequest request;
+      request.pd = scaled(loads.pd, f);
+      request.qd = scaled(loads.qd, f);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    std::vector<SolveResult> results;
+    for (auto& future : futures) results.push_back(future.get());
+    return results;
+  };
+
+  const auto with_slo = run(true);
+  const auto without_slo = run(false);
+  ASSERT_EQ(with_slo.size(), without_slo.size());
+  for (std::size_t i = 0; i < with_slo.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_EQ(with_slo[i].solution.vm, without_slo[i].solution.vm);
+    EXPECT_EQ(with_slo[i].solution.va, without_slo[i].solution.va);
+    EXPECT_EQ(with_slo[i].solution.pg, without_slo[i].solution.pg);
+    EXPECT_EQ(with_slo[i].solution.qg, without_slo[i].solution.qg);
+    EXPECT_EQ(with_slo[i].objective, without_slo[i].objective);
+    EXPECT_EQ(with_slo[i].stats.inner_iterations, without_slo[i].stats.inner_iterations);
+    // The observing service stamped full timelines; the plain one left
+    // everything past the unconditional admit stamp at zero.
+    EXPECT_TRUE(with_slo[i].timeline.complete());
+    EXPECT_FALSE(without_slo[i].timeline.complete());
+    EXPECT_EQ(without_slo[i].timeline.solve_ns, 0u);
+  }
+}
+
+TEST(SolveService, DisabledSloLayerIsInertAndAllocationFree) {
+  // slo=false must not construct a monitor, an endpoint, or stage
+  // histograms — the construction counter across a full service lifecycle
+  // stays flat.
+  const auto before = obs::SloMonitor::allocations();
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  {
+    ServiceOptions options;
+    options.max_batch_size = 2;
+    options.batching_window_seconds = 0.01;
+    options.cache.capacity = 0;
+    SolveService service(net, params, options);
+    EXPECT_EQ(service.slo(), nullptr);
+    EXPECT_EQ(service.expo(), nullptr);
+    std::vector<std::future<SolveResult>> futures;
+    for (const double f : {0.98, 1.02}) {
+      SolveRequest request;
+      request.pd = scaled(loads.pd, f);
+      request.qd = scaled(loads.qd, f);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    for (auto& future : futures) EXPECT_TRUE(future.get().converged);
+    service.drain();
+    EXPECT_EQ(service.metrics().expose_prometheus().find("serve_stage_"),
+              std::string::npos);
+  }
+  EXPECT_EQ(obs::SloMonitor::allocations(), before);
+}
+
+TEST(MetricsDump, CapturesDetachedRegistriesAndWritesJsonl) {
+  // A standalone dump (no env, no atexit): attach a registry, render it,
+  // detach it — the captured final snapshot must survive the registry.
+  obs::MetricsRegistry registry;
+  registry.counter("dump_probe_total").inc(7);
+  obs::MetricsDump dump;
+  EXPECT_TRUE(dump.env_path().empty());
+  dump.attach("serve_test", &registry);
+
+  const std::string live = dump.render(/*jsonl=*/true);
+  EXPECT_NE(live.find("\"registry\": \"serve_test\""), std::string::npos);
+  EXPECT_NE(live.find("dump_probe_total"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "gridadmm_dump_test.jsonl";
+  std::remove(path.c_str());
+  EXPECT_TRUE(dump.write_file(path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_NE(line.find("serve_test"), std::string::npos);
+  std::remove(path.c_str());
+
+  dump.detach(&registry);
+  const std::string captured = dump.render(/*jsonl=*/true);
+  EXPECT_NE(captured.find("\"registry\": \"serve_test\""), std::string::npos);
+  EXPECT_NE(captured.find("dump_probe_total"), std::string::npos);
+}
+
+TEST(SolveService, IntervalSnapshotsAppendParseableMetricsLines) {
+  // metrics_snapshot_path + a short interval: the maintenance thread (and
+  // the destructor's final pass) append one JSON object per line.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const std::string path = ::testing::TempDir() + "gridadmm_snapshot_test.jsonl";
+  std::remove(path.c_str());
+  {
+    ServiceOptions options;
+    options.max_batch_size = 2;
+    options.batching_window_seconds = 0.01;
+    options.cache.capacity = 0;
+    options.metrics_snapshot_path = path;
+    options.metrics_snapshot_interval_seconds = 0.05;
+    SolveService service(net, params, options);
+    EXPECT_TRUE(service.submit(SolveRequest{}).get().converged);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }  // destructor appends the final snapshot
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::size_t parseable = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty() && line.front() == '{' && line.back() == '}' &&
+        line.find("serve_requests_submitted_total") != std::string::npos) {
+      ++parseable;
+    }
+  }
+  EXPECT_GE(parseable, 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
