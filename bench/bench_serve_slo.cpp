@@ -24,11 +24,20 @@
 //
 //   ./bench_serve_slo [--rates=20,60,120] [--duration=S] [--shards=N]
 //                     [--ceiling-ms=X] [--expo-port=P] [--linger=S]
+//                     [--faults=SPEC] [--deadline-ms=X]
 //                     [--smoke] [--trace=PATH]
 //
 // --expo-port=P (>= 0) serves /metrics, /healthz, and /slo while the
 // bench runs; --linger=S keeps the service (and endpoint) alive S seconds
 // after the sweep so an external scraper (the CI curl check) can probe it.
+//
+// --faults=SPEC arms device::FaultInjector with a deterministic fault plan
+// (see src/device/fault.hpp for the grammar) for the chaos-smoke CI step:
+// the run then also proves the ledger — every offered request is accounted
+// as completed, shed, failed, or deadline-shed, with zero lost futures.
+// --deadline-ms=X stamps each request with an absolute deadline X ms after
+// its INTENDED arrival, so schedule slip and queueing burn deadline budget
+// exactly like they burn latency.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -44,6 +53,7 @@
 #include "common/options.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "device/fault.hpp"
 #include "grid/cases.hpp"
 #include "serve/service.hpp"
 
@@ -65,7 +75,9 @@ struct Arrival {
 };
 
 struct RequestOutcome {
-  bool shed = false;
+  bool shed = false;           ///< CapacityError at submit
+  bool deadline_shed = false;  ///< DeadlineError (admission or pickup)
+  bool failed = false;         ///< typed solve error on the future
   double intended_latency_seconds = 0.0;  ///< intended arrival -> fulfill
   serve::RequestTimeline timeline;
 };
@@ -96,7 +108,15 @@ int main(int argc, char** argv) {
   const double ceiling_ms = opts.get_double("ceiling-ms", 250.0);
   const int expo_port = opts.get_int("expo-port", -1);
   const double linger = opts.get_double("linger", 0.0);
+  const double deadline_ms = opts.get_double("deadline-ms", 0.0);
+  const std::string faults_spec = opts.get("faults", "");
   const bench::TraceGuard trace_guard(opts);
+
+  if (!faults_spec.empty()) {
+    device::FaultInjector::instance().configure(
+        device::FaultInjector::parse_spec(faults_spec));
+    std::printf("# fault plan armed: %s\n", faults_spec.c_str());
+  }
 
   // Multi-tenant mix: intact case9 (the bulk), two case9 N-1
   // contingencies, and case14 — distinct fingerprints, so the dispatcher
@@ -136,10 +156,13 @@ int main(int argc, char** argv) {
     std::printf("# exposition endpoint: %s\n", service.expo()->url().c_str());
   }
 
-  Table table({"rate (req/s)", "offered", "shed", "shed rate", "p50 (ms)", "p95 (ms)",
-               "p99 (ms)", "stage_solve p95 (us)", "healthy"});
-
+  Table table({"rate (req/s)", "offered", "shed", "shed rate", "failed", "ddl shed",
+               "retries", "p50 (ms)", "p95 (ms)", "p99 (ms)", "stage_solve p95 (us)",
+               "healthy"});
   for (const double rate : rates) {
+    // One service serves the whole sweep: fault-tolerance counters are
+    // cumulative, so report per-load-point deltas against this snapshot.
+    const serve::ServiceStats before = service.stats();
     // Precompute the whole arrival schedule (deterministic per rate): the
     // submit loop then only sleeps and fires, nothing data-dependent.
     Rng rng(0x51011234ULL ^ static_cast<std::uint64_t>(rate * 1000));
@@ -168,6 +191,10 @@ int main(int argc, char** argv) {
     in_flight.reserve(schedule.size());
 
     const auto start = std::chrono::steady_clock::now();
+    // The service's default telemetry clock is steady-epoch seconds: an
+    // absolute request deadline lives on the same timebase.
+    const double start_epoch =
+        std::chrono::duration<double>(start.time_since_epoch()).count();
     const auto elapsed = [&start] {
       return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     };
@@ -195,26 +222,47 @@ int main(int argc, char** argv) {
         request.pd.push_back(bus.pd * arrival.load_factor);
         request.qd.push_back(bus.qd * arrival.load_factor);
       }
+      if (deadline_ms > 0.0) {
+        // Deadline anchored to the INTENDED arrival: schedule slip burns
+        // deadline budget exactly like it burns measured latency.
+        request.deadline = start_epoch + arrival.at_seconds + deadline_ms * 1e-3;
+      }
       try {
         in_flight.emplace_back(i, service.submit(std::move(request)));
       } catch (const CapacityError&) {
         outcomes[i].shed = true;
+      } catch (const DeadlineError&) {
+        outcomes[i].deadline_shed = true;  // expired before admission
       }
     }
     for (auto& [index, future] : in_flight) {
-      serve::SolveResult result = future.get();
-      outcomes[index].timeline = result.timeline;
-      // Intended-arrival latency = submit slip + the service-measured
-      // end-to-end time (both on monotonic clocks).
-      outcomes[index].intended_latency_seconds = slip_seconds[index] + result.total_seconds;
+      try {
+        serve::SolveResult result = future.get();
+        outcomes[index].timeline = result.timeline;
+        // Intended-arrival latency = submit slip + the service-measured
+        // end-to-end time (both on monotonic clocks).
+        outcomes[index].intended_latency_seconds = slip_seconds[index] + result.total_seconds;
+      } catch (const DeadlineError&) {
+        outcomes[index].deadline_shed = true;  // expired at dispatch pickup
+      } catch (const GridError&) {
+        outcomes[index].failed = true;  // typed solve error (chaos runs)
+      }
     }
 
     std::vector<double> end_to_end_ms;
     std::vector<double> stage_us[serve::RequestTimeline::kStageCount];
-    std::size_t shed = 0;
+    std::size_t shed = 0, ddl_shed = 0, failed = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       if (outcomes[i].shed) {
         ++shed;
+        continue;
+      }
+      if (outcomes[i].deadline_shed) {
+        ++ddl_shed;
+        continue;
+      }
+      if (outcomes[i].failed) {
+        ++failed;
         continue;
       }
       end_to_end_ms.push_back(outcomes[i].intended_latency_seconds * 1e3);
@@ -234,8 +282,26 @@ int main(int argc, char** argv) {
                                     std::chrono::steady_clock::now().time_since_epoch())
                                     .count());
 
+    // Per-load-point fault-tolerance deltas (the service is shared across
+    // the sweep). completed counts futures that returned a value.
+    const serve::ServiceStats after = service.stats();
+    const std::size_t completed =
+        outcomes.size() >= shed + ddl_shed + failed
+            ? outcomes.size() - shed - ddl_shed - failed
+            : 0;
+    std::uint64_t shard_quarantines = 0;
+    int quarantined_now = 0;
+    for (std::size_t d = 0; d < after.per_shard.size(); ++d) {
+      const std::uint64_t prev =
+          d < before.per_shard.size() ? before.per_shard[d].quarantines : 0;
+      shard_quarantines += after.per_shard[d].quarantines - prev;
+      if (after.per_shard[d].state != 0) ++quarantined_now;
+    }
+
     table.add_row({Table::fixed(rate, 0), std::to_string(schedule.size()),
-                   std::to_string(shed), Table::fixed(shed_rate, 3), Table::fixed(p50, 2),
+                   std::to_string(shed), Table::fixed(shed_rate, 3),
+                   std::to_string(failed), std::to_string(ddl_shed),
+                   std::to_string(after.retries - before.retries), Table::fixed(p50, 2),
                    Table::fixed(p95, 2), Table::fixed(p99, 2),
                    Table::fixed(quantile_of(stage_us[4], 0.95), 0),
                    verdict.healthy ? "yes" : "NO"});
@@ -247,6 +313,16 @@ int main(int argc, char** argv) {
         .field("offered", static_cast<long long>(schedule.size()))
         .field("shed", static_cast<long long>(shed))
         .field("shed_rate", shed_rate)
+        .field("completed", static_cast<long long>(completed))
+        .field("failed", static_cast<long long>(failed))
+        .field("deadline_shed", static_cast<long long>(ddl_shed))
+        .field("retries", static_cast<long long>(after.retries - before.retries))
+        .field("bisections", static_cast<long long>(after.bisections - before.bisections))
+        .field("quarantine_transitions",
+               static_cast<long long>(after.quarantine_transitions -
+                                      before.quarantine_transitions))
+        .field("shard_quarantines", static_cast<long long>(shard_quarantines))
+        .field("quarantined_shards_now", static_cast<long long>(quarantined_now))
         .field("p50_ms", p50)
         .field("p95_ms", p95)
         .field("p99_ms", p99)
@@ -260,6 +336,17 @@ int main(int argc, char** argv) {
       record.field(name, quantile_of(stage_us[st], 0.95));
     }
     record.emit();
+  }
+
+  if (!faults_spec.empty()) {
+    const auto counters = device::FaultInjector::instance().counters();
+    device::FaultInjector::instance().disable();
+    std::printf("# injector: %llu events, %llu launch failures, %llu latency spikes, "
+                "%llu alloc failures\n",
+                static_cast<unsigned long long>(counters.events_seen),
+                static_cast<unsigned long long>(counters.launch_failures),
+                static_cast<unsigned long long>(counters.latency_spikes),
+                static_cast<unsigned long long>(counters.alloc_failures));
   }
 
   std::printf("\n");

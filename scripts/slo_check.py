@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate bench_serve_slo JSONL output (the CI slo-smoke artifact).
 
-Usage: slo_check.py JSONL_PATH [--min-points=N]
+Usage: slo_check.py JSONL_PATH [--min-points=N] [--require-ledger]
+                               [--expect-quarantine]
 
 Checks, stdlib only:
 - at least --min-points (default 3) serve_slo records with DISTINCT offered
@@ -13,7 +14,12 @@ Checks, stdlib only:
 - shed_rate is a fraction in [0, 1] and consistent with shed/offered;
 - per-stage p95s are non-negative and the solve stage is not identically
   zero across the sweep (a zero solve stage means timelines were never
-  stamped — the instrumentation is dead).
+  stamped — the instrumentation is dead);
+- the fault-tolerance ledger balances in every record that carries it:
+  offered == completed + shed + failed + deadline_shed, i.e. zero lost
+  futures (DESIGN.md §12). --require-ledger makes the ledger fields
+  mandatory (the chaos-smoke CI step); --expect-quarantine additionally
+  demands that at least one record saw a shard quarantine trip.
 
 Exits non-zero listing every violation.
 """
@@ -34,11 +40,14 @@ REQUIRED = [
     "latency_burn_slow",
 ]
 STAGES = ["queue", "dispatch", "form", "stage", "solve", "extract", "fulfill"]
+LEDGER = ["completed", "failed", "deadline_shed", "retries", "quarantine_transitions"]
 
 
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     min_points = 3
+    require_ledger = "--require-ledger" in sys.argv[1:]
+    expect_quarantine = "--expect-quarantine" in sys.argv[1:]
     for arg in sys.argv[1:]:
         if arg.startswith("--min-points="):
             min_points = int(arg.split("=", 1)[1])
@@ -95,6 +104,34 @@ def main():
                 f"{where}: shed_rate {shed_rate} inconsistent with shed/offered "
                 f"{shed}/{offered}"
             )
+
+        # Fault-tolerance ledger: every offered request must be accounted for
+        # exactly once — a completed value, a capacity shed, a typed failure,
+        # or a deadline shed. Anything else is a lost future.
+        if require_ledger:
+            for field in LEDGER:
+                if field not in rec:
+                    errors.append(f"{where}: missing ledger field '{field}'")
+        if all(field in rec for field in ("completed", "failed", "deadline_shed")):
+            accounted = (
+                rec["completed"] + shed + rec["failed"] + rec["deadline_shed"]
+            )
+            if accounted != offered:
+                errors.append(
+                    f"{where}: ledger imbalance — offered {offered} != completed "
+                    f"{rec['completed']} + shed {shed} + failed {rec['failed']} + "
+                    f"deadline_shed {rec['deadline_shed']} (lost futures: "
+                    f"{offered - accounted})"
+                )
+
+    if expect_quarantine and not any(
+        rec.get("shard_quarantines", 0) > 0 or rec.get("quarantine_transitions", 0) > 0
+        for rec in records
+    ):
+        errors.append(
+            "--expect-quarantine: no record saw a shard quarantine trip "
+            "(shard_quarantines and quarantine_transitions are zero everywhere)"
+        )
 
     if records and not any_solve_time:
         errors.append(

@@ -47,6 +47,25 @@ class CapacityError : public GridError {
   explicit CapacityError(const std::string& what) : GridError(what) {}
 };
 
+/// Raised for transient device-layer faults (launch failures, latency
+/// blowups surfacing as failures, allocation failures). Retryable by
+/// contract: the same work may succeed on a later attempt or another shard,
+/// so the serve layer answers it with backoff-retry instead of failing the
+/// request. Every other exception escaping a solve is treated as permanent.
+class TransientDeviceError : public GridError {
+ public:
+  explicit TransientDeviceError(const std::string& what) : GridError(what) {}
+};
+
+/// Raised when a request's deadline expired before the solver could start
+/// on it — at admission (already expired on arrival) or at dispatch pickup
+/// (expired while queued). The work was shed, never solved; distinct from
+/// CapacityError so callers can tell "too late" apart from "too busy".
+class DeadlineError : public GridError {
+ public:
+  explicit DeadlineError(const std::string& what) : GridError(what) {}
+};
+
 /// Throws GridError with `msg` if `cond` is false. Used for precondition
 /// checks that must stay active in release builds.
 inline void require(bool cond, const std::string& msg) {

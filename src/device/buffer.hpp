@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "device/fault.hpp"
 
 namespace gridadmm::device {
 
@@ -263,6 +264,10 @@ class DeviceBuffer {
   void account() {
     const std::uint64_t bytes = static_cast<std::uint64_t>(data_.size()) * sizeof(T);
     if (bytes > accounted_bytes_) {
+      // Fault hook before the growth is recorded: an injected allocation
+      // failure throws here, the unwind destroys the buffer, and release()
+      // frees only the previously-accounted bytes — counters stay balanced.
+      if (FaultInjector::enabled()) FaultInjector::instance().on_alloc(bytes - accounted_bytes_);
       detail::record_device_alloc(bytes - accounted_bytes_);
     } else if (bytes < accounted_bytes_) {
       detail::record_device_free(accounted_bytes_ - bytes);

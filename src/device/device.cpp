@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "device/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace gridadmm::device {
@@ -91,6 +92,10 @@ void Device::worker_main(int lane) {
 void Device::run_job(const std::function<void(int, int)>& kernel, int nblocks) {
   if (nblocks < 0) throw GridError("Device::launch: negative block count");
   const std::lock_guard<std::mutex> serialize(launch_mu_);
+  // Fault hook before any work: an injected failure models a launch the
+  // driver rejected (nothing executed, stats unchanged), a spike models a
+  // stalled launch. One relaxed load when the injector is off.
+  if (FaultInjector::enabled()) FaultInjector::instance().on_launch(trace_id_);
   const obs::TraceSpan launch_span("device.launch", "blocks",
                                    static_cast<std::uint64_t>(nblocks), "dev",
                                    static_cast<std::uint64_t>(trace_id_));

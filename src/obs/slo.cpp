@@ -41,7 +41,8 @@ struct SloMonitor::Bucket {
   std::atomic<std::int64_t> epoch{-1};
   std::atomic<std::uint64_t> count{0};  ///< latency observations
   std::atomic<std::uint64_t> bad{0};    ///< observations over the ceiling
-  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> shed{0};   ///< capacity sheds
+  std::atomic<std::uint64_t> deadline_shed{0};  ///< deadline-expired sheds
   std::atomic<double> sum{0.0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> hist;  ///< bounds + overflow
 };
@@ -63,6 +64,7 @@ std::string SloVerdict::to_json(const SloObjectives& objectives) const {
   burn_json(out, "shed", shed);
   out += ", \"fast_window\": {\"count\": " + std::to_string(fast_count);
   out += ", \"shed\": " + std::to_string(fast_shed);
+  out += ", \"deadline_shed\": " + std::to_string(fast_deadline_shed);
   out += ", \"p50_seconds\": " + format_double(fast_p50);
   out += ", \"p95_seconds\": " + format_double(fast_p95);
   out += ", \"p99_seconds\": " + format_double(fast_p99);
@@ -119,6 +121,7 @@ SloMonitor::Bucket& SloMonitor::bucket_for(double now_seconds) {
       bucket.count.store(0, std::memory_order_relaxed);
       bucket.bad.store(0, std::memory_order_relaxed);
       bucket.shed.store(0, std::memory_order_relaxed);
+      bucket.deadline_shed.store(0, std::memory_order_relaxed);
       bucket.sum.store(0.0, std::memory_order_relaxed);
       for (std::size_t i = 0; i <= bounds_.size(); ++i) {
         bucket.hist[i].store(0, std::memory_order_relaxed);
@@ -145,6 +148,10 @@ void SloMonitor::record_shed(double now_seconds) {
   bucket_for(now_seconds).shed.fetch_add(1, std::memory_order_relaxed);
 }
 
+void SloMonitor::record_deadline_shed(double now_seconds) {
+  bucket_for(now_seconds).deadline_shed.fetch_add(1, std::memory_order_relaxed);
+}
+
 SloMonitor::WindowSums SloMonitor::sum_window(double window_seconds, double now_seconds,
                                               std::vector<std::uint64_t>* hist_out) const {
   WindowSums sums;
@@ -163,6 +170,7 @@ SloMonitor::WindowSums SloMonitor::sum_window(double window_seconds, double now_
     sums.count += bucket.count.load(std::memory_order_relaxed);
     sums.bad += bucket.bad.load(std::memory_order_relaxed);
     sums.shed += bucket.shed.load(std::memory_order_relaxed);
+    sums.deadline_shed += bucket.deadline_shed.load(std::memory_order_relaxed);
     sums.sum += bucket.sum.load(std::memory_order_relaxed);
     if (hist_out != nullptr) {
       for (std::size_t b = 0; b <= bounds_.size(); ++b) {
@@ -203,6 +211,11 @@ std::uint64_t SloMonitor::window_shed(double window_seconds, double now_seconds)
   return sum_window(window_seconds, now_seconds, nullptr).shed;
 }
 
+std::uint64_t SloMonitor::window_deadline_shed(double window_seconds,
+                                               double now_seconds) const {
+  return sum_window(window_seconds, now_seconds, nullptr).deadline_shed;
+}
+
 double SloMonitor::shed_fraction(double window_seconds, double now_seconds) const {
   const WindowSums sums = sum_window(window_seconds, now_seconds, nullptr);
   const std::uint64_t offered = sums.count + sums.shed;
@@ -235,6 +248,7 @@ SloVerdict SloMonitor::evaluate(double now_seconds) {
   const WindowSums fast = sum_window(objectives_.fast_window_seconds, now_seconds, &scratch_);
   verdict.fast_count = fast.count;
   verdict.fast_shed = fast.shed;
+  verdict.fast_deadline_shed = fast.deadline_shed;
   // Fast-window quantiles from the already-merged scratch row.
   const auto scratch_quantile = [&](double q) -> double {
     if (fast.count == 0) return 0.0;

@@ -84,7 +84,11 @@ struct SloVerdict {
   SloBurn shed;
   // Fast-window telemetry snapshot backing the burn figures.
   std::uint64_t fast_count = 0;   ///< latency observations in the fast window
-  std::uint64_t fast_shed = 0;    ///< sheds in the fast window
+  std::uint64_t fast_shed = 0;    ///< capacity sheds in the fast window
+  /// Deadline-expired sheds in the fast window. Tracked separately from
+  /// capacity sheds: they never burn the shed budget (the client's deadline
+  /// was the binding constraint, not the service's capacity).
+  std::uint64_t fast_deadline_shed = 0;
   double fast_p50 = 0.0;
   double fast_p95 = 0.0;
   double fast_p99 = 0.0;
@@ -106,8 +110,14 @@ class SloMonitor {
   /// Lock-free, allocation-free.
   void record_latency(double seconds, double now_seconds);
 
-  /// Records one shed (admission-rejected) request at time `now`.
+  /// Records one capacity shed (admission-rejected) request at time `now`.
+  /// Feeds the shed-budget burn objective.
   void record_shed(double now_seconds);
+
+  /// Records one deadline-expired shed at time `now`. Counted separately
+  /// from capacity sheds: visible in the verdict/gauges, never burns the
+  /// shed budget.
+  void record_deadline_shed(double now_seconds);
 
   /// Latency quantile over the trailing `window_seconds` ending at `now`
   /// (upper-bound-biased bucket interpolation, like obs::Histogram).
@@ -116,6 +126,8 @@ class SloMonitor {
   /// Observations / sheds in the trailing window.
   [[nodiscard]] std::uint64_t window_count(double window_seconds, double now_seconds) const;
   [[nodiscard]] std::uint64_t window_shed(double window_seconds, double now_seconds) const;
+  [[nodiscard]] std::uint64_t window_deadline_shed(double window_seconds,
+                                                   double now_seconds) const;
   /// shed / (shed + fulfilled) over the window; 0 when nothing was offered.
   [[nodiscard]] double shed_fraction(double window_seconds, double now_seconds) const;
 
@@ -145,6 +157,7 @@ class SloMonitor {
   struct WindowSums {
     std::uint64_t count = 0;
     std::uint64_t shed = 0;
+    std::uint64_t deadline_shed = 0;
     std::uint64_t bad = 0;
     double sum = 0.0;
   };

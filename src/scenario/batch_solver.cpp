@@ -19,11 +19,17 @@ namespace gridadmm::scenario {
 namespace {
 
 /// Per-slot max over the per-lane partial rows (exact: max is order-free).
+/// NaN-propagating: `std::max(0.0, NaN)` keeps the first argument, so a
+/// slot whose iterate went non-finite would otherwise report residual 0 and
+/// "converge" on garbage. Returning the NaN lets the solve loop abort the
+/// launch instead (DESIGN.md §12 poison isolation).
 double collect_slot_max(std::span<const double> partial, int j, int row_stride, int lanes) {
   double result = 0.0;
   for (int lane = 0; lane < lanes; ++lane) {
-    result = std::max(result, partial[static_cast<std::size_t>(lane) * row_stride +
-                                      static_cast<std::size_t>(j)]);
+    const double v =
+        partial[static_cast<std::size_t>(lane) * row_stride + static_cast<std::size_t>(j)];
+    if (!std::isfinite(v)) return v;
+    result = std::max(result, v);
   }
   return result;
 }
@@ -515,6 +521,16 @@ void BatchAdmmSolver::run_fused(Shard& shard, int buf, std::span<const int> wave
       ++stats.inner_iterations;
       const double primal = collect_slot_max(partial_primal, j, row, lanes);
       const double dual = collect_slot_max(partial_dual, j, row, lanes);
+      if (!std::isfinite(primal) || !std::isfinite(dual)) {
+        // Numerical breakdown in the fused launch. The shared reduction
+        // buffers hold non-finite values, so no slot's telemetry can be
+        // trusted — abort the whole batch like a device-side trap would;
+        // the serving layer isolates the poison scenario by bisection.
+        throw NumericalError("BatchAdmmSolver: non-finite residual in fused batch (scenario '" +
+                             scenarios_[static_cast<std::size_t>(s)].name +
+                             "', inner iteration " + std::to_string(stats.inner_iterations) +
+                             ")");
+      }
       stats.primal_residual = primal;
       stats.dual_residual = dual;
       if (options.record_history) {

@@ -38,6 +38,14 @@ struct SolveRequest {
   /// Opt out of the warm-start cache for this request (no lookup, no
   /// insertion) — e.g. for a calibration solve that must be cold.
   bool bypass_cache = false;
+
+  /// Absolute deadline in seconds on the service's injected clock
+  /// (Clock::now() timebase); <= 0 = no deadline. Enforced twice: at
+  /// admission (an already-expired request is rejected synchronously) and
+  /// at dispatch pickup (a request that expired while queued is shed with
+  /// DeadlineError before burning solver time). A real-time tracking client
+  /// has no use for a solution that arrives after its control interval.
+  double deadline = 0.0;
 };
 
 struct SolveResult {
@@ -52,6 +60,14 @@ struct SolveResult {
   int batch_occupancy = 0;      ///< how many requests shared that batch
   bool cache_hit = false;       ///< seeded from a cached nearby iterate
   double cache_distance = 0.0;  ///< load distance to the seed (when cache_hit)
+  /// Fused-solve attempts the micro-batch group containing this request
+  /// took (1 = clean first try; more after transient retries / poison
+  /// bisection — see DESIGN.md §12).
+  int solve_attempts = 1;
+  /// True when the degraded-mode rung re-solved this request solo with a
+  /// boosted iteration budget after should_escalate flagged its first,
+  /// non-converged attempt (ServiceOptions::escalation_retry).
+  bool escalated = false;
   double wait_seconds = 0.0;    ///< submit -> dispatch (injected clock)
   double total_seconds = 0.0;   ///< submit -> future fulfilled (injected clock)
   /// Per-request stage timeline on the trace clock (admit -> queue ->

@@ -9,9 +9,12 @@
 
 #include <fstream>
 
+#include <thread>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/numeric.hpp"
+#include "common/rng.hpp"
 #include "grid/solution.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
@@ -51,6 +54,20 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
           "SolveService: watchdog_stall_seconds must be positive");
   require(options_.expo_port >= -1 && options_.expo_port <= 65535,
           "SolveService: expo_port must be in [-1, 65535]");
+  require(options_.max_retries >= 0, "SolveService: max_retries must be non-negative");
+  require(std::isfinite(options_.retry_backoff_seconds) && options_.retry_backoff_seconds >= 0.0,
+          "SolveService: retry_backoff_seconds must be finite and non-negative");
+  require(std::isfinite(options_.retry_backoff_max_seconds) &&
+              options_.retry_backoff_max_seconds >= 0.0,
+          "SolveService: retry_backoff_max_seconds must be finite and non-negative");
+  require(options_.quarantine_threshold > 0,
+          "SolveService: quarantine_threshold must be positive");
+  require(std::isfinite(options_.quarantine_backoff_seconds) &&
+              options_.quarantine_backoff_seconds >= 0.0,
+          "SolveService: quarantine_backoff_seconds must be finite and non-negative");
+  require(std::isfinite(options_.escalation_budget_boost) &&
+              options_.escalation_budget_boost >= 1.0,
+          "SolveService: escalation_budget_boost must be >= 1");
   // Aliasing shared_ptr: requests that carry no network reference the
   // service's own copy without another Network allocation.
   base_shared_ = std::shared_ptr<const grid::Network>(std::shared_ptr<void>(), &base_);
@@ -75,9 +92,33 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
                                    "Undispatched requests (refreshed by stats())");
   m_in_flight_ = &metrics_.gauge("serve_in_flight",
                                  "Requests inside batch solves (refreshed by stats())");
+  // Fault-tolerance instruments (DESIGN.md §12).
+  m_drain_shed_ = &metrics_.counter("serve_requests_drain_shed_total",
+                                    "Requests rejected because the service was draining");
+  m_deadline_shed_ = &metrics_.counter("serve_deadline_shed_total",
+                                       "Requests shed because their deadline expired");
+  m_retries_ = &metrics_.counter(
+      "serve_retries_total",
+      "Fused-solve re-attempts (transient retries, poison-bisection halves)");
+  m_quarantine_ = &metrics_.counter("serve_quarantine_transitions_total",
+                                    "Shard circuit-breaker state changes");
+  m_escalations_ = &metrics_.counter(
+      "serve_escalation_retries_total",
+      "Degraded-mode solo retries of should_escalate-flagged requests");
+  m_failed_form_ = &metrics_.counter("serve_failures_by_stage_form_total",
+                                     "Request failures during batch formation");
+  m_failed_solve_ = &metrics_.counter("serve_failures_by_stage_solve_total",
+                                      "Request failures during or after the fused solve");
   pool_ = std::make_unique<device::DevicePool>(options_.num_devices, options_.device_workers);
   live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
   live_.per_shard.assign(static_cast<std::size_t>(options_.num_devices), ShardServiceStats{});
+  shard_health_.assign(static_cast<std::size_t>(options_.num_devices), ShardHealth{});
+  m_shard_state_.reserve(static_cast<std::size_t>(options_.num_devices));
+  for (int d = 0; d < options_.num_devices; ++d) {
+    m_shard_state_.push_back(
+        &metrics_.gauge("serve_shard_state_" + std::to_string(d),
+                        "Shard circuit-breaker state (0 healthy, 1 quarantined, 2 half-open)"));
+  }
 
   // ---- SLO observability layer (monitor, per-stage histograms) ----
   if (options_.slo) {
@@ -116,9 +157,29 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
     expo_->handle("/healthz", [this] {
       const std::uint64_t now = obs::now_ns();
       const bool ok = watchdog_.healthy(now, options_.watchdog_stall_seconds);
-      return obs::ExpoResponse{
-          ok ? 200 : 503, "application/json",
-          watchdog_.healthz_json(now, options_.watchdog_stall_seconds) + "\n"};
+      std::string body = watchdog_.healthz_json(now, options_.watchdog_stall_seconds);
+      // Splice the shard circuit-breaker states into the watchdog JSON, so
+      // one probe shows thread liveness and quarantine together. A
+      // quarantined shard does not 503: the service is degraded, still
+      // serving through healthy shards.
+      if (!body.empty() && body.back() == '}') {
+        body.pop_back();
+        body += ", \"shards\": [";
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t d = 0; d < shard_health_.size(); ++d) {
+          const ShardHealth& health = shard_health_[d];
+          if (d > 0) body += ", ";
+          body += "{\"shard\": " + std::to_string(d) + ", \"state\": \"";
+          body += health.state == ShardState::kHealthy       ? "healthy"
+                  : health.state == ShardState::kQuarantined ? "quarantined"
+                                                             : "half-open";
+          body += "\", \"quarantines\": " + std::to_string(live_.per_shard[d].quarantines);
+          body += ", \"consecutive_failures\": " + std::to_string(health.consecutive_failures);
+          body += "}";
+        }
+        body += "]}";
+      }
+      return obs::ExpoResponse{ok ? 200 : 503, "application/json", body + "\n"};
     });
     expo_->handle("/slo", [this] {
       if (slo_ == nullptr) {
@@ -248,6 +309,8 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
            "SolveService::submit: loads must be finite (no NaN/inf entries)");
   validate(request.outage_branch >= -1 && request.outage_branch < net.num_branches(),
            "SolveService::submit: outage branch index out of range");
+  validate(std::isfinite(request.deadline),
+           "SolveService::submit: deadline must be finite (injected-clock seconds)");
   if (request.outage_branch >= 0) {
     // Base-case requests hit the precomputed bitmap; foreign networks pay
     // one DFS per contingency submit (the rare path).
@@ -270,10 +333,19 @@ std::future<SolveResult> SolveService::submit(SolveRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_ || shutdown_) {
-      ++live_.shed;
-      m_shed_->inc();
-      if (slo_ != nullptr) slo_->record_shed(pending.submit_time);
+      // Drain-time sheds are intentional teardown, not capacity pressure:
+      // counted apart so the SLO shed burn never pages on a clean drain.
+      ++live_.drain_shed;
+      m_drain_shed_->inc();
       throw CapacityError("SolveService::submit: service is draining, request shed");
+    }
+    // Deadline enforcement, first rung: a request already expired on
+    // arrival is rejected before it can burn a queue slot.
+    if (pending.request.deadline > 0.0 && pending.submit_time >= pending.request.deadline) {
+      ++live_.deadline_shed;
+      m_deadline_shed_->inc();
+      if (slo_ != nullptr) slo_->record_deadline_shed(pending.submit_time);
+      throw DeadlineError("SolveService::submit: deadline already expired at admission");
     }
     // Admission bounds everything accepted and unfulfilled — main queue,
     // shard queues, and in-flight batches — so routing batches across the
@@ -327,11 +399,28 @@ void SolveService::dispatcher_main() {
     // request queue, where late arrivals still coalesce into it, and pop
     // only once a worker can actually take it. Without this gate a long
     // solve would fragment the backlog into one window-sized sliver per
-    // wakeup, eroding occupancy.
-    cv_work_.wait(lock, [&] {
-      return shutdown_ ||
-             static_cast<int>(dispatched_.size()) + busy_workers_ < options_.num_devices;
-    });
+    // wakeup, eroding occupancy. Quarantined shards don't count as
+    // capacity until their reopen instant; when every shard is sidelined,
+    // the timed wait re-gates at the earliest reopen so half-open probes
+    // still drain the queue.
+    while (true) {
+      if (shutdown_) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (static_cast<int>(dispatched_.size()) + busy_workers_ < available_workers_locked(now)) {
+        break;
+      }
+      auto wake = std::chrono::steady_clock::time_point::max();
+      for (const ShardHealth& health : shard_health_) {
+        if (health.state == ShardState::kQuarantined && health.reopen > now) {
+          wake = std::min(wake, health.reopen);
+        }
+      }
+      if (wake == std::chrono::steady_clock::time_point::max()) {
+        cv_work_.wait(lock);
+      } else {
+        cv_work_.wait_until(lock, wake);
+      }
+    }
     watchdog_.set_idle(wd_dispatcher_, false);
     if (queue_.empty()) continue;  // a shutdown wake-up with nothing left
     // Hand the popped batch to the shared dispatch queue and keep going:
@@ -353,8 +442,44 @@ void SolveService::dispatcher_main() {
       }
     }
     dispatched_.push_back(std::move(batch));
-    cv_shard_.notify_one();
+    // notify_all, not notify_one: a single wake could land on a shard
+    // sitting out its quarantine backoff while a healthy one sleeps.
+    cv_shard_.notify_all();
   }
+}
+
+int SolveService::available_workers_locked(std::chrono::steady_clock::time_point now) const {
+  int n = 0;
+  for (const ShardHealth& health : shard_health_) {
+    if (health.state != ShardState::kQuarantined || now >= health.reopen) ++n;
+  }
+  return n;
+}
+
+void SolveService::transition_shard_locked(int shard, ShardState to) {
+  const auto d = static_cast<std::size_t>(shard);
+  ShardHealth& health = shard_health_[d];
+  if (health.state == to) return;
+  health.state = to;
+  if (to == ShardState::kQuarantined) {
+    health.reopen = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(options_.quarantine_backoff_seconds));
+    ++live_.per_shard[d].quarantines;
+    log::warn("SolveService: shard ", shard, " quarantined after ",
+              health.consecutive_failures, " consecutive transient failures");
+  } else if (to == ShardState::kHealthy) {
+    health.consecutive_failures = 0;
+    log::info("SolveService: shard ", shard, " recovered (half-open probe succeeded)");
+  }
+  ++live_.quarantine_transitions;
+  m_quarantine_->inc();
+  m_shard_state_[d]->set(static_cast<double>(static_cast<int>(to)));
+  obs::instant("serve.quarantine", "shard", static_cast<std::uint64_t>(shard), "state",
+               static_cast<std::uint64_t>(static_cast<int>(to)));
+  // State changes alter dispatch capacity: wake the dispatcher and peers.
+  cv_work_.notify_all();
+  cv_shard_.notify_all();
 }
 
 void SolveService::shard_worker_main(int shard) {
@@ -363,7 +488,25 @@ void SolveService::shard_worker_main(int shard) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     watchdog_.set_idle(wd_shards_[d], true);
-    cv_shard_.wait(lock, [&] { return shutdown_ || !dispatched_.empty(); });
+    // Health-aware pickup: healthy and half-open shards take work freely; a
+    // quarantined shard sits out until its reopen instant — the shared
+    // dispatch queue keeps flowing to healthy shards meanwhile, which IS
+    // the redistribution — then takes exactly one probe batch half-open.
+    while (true) {
+      if (shutdown_) break;
+      if (!dispatched_.empty()) {
+        ShardHealth& health = shard_health_[d];
+        if (health.state != ShardState::kQuarantined) break;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= health.reopen) {
+          transition_shard_locked(shard, ShardState::kHalfOpen);
+          break;
+        }
+        cv_shard_.wait_until(lock, health.reopen);
+      } else {
+        cv_shard_.wait(lock);
+      }
+    }
     if (dispatched_.empty()) {
       if (shutdown_) return;
       continue;
@@ -375,11 +518,27 @@ void SolveService::shard_worker_main(int shard) {
     live_.per_shard[d].in_flight = size;
     ++busy_workers_;
     lock.unlock();
-    process_batch(std::move(batch), shard);
+    const BatchOutcome outcome = process_batch(std::move(batch), shard);
     lock.lock();
     live_.per_shard[d].in_flight = 0;
     --busy_workers_;
     pending_total_ -= size;
+    // ---- Circuit breaker (DESIGN.md §12) ----
+    // A batch that exhausted its transient retries implicates the shard's
+    // device; any batch resolved without exhaustion proves it healthy.
+    ShardHealth& health = shard_health_[d];
+    if (outcome.exhausted_transient) {
+      health.consecutive_failures += std::max(outcome.transient_attempts, 1);
+    } else {
+      health.consecutive_failures = 0;
+    }
+    if (health.state == ShardState::kHalfOpen) {
+      transition_shard_locked(shard, outcome.exhausted_transient ? ShardState::kQuarantined
+                                                                 : ShardState::kHealthy);
+    } else if (health.state == ShardState::kHealthy &&
+               health.consecutive_failures >= options_.quarantine_threshold) {
+      transition_shard_locked(shard, ShardState::kQuarantined);
+    }
     // A worker slot opened up: the dispatcher may now pop the next batch.
     cv_work_.notify_all();
     if (queue_.empty() && pending_total_ == 0) cv_idle_.notify_all();
@@ -414,35 +573,107 @@ void SolveService::record_latency_locked(double seconds) {
   }
 }
 
-void SolveService::process_batch(Batch work, int shard) {
+SolveService::BatchOutcome SolveService::process_batch(Batch work, int shard) {
   std::vector<Pending>& batch = work.requests;
-  const double dispatch_time = clock_->now();
-  const std::uint64_t batch_id = work.id;
-  const bool use_cache = options_.cache.capacity > 0;
+  BatchContext ctx;
+  ctx.batch_id = work.id;
+  ctx.shard = shard;
+  ctx.dispatch_time = clock_->now();
   // Timeline stamping is on when the SLO layer or the tracer wants it; the
-  // batch-scoped stamps are locals here and fan out to every request of the
+  // batch-scoped stamps live in ctx and fan out to every request of the
   // batch at fulfillment. Each stamp is taken exactly once and feeds both
   // the RequestTimeline and the trace span it bounds (non-drift invariant).
-  const bool timeline_on = options_.slo || obs::Tracer::enabled();
-  device::Device& device = pool_->device(shard);
-  const obs::TraceSpan batch_span("serve.batch", "batch", batch_id, "shard",
+  ctx.timeline_on = options_.slo || obs::Tracer::enabled();
+  const obs::TraceSpan batch_span("serve.batch", "batch", ctx.batch_id, "shard",
                                   static_cast<std::uint64_t>(shard));
-  const std::uint64_t dispatch_ns = timeline_on ? obs::now_ns() : 0;
-  if (timeline_on && !batch.empty()) {
+  ctx.dispatch_ns = ctx.timeline_on ? obs::now_ns() : 0;
+  if (ctx.timeline_on && !batch.empty()) {
     // serve.dispatch: the batch's wait in the dispatch queue for a worker
     // (all requests of a batch share queue_ns, so one span covers it).
-    obs::span_between("serve.dispatch", batch.front().timeline.queue_ns, dispatch_ns, "batch",
-                      batch_id, "size", static_cast<std::uint64_t>(batch.size()));
+    obs::span_between("serve.dispatch", batch.front().timeline.queue_ns, ctx.dispatch_ns,
+                      "batch", ctx.batch_id, "size", static_cast<std::uint64_t>(batch.size()));
   }
 
-  // ---- Stage the batch as one ScenarioSet ----
-  scenario::ScenarioSet set(*batch.front().request.network);
-  std::vector<std::size_t> accepted;          // batch index per scenario slot
-  std::vector<CacheHit> seeds;                // parallel to scenario slots
+  // ---- Deadline enforcement, second rung: shed before solving ----
+  std::vector<std::size_t> members;
+  members.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Pending& p = batch[i];
+    if (p.request.deadline > 0.0 && ctx.dispatch_time >= p.request.deadline) {
+      if (ctx.timeline_on) {
+        p.timeline.dispatch_ns = ctx.dispatch_ns;
+        p.timeline.fulfill_ns = obs::now_ns();
+      }
+      obs::instant("serve.deadline_shed", "req", p.id, "batch", ctx.batch_id);
+      if (slo_ != nullptr) slo_->record_deadline_shed(ctx.dispatch_time);
+      ++ctx.deadline_shed;
+      p.promise.set_exception(std::make_exception_ptr(
+          DeadlineError("SolveService: request deadline expired while queued")));
+      continue;
+    }
+    members.push_back(i);
+  }
+  ctx.accepted = members.size();
+
+  if (!members.empty()) solve_group(batch, std::move(members), ctx);
+
+  // ---- Commit the batch's telemetry under one lock ----
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
+  // Requests that reached the solve stage (formation failures fell out).
+  const std::size_t solved_for =
+      ctx.accepted >= ctx.failed_form ? ctx.accepted - ctx.failed_form : 0;
+  live_.completed += ctx.completed;
+  if (ctx.completed > 0) m_completed_->inc(ctx.completed);
+  const std::size_t failed = ctx.failed_form + ctx.failed_solve;
+  live_.failed += failed;
+  if (failed > 0) m_failed_->inc(failed);
+  if (ctx.failed_form > 0) m_failed_form_->inc(ctx.failed_form);
+  if (ctx.failed_solve > 0) m_failed_solve_->inc(ctx.failed_solve);
+  live_.deadline_shed += ctx.deadline_shed;
+  if (ctx.deadline_shed > 0) m_deadline_shed_->inc(ctx.deadline_shed);
+  const std::uint64_t retries =
+      ctx.attempts > 0 ? static_cast<std::uint64_t>(ctx.attempts) - 1 : 0;
+  live_.retries += retries;
+  if (retries > 0) m_retries_->inc(retries);
+  live_.bisections += ctx.bisections;
+  live_.escalation_retries += ctx.escalations;
+  live_.escalation_recovered += ctx.escalations_recovered;
+  if (ctx.escalations > 0) m_escalations_->inc(ctx.escalations);
+  if (solved_for > 0) {
+    ++live_.batches;
+    m_batches_->inc();
+    m_occupancy_->observe(static_cast<double>(solved_for));
+    ++shard_stats.batches;
+    shard_stats.requests += solved_for;
+    const auto slot = std::min(solved_for, static_cast<std::size_t>(options_.max_batch_size));
+    ++live_.batch_occupancy[slot - 1];
+  }
+  live_.launch_stats += ctx.launches;
+  shard_stats.launch_stats += ctx.launches;
+  for (const double latency : ctx.latencies) record_latency_locked(latency);
+
+  BatchOutcome outcome;
+  outcome.transient_attempts = ctx.transient_attempts;
+  outcome.exhausted_transient = ctx.exhausted_transient;
+  outcome.solved_any = ctx.solved_any;
+  return outcome;
+}
+
+void SolveService::solve_group(std::vector<Pending>& batch, std::vector<std::size_t> members,
+                               BatchContext& ctx) {
+  const bool use_cache = options_.cache.capacity > 0;
+  // ---- Formation: stage this group as one ScenarioSet ----
+  // Re-done per group so bisected halves form their own sets; submit()
+  // validation makes a failure here defense-in-depth, and it fails exactly
+  // the offending request, never its neighbors.
+  scenario::ScenarioSet set(*batch[members.front()].request.network);
+  std::vector<std::size_t> formed;
+  formed.reserve(members.size());
+  for (const std::size_t i : members) {
+    Pending& p = batch[i];
     scenario::Scenario sc;
-    sc.name = "serve/batch-" + std::to_string(batch_id) + "-req-" + std::to_string(i);
+    sc.name = "serve/batch-" + std::to_string(ctx.batch_id) + "-req-" + std::to_string(i);
     sc.kind = p.request.outage_branch >= 0 ? scenario::ScenarioKind::kContingency
                                            : scenario::ScenarioKind::kBase;
     sc.pd = p.request.pd;
@@ -452,107 +683,235 @@ void SolveService::process_batch(Batch work, int shard) {
     try {
       set.add(std::move(sc));
     } catch (...) {
-      p.promise.set_exception(std::current_exception());
-      std::lock_guard<std::mutex> lock(mu_);
-      ++live_.failed;
-      m_failed_->inc();
+      fail_request(p, std::current_exception(), /*reached_solve=*/false, ctx);
       continue;
     }
-    CacheHit seed;
-    if (use_cache && !p.request.bypass_cache) {
-      seed = cache_.lookup(p.fingerprint, p.request.pd, p.request.qd);
+    // Warm-start seed, resolved once and pinned: retries and bisected
+    // re-solves reuse it, so re-attempts stay deterministic even while the
+    // cache churns underneath.
+    if (!p.seed_resolved) {
+      if (use_cache && !p.request.bypass_cache) {
+        p.seed = cache_.lookup(p.fingerprint, p.request.pd, p.request.qd);
+      }
+      p.seed_resolved = true;
     }
-    seeds.push_back(std::move(seed));
-    accepted.push_back(i);
+    formed.push_back(i);
   }
-  if (accepted.empty()) return;
-  const std::uint64_t form_ns = timeline_on ? obs::now_ns() : 0;
-  if (timeline_on) obs::span_between("serve.form", dispatch_ns, form_ns, "batch", batch_id);
+  if (formed.empty()) return;
+  ctx.form_ns = ctx.timeline_on ? obs::now_ns() : 0;
+  if (ctx.timeline_on) {
+    obs::span_between("serve.form", ctx.dispatch_ns, ctx.form_ns, "batch", ctx.batch_id);
+  }
 
-  // ---- Fused micro-batch solve on this shard's device ----
-  device::LaunchStats batch_launches;
+  // ---- Attempt loop: retry transient errors, bisect permanent ones ----
+  for (int attempt = 0;; ++attempt) {
+    try {
+      attempt_members(batch, formed, set, ctx);
+      return;
+    } catch (const TransientDeviceError&) {
+      ++ctx.transient_attempts;
+      if (attempt >= options_.max_retries) {
+        // Out of retries: the whole group fails with the typed transient
+        // error, so callers know a later retry may well succeed.
+        ctx.exhausted_transient = true;
+        const auto error = std::current_exception();
+        for (const std::size_t i : formed) {
+          fail_request(batch[i], error, /*reached_solve=*/true, ctx);
+        }
+        return;
+      }
+      obs::instant("serve.retry", "batch", ctx.batch_id, "attempt",
+                   static_cast<std::uint64_t>(attempt + 1));
+      // Exponential backoff with deterministic jitter, so retrying shards
+      // don't hammer a browned-out device in lockstep.
+      if (options_.retry_backoff_seconds > 0.0) {
+        std::uint64_t jitter_state =
+            ctx.batch_id * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(attempt);
+        const double jitter =
+            0.5 * static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+        const double sleep_seconds =
+            std::min(options_.retry_backoff_seconds * std::pow(2.0, attempt) * (1.0 + jitter),
+                     options_.retry_backoff_max_seconds);
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+      }
+    } catch (...) {
+      if (formed.size() == 1) {
+        // Solo and permanent: exactly this request fails.
+        fail_request(batch[formed.front()], std::current_exception(),
+                     /*reached_solve=*/true, ctx);
+        return;
+      }
+      // Permanent error inside a group: bisect to isolate the poison
+      // request, so healthy co-batched requests still succeed.
+      ++ctx.bisections;
+      obs::instant("serve.bisect", "batch", ctx.batch_id, "size",
+                   static_cast<std::uint64_t>(formed.size()));
+      const auto half = static_cast<std::ptrdiff_t>(formed.size() / 2);
+      std::vector<std::size_t> lo(formed.begin(), formed.begin() + half);
+      std::vector<std::size_t> hi(formed.begin() + half, formed.end());
+      solve_group(batch, std::move(lo), ctx);
+      solve_group(batch, std::move(hi), ctx);
+      return;
+    }
+  }
+}
+
+void SolveService::attempt_members(std::vector<Pending>& batch,
+                                   const std::vector<std::size_t>& members,
+                                   const scenario::ScenarioSet& set, BatchContext& ctx) {
+  device::Device& device = pool_->device(ctx.shard);
+  const bool use_cache = options_.cache.capacity > 0;
+  ++ctx.attempts;
+  device::LaunchStats attempt_launches;
   scenario::ScenarioReport report;
   std::vector<grid::OpfSolution> solutions;
+  std::vector<char> escalated(members.size(), 0);
   std::uint64_t stage_ns = 0;
   std::uint64_t solve_ns = 0;
   std::uint64_t extract_ns = 0;
   try {
     scenario::BatchAdmmSolver solver(set, params_, &device);
-    stage_ns = timeline_on ? obs::now_ns() : 0;
-    if (timeline_on) obs::span_between("serve.stage", form_ns, stage_ns, "batch", batch_id);
+    stage_ns = ctx.timeline_on ? obs::now_ns() : 0;
+    if (ctx.timeline_on) {
+      obs::span_between("serve.stage", ctx.form_ns, stage_ns, "batch", ctx.batch_id);
+    }
     scenario::BatchSolveOptions solve_options;
     solve_options.layout = options_.layout;
     solve_options.branch_pack = options_.branch_pack;
     solve_options.convergence_sample_interval = options_.convergence_sample_interval;
-    solve_options.initial_iterates.assign(accepted.size(), nullptr);
-    for (std::size_t s = 0; s < accepted.size(); ++s) {
-      if (seeds[s].iterate != nullptr) solve_options.initial_iterates[s] = seeds[s].iterate.get();
+    solve_options.initial_iterates.assign(members.size(), nullptr);
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      const Pending& p = batch[members[s]];
+      if (p.seed.iterate != nullptr) solve_options.initial_iterates[s] = p.seed.iterate.get();
     }
     {
-      device::LaunchStatsScope scope(device, batch_launches);
+      device::LaunchStatsScope scope(device, attempt_launches);
       report = solver.solve(solve_options);
     }
-    solve_ns = timeline_on ? obs::now_ns() : 0;
-    if (timeline_on) {
-      obs::span_between("serve.solve", stage_ns, solve_ns, "batch", batch_id, "size",
-                        static_cast<std::uint64_t>(accepted.size()));
+    solve_ns = ctx.timeline_on ? obs::now_ns() : 0;
+    if (ctx.timeline_on) {
+      obs::span_between("serve.solve", stage_ns, solve_ns, "batch", ctx.batch_id, "size",
+                        static_cast<std::uint64_t>(members.size()));
     }
     solutions = solver.solutions();
     // ---- Refresh the warm-start cache with converged iterates ----
-    for (std::size_t s = 0; s < accepted.size(); ++s) {
-      const Pending& p = batch[accepted[s]];
+    for (std::size_t s = 0; s < members.size(); ++s) {
+      const Pending& p = batch[members[s]];
       if (!use_cache || p.request.bypass_cache) continue;
       if (!report.records[s].converged) continue;
       cache_.insert(p.fingerprint, p.request.pd, p.request.qd,
                     std::make_shared<admm::WarmStartIterate>(
                         solver.export_iterate(static_cast<int>(s))));
     }
-    extract_ns = timeline_on ? obs::now_ns() : 0;
-    if (timeline_on) obs::span_between("serve.extract", solve_ns, extract_ns, "batch", batch_id);
+    extract_ns = ctx.timeline_on ? obs::now_ns() : 0;
+    if (ctx.timeline_on) {
+      obs::span_between("serve.extract", solve_ns, extract_ns, "batch", ctx.batch_id);
+    }
+
+    // ---- Degraded-mode rung: boosted solo retry of flagged slots ----
+    // A non-converged slot whose sampled trajectory shows no residual
+    // progress gets one solo re-solve, warm-started from its own failed
+    // iterate with a multiplied iteration budget — the escalation step the
+    // engine router (ROADMAP item 5) will eventually hand to a more robust
+    // engine. Best-effort: any failure keeps the original result.
+    if (options_.escalation_retry && options_.convergence_sample_interval > 0 &&
+        !report.convergence.empty()) {
+      for (std::size_t s = 0; s < members.size(); ++s) {
+        if (report.records[s].converged) continue;
+        if (!obs::should_escalate(report.convergence[s])) continue;
+        Pending& p = batch[members[s]];
+        ++ctx.escalations;
+        obs::instant("serve.retry", "req", p.id, "escalation", 1);
+        try {
+          admm::WarmStartIterate iterate = solver.export_iterate(static_cast<int>(s));
+          scenario::ScenarioSet solo(*p.request.network);
+          scenario::Scenario sc;
+          sc.name = "serve/escalate-" + std::to_string(ctx.batch_id) + "-req-" +
+                    std::to_string(members[s]);
+          sc.kind = p.request.outage_branch >= 0 ? scenario::ScenarioKind::kContingency
+                                                 : scenario::ScenarioKind::kBase;
+          sc.pd = p.request.pd;
+          sc.qd = p.request.qd;
+          sc.outage_branch = p.request.outage_branch;
+          sc.controls = p.request.controls;
+          const admm::AdmmParams effective =
+              scenario::effective_params(params_, p.request.controls);
+          sc.controls.max_inner_iterations = static_cast<int>(std::min(
+              static_cast<double>(effective.max_inner_iterations) *
+                  options_.escalation_budget_boost,
+              1e9));
+          sc.controls.max_outer_iterations = static_cast<int>(std::min(
+              static_cast<double>(effective.max_outer_iterations) *
+                  options_.escalation_budget_boost,
+              1e9));
+          solo.add(std::move(sc));
+          scenario::BatchAdmmSolver rescue(solo, params_, &device);
+          scenario::BatchSolveOptions rescue_options;
+          rescue_options.layout = options_.layout;
+          rescue_options.branch_pack = options_.branch_pack;
+          rescue_options.convergence_sample_interval = options_.convergence_sample_interval;
+          rescue_options.initial_iterates.assign(1, &iterate);
+          device::LaunchStats rescue_launches;
+          scenario::ScenarioReport rescue_report;
+          {
+            device::LaunchStatsScope scope(device, rescue_launches);
+            rescue_report = rescue.solve(rescue_options);
+          }
+          ctx.launches += rescue_launches;
+          if (rescue_report.records[0].converged) {
+            ++ctx.escalations_recovered;
+            solutions[s] = rescue.solutions()[0];
+            report.stats[s] = rescue_report.stats[0];
+            report.records[s] = rescue_report.records[0];
+            if (!rescue_report.convergence.empty()) {
+              report.convergence[s] = std::move(rescue_report.convergence[0]);
+            }
+            escalated[s] = 1;
+            if (use_cache && !p.request.bypass_cache) {
+              cache_.insert(p.fingerprint, p.request.pd, p.request.qd,
+                            std::make_shared<admm::WarmStartIterate>(rescue.export_iterate(0)));
+            }
+          }
+        } catch (...) {
+          // Keep the original non-converged result; the rescue never turns
+          // a served answer into a failure.
+        }
+      }
+    }
   } catch (...) {
-    const auto error = std::current_exception();
-    for (const std::size_t i : accepted) batch[i].promise.set_exception(error);
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
-    live_.failed += accepted.size();
-    m_failed_->inc(accepted.size());
-    ++live_.batches;
-    m_batches_->inc();
-    m_occupancy_->observe(static_cast<double>(accepted.size()));
-    ++shard_stats.batches;
-    shard_stats.requests += accepted.size();
-    live_.launch_stats += batch_launches;
-    shard_stats.launch_stats += batch_launches;
-    const auto slot = std::min(accepted.size(), static_cast<std::size_t>(options_.max_batch_size));
-    ++live_.batch_occupancy[slot - 1];
-    return;
+    // Partial launches of the failed attempt still happened on the device:
+    // keep them in the batch's attribution.
+    ctx.launches += attempt_launches;
+    throw;
   }
+  ctx.launches += attempt_launches;
+  ctx.solved_any = true;
 
   // ---- Fulfill futures ----
   const double completion_time = clock_->now();
-  std::vector<double> latencies;
-  latencies.reserve(accepted.size());
   std::uint64_t last_fulfill_ns = extract_ns;
-  for (std::size_t s = 0; s < accepted.size(); ++s) {
-    Pending& p = batch[accepted[s]];
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    Pending& p = batch[members[s]];
     SolveResult result;
     result.solution = std::move(solutions[s]);
     result.stats = report.stats[s];
     result.converged = report.records[s].converged;
     result.objective = report.records[s].objective;
     result.max_violation = report.records[s].max_violation;
-    result.batch_id = batch_id;
-    result.batch_occupancy = static_cast<int>(accepted.size());
-    result.cache_hit = seeds[s].iterate != nullptr;
-    result.cache_distance = seeds[s].distance;
-    result.wait_seconds = dispatch_time - p.submit_time;
+    result.batch_id = ctx.batch_id;
+    result.batch_occupancy = static_cast<int>(members.size());
+    result.cache_hit = p.seed.iterate != nullptr;
+    result.cache_distance = p.seed.distance;
+    result.solve_attempts = ctx.attempts;
+    result.escalated = escalated[s] != 0;
+    result.wait_seconds = ctx.dispatch_time - p.submit_time;
     result.total_seconds = completion_time - p.submit_time;
     if (!report.convergence.empty()) result.trajectory = std::move(report.convergence[s]);
-    if (timeline_on) {
+    if (ctx.timeline_on) {
       // Fan the batch-scoped stamps out to the request, add the
       // per-request fulfill stamp, and ship the timeline with the result.
-      p.timeline.dispatch_ns = dispatch_ns;
-      p.timeline.form_ns = form_ns;
+      p.timeline.dispatch_ns = ctx.dispatch_ns;
+      p.timeline.form_ns = ctx.form_ns;
       p.timeline.stage_ns = stage_ns;
       p.timeline.solve_ns = solve_ns;
       p.timeline.extract_ns = extract_ns;
@@ -566,29 +925,40 @@ void SolveService::process_batch(Batch work, int shard) {
       }
       slo_->record_latency(result.total_seconds, completion_time);
     }
-    latencies.push_back(result.total_seconds);
+    ctx.latencies.push_back(result.total_seconds);
     m_latency_->observe(result.total_seconds);
-    obs::instant("serve.fulfill.req", "req", p.id, "batch", batch_id);
+    obs::instant("serve.fulfill.req", "req", p.id, "batch", ctx.batch_id);
+    ++ctx.completed;
     p.promise.set_value(std::move(result));
   }
-  if (timeline_on) {
-    obs::span_between("serve.fulfill", extract_ns, last_fulfill_ns, "batch", batch_id, "size",
-                      static_cast<std::uint64_t>(accepted.size()));
+  if (ctx.timeline_on) {
+    obs::span_between("serve.fulfill", extract_ns, last_fulfill_ns, "batch", ctx.batch_id,
+                      "size", static_cast<std::uint64_t>(members.size()));
   }
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& shard_stats = live_.per_shard[static_cast<std::size_t>(shard)];
-  live_.completed += accepted.size();
-  m_completed_->inc(accepted.size());
-  ++live_.batches;
-  m_batches_->inc();
-  m_occupancy_->observe(static_cast<double>(accepted.size()));
-  ++shard_stats.batches;
-  shard_stats.requests += accepted.size();
-  live_.launch_stats += batch_launches;
-  shard_stats.launch_stats += batch_launches;
-  ++live_.batch_occupancy[accepted.size() - 1];
-  for (const double latency : latencies) record_latency_locked(latency);
+void SolveService::fail_request(Pending& p, std::exception_ptr error, bool reached_solve,
+                                BatchContext& ctx) {
+  if (ctx.timeline_on) {
+    // Failed requests get timelines too (ISSUE 9): the stamps they earned
+    // plus a fulfill stamp, so failure shows up in the stage histograms
+    // instead of silently vanishing from the telemetry.
+    p.timeline.dispatch_ns = ctx.dispatch_ns;
+    if (reached_solve) p.timeline.form_ns = ctx.form_ns;
+    p.timeline.fulfill_ns = obs::now_ns();
+  }
+  if (slo_ != nullptr) {
+    for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+      m_stage_[st]->observe(p.timeline.stage_seconds(st));
+    }
+  }
+  if (reached_solve) {
+    ++ctx.failed_solve;
+  } else {
+    ++ctx.failed_form;
+  }
+  obs::instant("serve.fail.req", "req", p.id, "batch", ctx.batch_id);
+  p.promise.set_exception(std::move(error));
 }
 
 void SolveService::drain() {
@@ -609,6 +979,11 @@ ServiceStats SolveService::stats() const {
   }
   snapshot.in_flight = 0;
   for (const auto& shard : snapshot.per_shard) snapshot.in_flight += shard.in_flight;
+  for (std::size_t d = 0; d < shard_health_.size(); ++d) {
+    snapshot.per_shard[d].state = static_cast<int>(shard_health_[d].state);
+    snapshot.per_shard[d].consecutive_failures = shard_health_[d].consecutive_failures;
+    m_shard_state_[d]->set(static_cast<double>(snapshot.per_shard[d].state));
+  }
   snapshot.cache_hits = cache_.hits();
   snapshot.cache_misses = cache_.misses();
   snapshot.cache_entries = static_cast<std::uint64_t>(cache_.size());

@@ -38,6 +38,7 @@
 // and never mix with other solvers' work in process-wide counters.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -62,6 +63,10 @@
 #include "serve/solution_cache.hpp"
 #include "serve/stats.hpp"
 #include "serve/timeline.hpp"
+
+namespace gridadmm::scenario {
+class ScenarioSet;
+}
 
 namespace gridadmm::serve {
 
@@ -105,6 +110,30 @@ struct ServiceOptions {
   /// solves (see scenario::BatchSolveOptions::convergence_sample_interval);
   /// each SolveResult then carries its slot's trajectory. 0 = off.
   int convergence_sample_interval = 0;
+
+  // ---- Fault tolerance (DESIGN.md §12) ----
+  /// Fused-solve re-attempts per micro-batch group when the failure is a
+  /// TransientDeviceError (injected or real). Permanent errors never
+  /// retry — they bisect (groups) or fail (solo requests) immediately.
+  int max_retries = 2;
+  /// Exponential backoff between transient retries: attempt k sleeps
+  /// base * 2^k plus up to 50% deterministic jitter, capped by
+  /// retry_backoff_max_seconds. 0 retries immediately (tests).
+  double retry_backoff_seconds = 0.002;
+  double retry_backoff_max_seconds = 0.25;
+  /// Consecutive transient attempt failures that trip a shard's circuit
+  /// breaker into quarantine (successes reset the count).
+  int quarantine_threshold = 3;
+  /// How long a quarantined shard sits out before taking one half-open
+  /// probe batch (steady clock; queued work flows to healthy shards
+  /// meanwhile via the shared dispatch queue).
+  double quarantine_backoff_seconds = 0.25;
+  /// Degraded-mode rung: a non-converged request whose sampled trajectory
+  /// obs::should_escalate flags gets one solo re-solve, warm-started from
+  /// its failed iterate with the iteration budget multiplied by
+  /// escalation_budget_boost. Needs convergence_sample_interval > 0.
+  bool escalation_retry = false;
+  double escalation_budget_boost = 4.0;
 
   // ---- SLO observability layer (DESIGN.md §11) ----
   /// Enables the SLO layer: per-request stage timelines, per-stage latency
@@ -196,12 +225,56 @@ class SolveService {
     /// Stage stamps on the trace clock; admit_ns doubles as the
     /// serve.queue span start (the non-drift invariant).
     RequestTimeline timeline;
+    /// Warm-start seed, looked up once on the first solve attempt and
+    /// reused across retries/bisection so re-attempts stay deterministic.
+    CacheHit seed;
+    bool seed_resolved = false;
   };
 
   /// One popped micro-batch, routed to a shard's solve worker.
   struct Batch {
     std::vector<Pending> requests;
     std::uint64_t id = 0;
+  };
+
+  /// Shard circuit-breaker state (DESIGN.md §12). Guarded by mu_.
+  enum class ShardState { kHealthy = 0, kQuarantined = 1, kHalfOpen = 2 };
+  struct ShardHealth {
+    ShardState state = ShardState::kHealthy;
+    int consecutive_failures = 0;  ///< transient attempt failures since success
+    std::chrono::steady_clock::time_point reopen{};  ///< half-open eligibility
+  };
+
+  /// Mutable bookkeeping shared by every fused-solve attempt of one
+  /// micro-batch; committed to live_ under mu_ once the batch resolves.
+  struct BatchContext {
+    std::uint64_t batch_id = 0;
+    int shard = 0;
+    bool timeline_on = false;
+    double dispatch_time = 0.0;
+    std::uint64_t dispatch_ns = 0;
+    std::uint64_t form_ns = 0;     ///< latest group's formation stamp
+    device::LaunchStats launches;  ///< accumulated across all attempts
+    int attempts = 0;              ///< fused solves issued (escalations excluded)
+    bool solved_any = false;       ///< at least one fused attempt succeeded
+    int transient_attempts = 0;    ///< attempts lost to TransientDeviceError
+    bool exhausted_transient = false;  ///< a group ran out of transient retries
+    std::size_t accepted = 0;      ///< requests that reached the solve stage
+    std::size_t completed = 0;
+    std::size_t failed_form = 0;   ///< failures during ScenarioSet formation
+    std::size_t failed_solve = 0;  ///< failures during/after the fused solve
+    std::size_t deadline_shed = 0;
+    std::uint64_t bisections = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t escalations_recovered = 0;
+    std::vector<double> latencies;
+  };
+
+  /// What the shard worker feeds the circuit breaker after a batch.
+  struct BatchOutcome {
+    int transient_attempts = 0;
+    bool exhausted_transient = false;
+    bool solved_any = false;  ///< at least one fused attempt ran to completion
   };
 
   void dispatcher_main();
@@ -211,7 +284,26 @@ class SolveService {
   /// Pops the front request's fingerprint group, up to max_batch_size, in
   /// arrival order. Caller holds mu_.
   std::vector<Pending> pop_batch_locked();
-  void process_batch(Batch batch, int shard);
+  BatchOutcome process_batch(Batch batch, int shard);
+  /// Solves `members` (indices into `batch`) as one group: retry with
+  /// backoff on TransientDeviceError, bisect on permanent errors until the
+  /// poison request fails alone. Fulfills every member's future.
+  void solve_group(std::vector<Pending>& batch, std::vector<std::size_t> members,
+                   BatchContext& ctx);
+  /// One fused solve over `members`; fulfills futures on success, throws
+  /// the solver's error on failure (futures untouched).
+  void attempt_members(std::vector<Pending>& batch, const std::vector<std::size_t>& members,
+                       const scenario::ScenarioSet& set, BatchContext& ctx);
+  /// Fails one request's future with `error`, stamping its timeline and
+  /// stage histograms so failure is visible, not absent (ISSUE 9).
+  void fail_request(Pending& p, std::exception_ptr error, bool reached_solve,
+                    BatchContext& ctx);
+  /// Transitions a shard's circuit breaker, emitting the counter, gauge,
+  /// trace instant, and log line. Caller holds mu_.
+  void transition_shard_locked(int shard, ShardState to);
+  /// Workers a new batch could go to right now: healthy, half-open, or
+  /// quarantined past reopen. Caller holds mu_.
+  int available_workers_locked(std::chrono::steady_clock::time_point now) const;
   void record_latency_locked(double seconds);
   /// Memoized structural fingerprint for a request's network (the base
   /// case's is precomputed; foreign networks are hashed once and pinned).
@@ -249,6 +341,7 @@ class SolveService {
   std::size_t latency_next_ = 0;      ///< ring-buffer cursor
   std::uint64_t next_batch_id_ = 1;
   std::uint64_t next_request_id_ = 1;  ///< trace correlation ids (under mu_)
+  std::vector<ShardHealth> shard_health_;  ///< circuit breakers, one per shard
   bool draining_ = false;
   bool shutdown_ = false;
   std::thread dispatcher_;
@@ -266,6 +359,15 @@ class SolveService {
   obs::Histogram* m_occupancy_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_in_flight_ = nullptr;
+  // Fault-tolerance instruments (DESIGN.md §12).
+  obs::Counter* m_drain_shed_ = nullptr;
+  obs::Counter* m_deadline_shed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_quarantine_ = nullptr;
+  obs::Counter* m_escalations_ = nullptr;
+  obs::Counter* m_failed_form_ = nullptr;   ///< serve_failures_by_stage_form_total
+  obs::Counter* m_failed_solve_ = nullptr;  ///< serve_failures_by_stage_solve_total
+  std::vector<obs::Gauge*> m_shard_state_;  ///< one per shard
 
   // ---- SLO observability layer (all owned here; null/absent when off) ----
   std::unique_ptr<obs::SloMonitor> slo_;  ///< null unless options_.slo

@@ -19,17 +19,43 @@ struct ShardServiceStats {
   std::uint64_t requests = 0;  ///< requests across those batches
   int in_flight = 0;           ///< requests inside this shard's current solve
   device::LaunchStats launch_stats;  ///< launches on this shard's device
+
+  // ---- Circuit-breaker health (DESIGN.md §12) ----
+  int state = 0;                     ///< 0 healthy, 1 quarantined, 2 half-open
+  int consecutive_failures = 0;      ///< transient attempt failures since last success
+  std::uint64_t quarantines = 0;     ///< times this shard was tripped into quarantine
 };
 
 struct ServiceStats {
   // ---- Admission ----
   std::uint64_t submitted = 0;  ///< accepted into the queue
-  std::uint64_t shed = 0;       ///< rejected by admission control (CapacityError)
+  std::uint64_t shed = 0;       ///< capacity sheds (queue full, CapacityError)
+  /// Sheds because the service was draining/shutting down (also
+  /// CapacityError). Split from `shed` so the SLO shed-rate burn judges
+  /// only genuine capacity pressure, not intentional teardown.
+  std::uint64_t drain_shed = 0;
+  /// Requests shed with DeadlineError: expired on arrival or at dispatch
+  /// pickup, before burning solver time. Not a capacity signal.
+  std::uint64_t deadline_shed = 0;
   std::uint64_t completed = 0;  ///< futures fulfilled with a result
   std::uint64_t failed = 0;     ///< futures fulfilled with an exception
   int queue_depth = 0;          ///< undispatched requests at snapshot time
   int dispatch_backlog = 0;     ///< requests in popped batches awaiting an idle device
   int in_flight = 0;            ///< requests inside batch solves (all shards)
+
+  // ---- Fault tolerance (DESIGN.md §12) ----
+  /// Fused-solve re-attempts beyond each micro-batch group's first try:
+  /// transient-error retries, poison-bisection halves, half-open probes.
+  std::uint64_t retries = 0;
+  /// Permanent-failure splits performed to isolate poison requests.
+  std::uint64_t bisections = 0;
+  /// Degraded-mode solo retries of should_escalate-flagged non-converged
+  /// requests, and how many of those converged on the boosted budget.
+  std::uint64_t escalation_retries = 0;
+  std::uint64_t escalation_recovered = 0;
+  /// Shard circuit-breaker state changes (healthy -> quarantined ->
+  /// half-open -> ...), summed over all shards.
+  std::uint64_t quarantine_transitions = 0;
 
   // ---- Batching ----
   std::uint64_t batches = 0;  ///< dispatched micro-batches

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "device/buffer.hpp"
 #include "device/device.hpp"
+#include "device/fault.hpp"
 #include "device/pool.hpp"
 
 namespace gridadmm::device {
@@ -237,6 +238,142 @@ TEST(DevicePool, RejectsBadArguments) {
   DevicePool pool(2, 1);
   EXPECT_THROW(static_cast<void>(pool.device(2)), GridError);
   EXPECT_THROW(static_cast<void>(pool.device(-1)), GridError);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector (ISSUE 9): deterministic fault plans at the Device layer.
+// ---------------------------------------------------------------------------
+
+/// Disarms the process-wide injector on every exit path.
+struct FaultScope {
+  explicit FaultScope(const FaultPlan& plan) { FaultInjector::instance().configure(plan); }
+  ~FaultScope() { FaultInjector::instance().disable(); }
+};
+
+TEST(FaultInjector, DisabledByDefault) { EXPECT_FALSE(FaultInjector::enabled()); }
+
+TEST(FaultInjector, ParsesTheSpecGrammar) {
+  const auto plan =
+      FaultInjector::parse_spec("seed=42;launch=0.02;latency=0.01:2ms;alloc=0.5;shard=1;"
+                                "warmup=10;cooldown=2000;limit=3");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.launch_fail_probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.latency_spike_probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.latency_spike_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(plan.alloc_fail_probability, 0.5);
+  EXPECT_EQ(plan.shard, 1);
+  EXPECT_EQ(plan.warmup, 10u);
+  EXPECT_EQ(plan.cooldown, 2000u);
+  EXPECT_EQ(plan.limit, 3u);
+  // Duration suffixes: default seconds, ms, us.
+  EXPECT_DOUBLE_EQ(FaultInjector::parse_spec("latency=1:0.5").latency_spike_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(FaultInjector::parse_spec("latency=1:250us").latency_spike_seconds, 250e-6);
+}
+
+TEST(FaultInjector, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultInjector::parse_spec("bogus=1"), ValidationError);
+  EXPECT_THROW(FaultInjector::parse_spec("launch=1.5"), ValidationError);
+  EXPECT_THROW(FaultInjector::parse_spec("launch=-0.1"), ValidationError);
+  EXPECT_THROW(FaultInjector::parse_spec("launch"), ValidationError);
+  EXPECT_THROW(FaultInjector::parse_spec("latency=0.5"), ValidationError);  // missing :DUR
+  EXPECT_THROW(FaultInjector::parse_spec("seed=notanumber"), ValidationError);
+}
+
+TEST(FaultInjector, FaultSequenceIsDeterministicInTheSeed) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.launch_fail_probability = 0.3;
+  auto failure_pattern = [&]() {
+    FaultScope scope(plan);
+    std::vector<int> failed_at;
+    for (int k = 0; k < 200; ++k) {
+      try {
+        FaultInjector::instance().on_launch(0);
+      } catch (const TransientDeviceError&) {
+        failed_at.push_back(k);
+      }
+    }
+    return failed_at;
+  };
+  const auto first = failure_pattern();
+  const auto second = failure_pattern();
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 200u);
+  EXPECT_EQ(first, second);  // same plan => bit-identical fault sequence
+
+  FaultPlan other = plan;
+  other.seed = 4;
+  FaultScope scope(other);
+  std::vector<int> third;
+  for (int k = 0; k < 200; ++k) {
+    try {
+      FaultInjector::instance().on_launch(0);
+    } catch (const TransientDeviceError&) {
+      third.push_back(k);
+    }
+  }
+  EXPECT_NE(first, third);  // different seed => different sequence
+}
+
+TEST(FaultInjector, WarmupCooldownAndLimitGateInjection) {
+  FaultPlan plan;
+  plan.launch_fail_probability = 1.0;
+  plan.warmup = 2;
+  plan.cooldown = 3;
+  plan.limit = 2;
+  FaultScope scope(plan);
+  std::vector<int> failed_at;
+  for (int k = 0; k < 12; ++k) {
+    try {
+      FaultInjector::instance().on_launch(0);
+    } catch (const TransientDeviceError&) {
+      failed_at.push_back(k);
+    }
+  }
+  // Events 0-1 are warmup; 2 fails; 3-5 cool down; 6 fails; limit reached.
+  EXPECT_EQ(failed_at, (std::vector<int>{2, 6}));
+  const auto counters = FaultInjector::instance().counters();
+  EXPECT_EQ(counters.launch_failures, 2u);
+  EXPECT_EQ(counters.events_seen, 12u);
+}
+
+TEST(FaultInjector, ShardFilterOnlyHitsTheTargetDevice) {
+  FaultPlan plan;
+  plan.launch_fail_probability = 1.0;
+  plan.shard = 1;
+  FaultScope scope(plan);
+  EXPECT_NO_THROW(FaultInjector::instance().on_launch(0));
+  EXPECT_THROW(FaultInjector::instance().on_launch(1), TransientDeviceError);
+}
+
+TEST(FaultInjector, InjectsThroughDeviceLaunchAndBufferGrowth) {
+  // The real hook sites: Device::launch throws the typed transient error
+  // without running the kernel's effects being visible as success, and
+  // DeviceBuffer growth fails before the allocation is accounted.
+  FaultPlan plan;
+  plan.launch_fail_probability = 1.0;
+  plan.alloc_fail_probability = 1.0;
+  FaultScope scope(plan);
+
+  Device dev(2);
+  dev.set_trace_id(0);
+  EXPECT_THROW(dev.launch(4, [](int) {}), TransientDeviceError);
+
+  const auto counters = FaultInjector::instance().counters();
+  EXPECT_GE(counters.launch_failures, 1u);
+
+  EXPECT_THROW(DeviceBuffer<double>(256), TransientDeviceError);
+  EXPECT_GE(FaultInjector::instance().counters().alloc_failures, 1u);
+}
+
+TEST(FaultInjector, LatencySpikeSleepsWithoutFailing) {
+  FaultPlan plan;
+  plan.latency_spike_probability = 1.0;
+  plan.latency_spike_seconds = 1e-4;
+  FaultScope scope(plan);
+  EXPECT_NO_THROW(FaultInjector::instance().on_launch(0));
+  EXPECT_EQ(FaultInjector::instance().counters().latency_spikes, 1u);
+  EXPECT_EQ(FaultInjector::instance().counters().launch_failures, 0u);
 }
 
 }  // namespace

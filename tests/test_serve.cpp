@@ -20,6 +20,7 @@
 
 #include "admm/solver.hpp"
 #include "common/error.hpp"
+#include "device/fault.hpp"
 #include "grid/cases.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -908,6 +909,399 @@ TEST(MetricsDump, CapturesDetachedRegistriesAndWritesJsonl) {
   const std::string captured = dump.render(/*jsonl=*/true);
   EXPECT_NE(captured.find("\"registry\": \"serve_test\""), std::string::npos);
   EXPECT_NE(captured.find("dump_probe_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance (ISSUE 9 / DESIGN.md §12): poison isolation, transient
+// retries, deadlines, and shard quarantine.
+// ---------------------------------------------------------------------------
+
+/// Arms the process-wide FaultInjector for one test scope and guarantees
+/// disarm on every exit path, so a failing assertion cannot leak faults
+/// into later tests.
+struct FaultScope {
+  explicit FaultScope(const device::FaultPlan& plan) {
+    device::FaultInjector::instance().configure(plan);
+  }
+  ~FaultScope() { device::FaultInjector::instance().disable(); }
+};
+
+/// Loads that drive the fused iterate non-finite: they pass the submit-time
+/// finiteness validation (1e308 is finite) but overflow inside the solve,
+/// tripping BatchAdmmSolver's non-finite-residual trap — a permanent
+/// NumericalError with no slot attribution, exactly the poison the
+/// bisection machinery exists for.
+SolveRequest poison_request(const grid::Network& net) {
+  SolveRequest request;
+  request.pd.assign(static_cast<std::size_t>(net.num_buses()), 1e308);
+  request.qd.assign(static_cast<std::size_t>(net.num_buses()), 1e308);
+  return request;
+}
+
+TEST(SolveService, PoisonRequestFailsAloneWhileCoBatchedRequestsConverge) {
+  // One poison request coalesced with three healthy ones: the fused batch
+  // fails batch-wide, the dispatcher bisects, and exactly the poison
+  // future gets the NumericalError while the healthy three converge.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  auto clock = std::make_shared<ManualClock>();
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 3600.0;  // hold the batch open; drain flushes
+  options.clock = clock;
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+
+  std::vector<std::future<SolveResult>> healthy;
+  for (const double f : {0.95, 1.0, 1.05}) {
+    SolveRequest request;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    healthy.push_back(service.submit(std::move(request)));
+  }
+  auto poisoned = service.submit(poison_request(net));
+  service.drain();  // flushes all four as one micro-batch
+
+  for (auto& future : healthy) {
+    const auto result = future.get();  // must not throw
+    EXPECT_TRUE(result.converged);
+  }
+  EXPECT_THROW(poisoned.get(), NumericalError);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_GE(stats.bisections, 1u);  // the 4-wide batch split at least once
+  EXPECT_EQ(stats.deadline_shed, 0u);
+}
+
+TEST(SolveService, TransientFaultRetriesToBitIdenticalResults) {
+  // A single injected transient launch failure (launch=1.0, limit=1) makes
+  // the first fused attempt throw TransientDeviceError; the retry re-runs
+  // the identical group from the identical seeds, so every result is
+  // bit-identical to the faults-off run.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  const std::vector<double> factors = {0.96, 1.0, 1.04};
+
+  auto run = [&]() {
+    auto clock = std::make_shared<ManualClock>();
+    ServiceOptions options;
+    options.max_batch_size = static_cast<int>(factors.size());
+    options.batching_window_seconds = 3600.0;
+    options.clock = clock;
+    options.cache.capacity = 0;
+    options.retry_backoff_seconds = 0.0;  // no need to sleep in tests
+    SolveService service(net, params, options);
+    std::vector<std::future<SolveResult>> futures;
+    for (const double f : factors) {
+      SolveRequest request;
+      request.pd = scaled(loads.pd, f);
+      request.qd = scaled(loads.qd, f);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    service.drain();
+    std::vector<SolveResult> results;
+    for (auto& future : futures) results.push_back(future.get());
+    const auto stats = service.stats();
+    return std::make_pair(std::move(results), stats);
+  };
+
+  const auto clean = run();
+  device::FaultPlan plan;
+  plan.launch_fail_probability = 1.0;  // the very first launch fails...
+  plan.limit = 1;                      // ...and nothing after it
+  std::pair<std::vector<SolveResult>, ServiceStats> faulty;
+  {
+    FaultScope faults(plan);
+    faulty = run();
+    const auto counters = device::FaultInjector::instance().counters();
+    EXPECT_EQ(counters.launch_failures, 1u);
+  }
+
+  EXPECT_EQ(clean.second.retries, 0u);
+  EXPECT_EQ(faulty.second.retries, 1u);  // one transient failure, one re-attempt
+  ASSERT_EQ(clean.first.size(), faulty.first.size());
+  for (std::size_t i = 0; i < clean.first.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_TRUE(faulty.first[i].converged);
+    EXPECT_EQ(faulty.first[i].solution.vm, clean.first[i].solution.vm);
+    EXPECT_EQ(faulty.first[i].solution.va, clean.first[i].solution.va);
+    EXPECT_EQ(faulty.first[i].solution.pg, clean.first[i].solution.pg);
+    EXPECT_EQ(faulty.first[i].solution.qg, clean.first[i].solution.qg);
+    EXPECT_EQ(faulty.first[i].objective, clean.first[i].objective);
+    EXPECT_EQ(faulty.first[i].stats.inner_iterations, clean.first[i].stats.inner_iterations);
+    EXPECT_EQ(faulty.first[i].solve_attempts, 2);
+    EXPECT_EQ(clean.first[i].solve_attempts, 1);
+  }
+}
+
+TEST(SolveService, LedgerBalancesUnderConcurrentSubmittersWithFaultsOn) {
+  // Concurrent submitters against a fault-injecting service: every accepted
+  // future resolves (value or typed error) and the service's ledger
+  // balances exactly — completed + failed == submitted, with capacity
+  // sheds accounted on the side. No future is ever lost.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  device::FaultPlan plan;
+  plan.seed = 7;
+  plan.launch_fail_probability = 0.002;  // a few percent per fused attempt
+  plan.cooldown = 50;
+  FaultScope faults(plan);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.max_queue_depth = 8;  // small: concurrent bursts do shed
+  options.batching_window_seconds = 0.001;
+  options.cache.capacity = 0;
+  options.max_retries = 1;
+  options.retry_backoff_seconds = 0.0;
+  SolveService service(net, params, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 6;
+  std::atomic<int> completed{0}, failed{0}, shed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SolveRequest request;
+        const double f = 0.9 + 0.01 * static_cast<double>(t * kPerThread + i);
+        request.pd = scaled(loads.pd, f);
+        request.qd = scaled(loads.qd, f);
+        std::future<SolveResult> future;
+        try {
+          future = service.submit(std::move(request));
+        } catch (const CapacityError&) {
+          ++shed;
+          continue;
+        }
+        try {
+          future.get();
+          ++completed;
+        } catch (const GridError&) {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(completed + failed + shed, kThreads * kPerThread);  // no lost future
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(completed + failed));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(stats.failed, static_cast<std::uint64_t>(failed));
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.deadline_shed, 0u);
+  // The ledger identity the chaos-smoke CI step asserts:
+  EXPECT_EQ(stats.completed + stats.failed + stats.deadline_shed, stats.submitted);
+}
+
+TEST(SolveService, DeadlineShedsAtAdmissionAndAtDispatchPickup) {
+  // First rung: a request already expired at submit is rejected
+  // synchronously. Second rung: a request that expires while the batching
+  // window holds it is shed with DeadlineError at dispatch pickup. Neither
+  // counts as a capacity shed.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  auto clock = std::make_shared<ManualClock>(/*start=*/10.0);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 3600.0;
+  options.clock = clock;
+  options.cache.capacity = 0;
+  options.slo = true;
+  SolveService service(net, params, options);
+
+  // Admission rung: deadline 5.0 < now 10.0.
+  SolveRequest expired;
+  expired.deadline = 5.0;
+  EXPECT_THROW(service.submit(std::move(expired)), DeadlineError);
+
+  // Pickup rung: deadline 12.0 is alive at submit (now 10.0); the held
+  // batch dispatches only after the clock passes it.
+  SolveRequest queued;
+  queued.deadline = 12.0;
+  auto shed_future = service.submit(std::move(queued));
+  // A deadline-free companion proves the shed is per-request, not batch-wide.
+  auto alive_future = service.submit(SolveRequest{});
+  clock->advance(5.0);  // now 15.0 > 12.0
+  service.drain();
+
+  EXPECT_THROW(shed_future.get(), DeadlineError);
+  EXPECT_TRUE(alive_future.get().converged);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deadline_shed, 2u);
+  EXPECT_EQ(stats.shed, 0u);       // deadline sheds are not capacity sheds
+  EXPECT_EQ(stats.submitted, 2u);  // the admission shed never entered the queue
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);     // a deadline shed is not a solve failure
+  EXPECT_EQ(stats.completed + stats.failed + /*pickup sheds*/ 1u, stats.submitted);
+  // The SLO monitor counts them in the separate deadline bucket, never in
+  // the shed burn.
+  ASSERT_NE(service.slo(), nullptr);
+  EXPECT_EQ(service.slo()->window_deadline_shed(3600.0, clock->now()), 2u);
+  EXPECT_EQ(service.slo()->window_shed(3600.0, clock->now()), 0u);
+}
+
+TEST(SolveService, QuarantineTripsRedistributesAndHalfOpenRecovers) {
+  // Shard 1 fails every launch until the injector's limit exhausts: its
+  // consecutive batch failures trip the circuit breaker, queued work
+  // drains on shard 0, and after the backoff a half-open probe batch
+  // re-admits shard 1 to healthy.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  device::FaultPlan plan;
+  plan.launch_fail_probability = 1.0;
+  plan.shard = 1;  // only shard 1's device fails
+  plan.limit = 2;  // exactly the threshold: exhausted by the time it trips
+  FaultScope faults(plan);
+
+  ServiceOptions options;
+  options.num_devices = 2;
+  options.max_batch_size = 1;  // one request per batch: many chances to trip
+  options.max_queue_depth = 64;
+  options.batching_window_seconds = 0.0;
+  options.cache.capacity = 0;
+  options.max_retries = 0;  // every injected failure is an exhausted batch
+  options.retry_backoff_seconds = 0.0;
+  options.quarantine_threshold = 2;
+  options.quarantine_backoff_seconds = 0.05;
+  SolveService service(net, params, options);
+
+  auto submit_one = [&](double f) {
+    SolveRequest request;
+    request.pd = scaled(loads.pd, f);
+    request.qd = scaled(loads.qd, f);
+    return service.submit(std::move(request));
+  };
+
+  // Wave 1: enough single-request batches that shard 1 (which fails in
+  // microseconds and comes back for more) eats at least two of them.
+  std::vector<std::future<SolveResult>> wave1;
+  for (int i = 0; i < 12; ++i) wave1.push_back(submit_one(0.9 + 0.01 * i));
+  int wave1_completed = 0, wave1_failed = 0;
+  for (auto& future : wave1) {
+    try {
+      future.get();
+      ++wave1_completed;
+    } catch (const TransientDeviceError&) {
+      ++wave1_failed;
+    }
+  }
+  EXPECT_EQ(wave1_completed + wave1_failed, 12);
+  // Redistribution: despite shard 1 failing every launch until the limit,
+  // only the two breaker-tripping batches fail — the rest of the queue
+  // drained on shard 0 (or on shard 1 after its recovery).
+  EXPECT_EQ(wave1_failed, 2);
+
+  // Futures resolve inside the solve; the worker commits its telemetry just
+  // after. Absorb that tiny lag before asserting on the counters.
+  auto stats = service.stats();
+  for (int wait = 0; wait < 100; ++wait) {
+    if (stats.per_shard[0].requests + stats.per_shard[1].requests == 12u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats = service.stats();
+  }
+  ASSERT_EQ(stats.per_shard.size(), 2u);
+  EXPECT_GE(stats.per_shard[1].quarantines, 1u);        // the breaker tripped
+  EXPECT_GE(stats.quarantine_transitions, 1u);
+  EXPECT_GT(stats.per_shard[0].requests, 0u);           // healthy shard kept serving
+  EXPECT_EQ(stats.per_shard[0].requests + stats.per_shard[1].requests, 12u);
+
+  // Give the backoff time to elapse, then feed probe batches until shard 1
+  // takes one half-open probe and recovers (the injector limit is long
+  // exhausted, so the probe succeeds).
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  bool recovered = false;
+  for (int nudge = 0; nudge < 50 && !recovered; ++nudge) {
+    try {
+      EXPECT_TRUE(submit_one(1.0 + 0.001 * nudge).get().converged);
+    } catch (const TransientDeviceError&) {
+      // A half-open probe that drew one more injected fault: the breaker
+      // re-quarantines and a later nudge retries the recovery.
+    }
+    stats = service.stats();
+    recovered = stats.per_shard[1].state == 0 && stats.per_shard[1].quarantines >= 1;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "shard 1 never recovered to healthy via half-open probe";
+  // quarantined -> half-open -> healthy is at least three transitions.
+  EXPECT_GE(stats.quarantine_transitions, 3u);
+  EXPECT_EQ(stats.per_shard[1].consecutive_failures, 0);
+}
+
+TEST(SolveService, EscalationRungRecoversStalledRequestSolo) {
+  // A request whose own controls give it a hopeless iteration budget stalls
+  // and gets flagged by should_escalate; the degraded-mode rung re-solves
+  // it solo with a boosted budget and the future carries the recovery.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  ServiceOptions options;
+  options.max_batch_size = 2;
+  options.batching_window_seconds = 0.01;
+  options.cache.capacity = 0;
+  options.escalation_retry = true;
+  options.escalation_budget_boost = 1000.0;  // 2x1 starved -> 2000x1000 boosted
+  options.convergence_sample_interval = 1;  // the rung needs trajectories
+  SolveService service(net, params, options);
+
+  SolveRequest starved;
+  // One inner iteration yields a single-sample trajectory: too little
+  // evidence of progress, so should_escalate flags it deterministically.
+  starved.controls.max_inner_iterations = 1;
+  starved.controls.max_outer_iterations = 1;
+  const auto result = service.submit(std::move(starved)).get();
+  EXPECT_TRUE(result.escalated);
+  EXPECT_TRUE(result.converged);  // the boosted solo retry finished the job
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.escalation_retries, 1u);
+  EXPECT_EQ(stats.escalation_recovered, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(SolveService, FaultsOffPathHasNoRetryTelemetry) {
+  // With the injector disarmed, the whole fault-tolerance layer is inert:
+  // no retries, no bisections, no quarantines, and the per-shard breaker
+  // stays healthy. (Bit-identity of results is covered by
+  // BatchedRequestsMatchDirectSolves and TransientFaultRetriesToBitIdenticalResults.)
+  ASSERT_FALSE(device::FaultInjector::enabled());
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.01;
+  options.cache.capacity = 0;
+  SolveService service(net, params, options);
+  std::vector<std::future<SolveResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(service.submit(SolveRequest{}));
+  for (auto& future : futures) EXPECT_TRUE(future.get().converged);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.bisections, 0u);
+  EXPECT_EQ(stats.quarantine_transitions, 0u);
+  EXPECT_EQ(stats.deadline_shed, 0u);
+  for (const auto& shard : stats.per_shard) {
+    EXPECT_EQ(shard.state, 0);
+    EXPECT_EQ(shard.quarantines, 0u);
+  }
 }
 
 TEST(SolveService, IntervalSnapshotsAppendParseableMetricsLines) {
