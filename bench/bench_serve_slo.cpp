@@ -24,7 +24,7 @@
 //
 //   ./bench_serve_slo [--rates=20,60,120] [--duration=S] [--shards=N]
 //                     [--ceiling-ms=X] [--expo-port=P] [--linger=S]
-//                     [--faults=SPEC] [--deadline-ms=X]
+//                     [--faults=SPEC] [--deadline-ms=X] [--stress]
 //                     [--smoke] [--trace=PATH]
 //
 // --expo-port=P (>= 0) serves /metrics, /healthz, and /slo while the
@@ -38,6 +38,13 @@
 // --deadline-ms=X stamps each request with an absolute deadline X ms after
 // its INTENDED arrival, so schedule slip and queueing burn deadline budget
 // exactly like they burn latency.
+//
+// --stress adds a case30 stress tenant (the scenario::StressCorpusOptions
+// recipe: uniformly scaled loads plus per-request iteration caps that
+// defeat both ADMM rungs) and enables the engine escalation router
+// (DESIGN.md §13). The JSON then also reports the per-engine completion
+// split and the IPM rescue rate; scripts/slo_check.py --expect-escalation
+// asserts at least one rescue happened and the split sums to completed.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -55,6 +62,7 @@
 #include "common/table.hpp"
 #include "device/fault.hpp"
 #include "grid/cases.hpp"
+#include "scenario/scenario_set.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -66,6 +74,12 @@ struct Tenant {
   std::shared_ptr<const grid::Network> network;  ///< null = the base case
   int outage_branch = -1;
   double weight = 1.0;
+  /// Stress tenant (--stress): loads pinned at the calibrated stress scale
+  /// (no per-arrival jitter — the corpus is tuned to defeat ADMM at exactly
+  /// this point) plus per-request iteration caps.
+  bool stress = false;
+  double load_scale = 1.0;
+  gridadmm::scenario::ScenarioControls controls;
 };
 
 struct Arrival {
@@ -109,6 +123,7 @@ int main(int argc, char** argv) {
   const int expo_port = opts.get_int("expo-port", -1);
   const double linger = opts.get_double("linger", 0.0);
   const double deadline_ms = opts.get_double("deadline-ms", 0.0);
+  const bool stress = opts.get_bool("stress", false);
   const std::string faults_spec = opts.get("faults", "");
   const bench::TraceGuard trace_guard(opts);
 
@@ -131,6 +146,21 @@ int main(int argc, char** argv) {
   tenants.push_back({nullptr, -1, 0.6});
   for (const int b : safe_outages) tenants.push_back({nullptr, b, 0.1});
   tenants.push_back({second, -1, 0.2});
+  if (stress) {
+    // The calibrated ADMM-defeating corpus as a tenant: every request from
+    // it exercises the full escalation ladder down to the IPM rung.
+    const scenario::StressCorpusOptions corpus;
+    Tenant hard;
+    hard.network = std::make_shared<grid::Network>(grid::load_case("case30"));
+    hard.weight = 0.08;
+    hard.stress = true;
+    hard.load_scale = corpus.load_scale;
+    hard.controls.max_inner_iterations = corpus.base_inner_budget;
+    hard.controls.max_outer_iterations = corpus.outer_budget;
+    tenants.push_back(std::move(hard));
+    std::printf("# stress tenant armed: case30 x%.2f, caps %d/%d — engine router on\n",
+                corpus.load_scale, corpus.base_inner_budget, corpus.outer_budget);
+  }
   double total_weight = 0.0;
   for (const auto& t : tenants) total_weight += t.weight;
 
@@ -151,6 +181,13 @@ int main(int argc, char** argv) {
   service_options.slo_objectives.fast_window_seconds = std::max(1.0, duration / 4.0);
   service_options.slo_objectives.slow_window_seconds = std::max(2.0, duration);
   service_options.expo_port = expo_port;
+  if (stress) {
+    // Full escalation ladder: stall-flagged solo retries plus the
+    // warm-started MiniIPM fallback for anything still non-converged.
+    service_options.escalation_retry = true;
+    service_options.convergence_sample_interval = 8;
+    service_options.engine_fallback = true;
+  }
   serve::SolveService service(base, params, service_options);
   if (service.expo() != nullptr) {
     std::printf("# exposition endpoint: %s\n", service.expo()->url().c_str());
@@ -216,11 +253,14 @@ int main(int argc, char** argv) {
       request.network = tenant.network;
       request.outage_branch = tenant.outage_branch;
       const grid::Network& net = tenant.network != nullptr ? *tenant.network : base;
+      // Stress requests pin the calibrated scale; everything else jitters.
+      const double factor = tenant.stress ? tenant.load_scale : arrival.load_factor;
+      request.controls = tenant.controls;
       request.pd.reserve(static_cast<std::size_t>(net.num_buses()));
       request.qd.reserve(static_cast<std::size_t>(net.num_buses()));
       for (const auto& bus : net.buses) {
-        request.pd.push_back(bus.pd * arrival.load_factor);
-        request.qd.push_back(bus.qd * arrival.load_factor);
+        request.pd.push_back(bus.pd * factor);
+        request.qd.push_back(bus.qd * factor);
       }
       if (deadline_ms > 0.0) {
         // Deadline anchored to the INTENDED arrival: schedule slip burns
@@ -284,11 +324,23 @@ int main(int argc, char** argv) {
 
     // Per-load-point fault-tolerance deltas (the service is shared across
     // the sweep). completed counts futures that returned a value.
-    const serve::ServiceStats after = service.stats();
     const std::size_t completed =
         outcomes.size() >= shed + ddl_shed + failed
             ? outcomes.size() - shed - ddl_shed - failed
             : 0;
+    // Futures resolve inside the batch; the batch commits its counters a
+    // moment later. Wait for every admitted request's commit to land so
+    // the per-load-point deltas (ledger, engine split) are exact.
+    const std::uint64_t settled_target =
+        before.completed + before.failed + before.deadline_shed +
+        static_cast<std::uint64_t>(completed + failed + ddl_shed);
+    serve::ServiceStats after = service.stats();
+    for (int spin = 0;
+         spin < 400 && after.completed + after.failed + after.deadline_shed < settled_target;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      after = service.stats();
+    }
     std::uint64_t shard_quarantines = 0;
     int quarantined_now = 0;
     for (std::size_t d = 0; d < after.per_shard.size(); ++d) {
@@ -308,7 +360,9 @@ int main(int argc, char** argv) {
 
     bench::JsonRecord record("serve_slo", shards);
     record.field("rate", rate)
-        .field("case_mix", "case9+case9n1+case14")
+        .field("case_mix", stress ? "case9+case9n1+case14+case30stress"
+                                  : "case9+case9n1+case14")
+        .field("engine_fallback", stress)
         .field("duration_seconds", duration)
         .field("offered", static_cast<long long>(schedule.size()))
         .field("shed", static_cast<long long>(shed))
@@ -317,6 +371,24 @@ int main(int argc, char** argv) {
         .field("failed", static_cast<long long>(failed))
         .field("deadline_shed", static_cast<long long>(ddl_shed))
         .field("retries", static_cast<long long>(after.retries - before.retries))
+        .field("completed_admm",
+               static_cast<long long>(after.completed_admm - before.completed_admm))
+        .field("completed_escalated_admm",
+               static_cast<long long>(after.completed_escalated_admm -
+                                      before.completed_escalated_admm))
+        .field("completed_ipm",
+               static_cast<long long>(after.completed_ipm - before.completed_ipm))
+        .field("ipm_rescues",
+               static_cast<long long>(after.completed_ipm - before.completed_ipm))
+        .field("ipm_attempts",
+               static_cast<long long>(after.ipm_attempts - before.ipm_attempts))
+        .field("ipm_failures",
+               static_cast<long long>(after.ipm_failures - before.ipm_failures))
+        .field("rescue_rate",
+               completed > 0 ? static_cast<double>(after.completed_ipm -
+                                                   before.completed_ipm) /
+                                   static_cast<double>(completed)
+                             : 0.0)
         .field("bisections", static_cast<long long>(after.bisections - before.bisections))
         .field("quarantine_transitions",
                static_cast<long long>(after.quarantine_transitions -

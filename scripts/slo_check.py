@@ -2,7 +2,7 @@
 """Validate bench_serve_slo JSONL output (the CI slo-smoke artifact).
 
 Usage: slo_check.py JSONL_PATH [--min-points=N] [--require-ledger]
-                               [--expect-quarantine]
+                               [--expect-quarantine] [--expect-escalation]
 
 Checks, stdlib only:
 - at least --min-points (default 3) serve_slo records with DISTINCT offered
@@ -19,7 +19,14 @@ Checks, stdlib only:
   offered == completed + shed + failed + deadline_shed, i.e. zero lost
   futures (DESIGN.md §12). --require-ledger makes the ledger fields
   mandatory (the chaos-smoke CI step); --expect-quarantine additionally
-  demands that at least one record saw a shard quarantine trip.
+  demands that at least one record saw a shard quarantine trip;
+- the engine-router split is consistent in every record that carries it:
+  completed == completed_admm + completed_escalated_admm + completed_ipm,
+  and ipm_rescues == completed_ipm <= ipm_attempts (DESIGN.md §13).
+  --expect-escalation (the escalation-smoke CI step) makes the split fields
+  mandatory and additionally demands at least one IPM rescue somewhere in
+  the sweep — proof the stress tenant really defeated ADMM and the
+  warm-started MiniIPM rung caught it.
 
 Exits non-zero listing every violation.
 """
@@ -41,6 +48,14 @@ REQUIRED = [
 ]
 STAGES = ["queue", "dispatch", "form", "stage", "solve", "extract", "fulfill"]
 LEDGER = ["completed", "failed", "deadline_shed", "retries", "quarantine_transitions"]
+ENGINES = [
+    "completed_admm",
+    "completed_escalated_admm",
+    "completed_ipm",
+    "ipm_rescues",
+    "ipm_attempts",
+    "ipm_failures",
+]
 
 
 def main():
@@ -48,6 +63,7 @@ def main():
     min_points = 3
     require_ledger = "--require-ledger" in sys.argv[1:]
     expect_quarantine = "--expect-quarantine" in sys.argv[1:]
+    expect_escalation = "--expect-escalation" in sys.argv[1:]
     for arg in sys.argv[1:]:
         if arg.startswith("--min-points="):
             min_points = int(arg.split("=", 1)[1])
@@ -124,6 +140,37 @@ def main():
                     f"{offered - accounted})"
                 )
 
+        # Engine-router split: every completion is attributed to exactly one
+        # escalation-ladder rung, and rescues never exceed attempts.
+        if expect_escalation:
+            for field in ENGINES:
+                if field not in rec:
+                    errors.append(f"{where}: missing engine-split field '{field}'")
+        if all(f in rec for f in ("completed_admm", "completed_escalated_admm", "completed_ipm")):
+            split = (
+                rec["completed_admm"]
+                + rec["completed_escalated_admm"]
+                + rec["completed_ipm"]
+            )
+            if "completed" in rec and split != rec["completed"]:
+                errors.append(
+                    f"{where}: engine split {split} != completed {rec['completed']} "
+                    f"(admm {rec['completed_admm']} + escalated_admm "
+                    f"{rec['completed_escalated_admm']} + ipm {rec['completed_ipm']})"
+                )
+            if rec.get("ipm_rescues", rec["completed_ipm"]) != rec["completed_ipm"]:
+                errors.append(
+                    f"{where}: ipm_rescues {rec['ipm_rescues']} != completed_ipm "
+                    f"{rec['completed_ipm']}"
+                )
+            if "ipm_attempts" in rec and rec["completed_ipm"] + rec.get(
+                "ipm_failures", 0
+            ) > rec["ipm_attempts"]:
+                errors.append(
+                    f"{where}: ipm rescues {rec['completed_ipm']} + failures "
+                    f"{rec.get('ipm_failures', 0)} exceed attempts {rec['ipm_attempts']}"
+                )
+
     if expect_quarantine and not any(
         rec.get("shard_quarantines", 0) > 0 or rec.get("quarantine_transitions", 0) > 0
         for rec in records
@@ -131,6 +178,12 @@ def main():
         errors.append(
             "--expect-quarantine: no record saw a shard quarantine trip "
             "(shard_quarantines and quarantine_transitions are zero everywhere)"
+        )
+
+    if expect_escalation and not any(rec.get("ipm_rescues", 0) > 0 for rec in records):
+        errors.append(
+            "--expect-escalation: no record saw an IPM rescue (ipm_rescues is zero "
+            "everywhere) — the stress tenant never exercised the fallback engine"
         )
 
     if records and not any_solve_time:

@@ -1,6 +1,11 @@
 #include "admm/warm_start.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
+#include "grid/network.hpp"
+#include "grid/solution.hpp"
 
 namespace gridadmm::admm {
 
@@ -21,6 +26,23 @@ void require_matches(const WarmStartIterate& it, const ComponentModel& model,
     throw ValidationError(std::string(where) +
                           ": warm-start iterate dimensions do not match the model");
   }
+}
+
+grid::OpfSolution to_solution(const WarmStartIterate& it, const grid::Network& net) {
+  require_valid(it.bus_w.size() == static_cast<std::size_t>(net.num_buses()) &&
+                    it.bus_theta.size() == static_cast<std::size_t>(net.num_buses()) &&
+                    it.gen_pg.size() == static_cast<std::size_t>(net.num_generators()) &&
+                    it.gen_qg.size() == static_cast<std::size_t>(net.num_generators()),
+                "to_solution: iterate dimensions do not match the network");
+  grid::OpfSolution sol = grid::OpfSolution::zeros(net);
+  const double ref_angle = it.bus_theta[static_cast<std::size_t>(net.ref_bus)];
+  for (int i = 0; i < net.num_buses(); ++i) {
+    sol.vm[i] = std::sqrt(std::max(it.bus_w[i], 1e-12));
+    sol.va[i] = it.bus_theta[i] - ref_angle;
+  }
+  sol.pg = it.gen_pg;
+  sol.qg = it.gen_qg;
+  return sol;
 }
 
 }  // namespace gridadmm::admm

@@ -14,6 +14,11 @@
 
 #include "admm/component_model.hpp"
 
+namespace gridadmm::grid {
+struct Network;
+struct OpfSolution;
+}  // namespace gridadmm::grid
+
 namespace gridadmm::admm {
 
 struct WarmStartIterate {
@@ -39,5 +44,13 @@ struct WarmStartIterate {
 /// Throws ValidationError unless `it.matches(model)`.
 void require_matches(const WarmStartIterate& it, const ComponentModel& model,
                      const char* where);
+
+/// Maps the iterate's bus/generator variables onto an OpfSolution using the
+/// same convention as AdmmSolver::solution(): vm = sqrt(max(w, 1e-12)),
+/// va = theta - theta[ref]. This is how a (possibly non-converged) ADMM
+/// iterate seeds the MiniIPM fallback's primal — the consensus copies and
+/// multipliers are deliberately dropped, the IPM has no use for them.
+[[nodiscard]] grid::OpfSolution to_solution(const WarmStartIterate& it,
+                                            const grid::Network& net);
 
 }  // namespace gridadmm::admm

@@ -66,6 +66,18 @@ class DeadlineError : public GridError {
   explicit DeadlineError(const std::string& what) : GridError(what) {}
 };
 
+/// Raised when every rung of the engine escalation ladder was exhausted and
+/// the scenario still did not converge — batch ADMM, the boosted solo
+/// retry, and the warm-started MiniIPM fallback all failed or ran out of
+/// budget. Terminal for the request (not retryable): the same inputs will
+/// fail the same way. Carries the final engine's diagnostics in the message
+/// so callers can tell a KKT factorization failure apart from an iteration
+/// or wall-clock budget exhaustion.
+class ConvergenceError : public GridError {
+ public:
+  explicit ConvergenceError(const std::string& what) : GridError(what) {}
+};
+
 /// Throws GridError with `msg` if `cond` is false. Used for precondition
 /// checks that must stay active in release builds.
 inline void require(bool cond, const std::string& msg) {

@@ -1,7 +1,10 @@
 #include "ipm/ipm_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -14,9 +17,25 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kKappaSigma = 1e10;  // Ipopt's z-safeguard box
 
 bool finite(double v) { return std::isfinite(v); }
+
+std::atomic<std::uint64_t> g_allocations{0};
 }  // namespace
 
+std::uint64_t IpmSolver::allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+const char* ipm_status_name(IpmStatus status) {
+  switch (status) {
+    case IpmStatus::kOptimal: return "optimal";
+    case IpmStatus::kMaxIterations: return "max-iterations";
+    case IpmStatus::kKktFailure: return "kkt-failure";
+    case IpmStatus::kLineSearchFailure: return "line-search-failure";
+    case IpmStatus::kTimeBudget: return "time-budget";
+  }
+  return "unknown";
+}
+
 IpmSolver::IpmSolver(Nlp& nlp, IpmOptions options) : nlp_(nlp), options_(options) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
   build_structures();
 }
 
@@ -79,6 +98,7 @@ void IpmSolver::set_primal(std::span<const double> x) {
   require(static_cast<int>(x.size()) == n_, "IpmSolver::set_primal: size mismatch");
   std::copy(x.begin(), x.end(), x_.begin());
   have_state_ = true;
+  have_dual_state_ = false;  // an external primal seed invalidates old duals
 }
 
 void IpmSolver::initialize_iterate() {
@@ -105,7 +125,9 @@ void IpmSolver::initialize_iterate() {
       x_[i] = std::min(x_[i], hi - push * std::max(1.0, std::abs(hi)));
     }
   }
-  if (!warm) {
+  if (!warm || !have_dual_state_) {
+    // Cold duals: either a genuinely cold start, or a primal-only warm
+    // start (set_primal) whose seed carries no multiplier information.
     std::fill(lambda_.begin(), lambda_.end(), 0.0);
     for (int i = 0; i < nx_; ++i) {
       zl_[i] = finite(lower_[i]) ? 1.0 : 0.0;
@@ -218,8 +240,24 @@ IpmResult IpmSolver::solve() {
 
     const double e0 = kkt_error(0.0);
     result.kkt_error = e0;
+    // Non-finite trap (the batch-residual discipline of DESIGN.md section
+    // 12 applied to the fallback engine): a NaN/Inf iterate means the
+    // problem data or a step destroyed the state — fail loudly as a typed
+    // numerical error instead of iterating on garbage.
+    if (!finite(e0)) {
+      throw NumericalError("IpmSolver: non-finite KKT error at iteration " +
+                           std::to_string(iter));
+    }
     if (e0 <= options_.tolerance) {
       result.status = IpmStatus::kOptimal;
+      break;
+    }
+    // Wall-clock budget: never start an iteration past the allotment. The
+    // serve layer sizes this from the request deadline, so an escalation
+    // cannot blow a deadline admission promised to enforce.
+    if (options_.max_wall_seconds > 0.0 && iter > 0 &&
+        timer.seconds() >= options_.max_wall_seconds) {
+      result.status = IpmStatus::kTimeBudget;
       break;
     }
     // Barrier decrease (possibly several levels at once).
@@ -344,8 +382,12 @@ IpmResult IpmSolver::solve() {
   }
 
   have_state_ = true;
+  have_dual_state_ = true;
   result.mu = mu;
   result.objective = nlp_.eval_objective({x_.data(), static_cast<std::size_t>(n_)});
+  if (!finite(result.objective)) {
+    throw NumericalError("IpmSolver: non-finite objective at final iterate");
+  }
   double viol = 0.0;
   for (int j = 0; j < m_; ++j) viol = std::max(viol, std::abs(c_[j]));
   result.constraint_violation = viol;

@@ -9,6 +9,7 @@
 // which is what the paper's comparisons rely on.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -32,14 +33,22 @@ struct IpmOptions {
   int max_backtracks = 30;
   double armijo_coefficient = 1e-4;
   linalg::OrderingMethod ordering = linalg::OrderingMethod::kMinDegree;
+  /// Wall-clock budget in seconds (0 = unlimited). Checked once per
+  /// iteration; a solve that exceeds it stops with kTimeBudget. Lets the
+  /// serve layer bound the fallback engine by a request deadline.
+  double max_wall_seconds = 0.0;
 };
 
 enum class IpmStatus {
   kOptimal,
   kMaxIterations,
-  kKktFailure,       ///< inertia correction could not factorize the system
-  kLineSearchFailure ///< repeated merit-decrease failures
+  kKktFailure,        ///< inertia correction could not factorize the system
+  kLineSearchFailure, ///< repeated merit-decrease failures
+  kTimeBudget         ///< IpmOptions::max_wall_seconds exhausted
 };
+
+/// Human-readable status name for logs and error messages.
+const char* ipm_status_name(IpmStatus status);
 
 struct IpmResult {
   IpmStatus status = IpmStatus::kMaxIterations;
@@ -56,13 +65,22 @@ class IpmSolver {
  public:
   explicit IpmSolver(Nlp& nlp, IpmOptions options = {});
 
+  /// Process-wide count of IpmSolver constructions. Lets tests assert that
+  /// a router-disabled serving path never builds a fallback engine (the
+  /// same inertness idiom as obs::SloMonitor::allocations()).
+  static std::uint64_t allocations();
+
   /// Solves from the NLP's initial point, or from the state left by a
   /// previous solve() when options.warm_start is true.
   IpmResult solve();
 
   /// Primal values of the NLP variables (excludes internal slacks).
   [[nodiscard]] std::span<const double> primal() const { return {x_.data(), static_cast<std::size_t>(n_)}; }
-  /// Overrides the primal start (e.g. the previous period's solution).
+  /// Overrides the primal start (e.g. the previous period's solution or an
+  /// ADMM iterate). A warm start seeded this way keeps the primal but
+  /// re-initializes the duals cold — an ADMM iterate carries no usable
+  /// multipliers for the IPM's bound duals; only a previous solve() leaves
+  /// full warm state behind.
   void set_primal(std::span<const double> x);
 
   [[nodiscard]] const IpmOptions& options() const { return options_; }
@@ -96,7 +114,8 @@ class IpmSolver {
   // Iterate.
   std::vector<double> x_;           // X = [x; s]
   std::vector<double> lambda_, zl_, zu_;
-  bool have_state_ = false;
+  bool have_state_ = false;       // primal seed available (set_primal/solve)
+  bool have_dual_state_ = false;  // duals are from a previous solve()
 
   // Work arrays.
   std::vector<double> grad_, c_, jac_values_, hess_values_;

@@ -1,0 +1,65 @@
+#include "scenario/ipm_engine.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ipm/acopf_nlp.hpp"
+#include "obs/trace.hpp"
+
+namespace gridadmm::scenario {
+
+IpmEngineResult solve_scenario_ipm(const grid::Network& base, const Scenario& sc,
+                                   const IpmEngineOptions& options,
+                                   const grid::OpfSolution* warm) {
+  require_valid(sc.pd.size() == static_cast<std::size_t>(base.num_buses()) &&
+                    sc.qd.size() == static_cast<std::size_t>(base.num_buses()),
+                "solve_scenario_ipm: scenario loads do not match the network");
+
+  // Scenario topology and loads. Connectivity was validated when the
+  // scenario entered a ScenarioSet; skip the re-check here.
+  grid::Network net = sc.outage_branch >= 0
+                          ? grid::network_without_branch(base, sc.outage_branch,
+                                                         /*check_connectivity=*/false)
+                          : base;
+  for (int i = 0; i < net.num_buses(); ++i) {
+    net.buses[static_cast<std::size_t>(i)].pd = sc.pd[static_cast<std::size_t>(i)];
+    net.buses[static_cast<std::size_t>(i)].qd = sc.qd[static_cast<std::size_t>(i)];
+  }
+
+  ipm::IpmOptions iopt = options.ipm;
+  if (options.wall_budget_seconds > 0.0) {
+    iopt.max_wall_seconds = iopt.max_wall_seconds > 0.0
+                                ? std::min(iopt.max_wall_seconds, options.wall_budget_seconds)
+                                : options.wall_budget_seconds;
+  }
+
+  IpmEngineResult out;
+  {
+    ipm::AcopfNlp nlp(net);
+    ipm::IpmSolver solver(nlp, iopt);
+    if (warm != nullptr) {
+      std::vector<double> x0(static_cast<std::size_t>(nlp.num_vars()), 0.0);
+      nlp.pack(*warm, x0);
+      solver.set_primal(x0);
+      solver.options().warm_start = true;
+    }
+    const obs::TraceSpan span("ipm.solve", "vars",
+                              static_cast<std::uint64_t>(nlp.num_vars()), "warm",
+                              warm != nullptr ? 1 : 0);
+    out.ipm = solver.solve();
+    if (out.ipm.status != ipm::IpmStatus::kOptimal) {
+      throw ConvergenceError(
+          "ipm engine: scenario '" + sc.name + "' did not converge: status=" +
+          ipm::ipm_status_name(out.ipm.status) +
+          " iterations=" + std::to_string(out.ipm.iterations) +
+          " kkt_error=" + std::to_string(out.ipm.kkt_error) +
+          " violation=" + std::to_string(out.ipm.constraint_violation));
+    }
+    out.solution = nlp.unpack(solver.primal());
+  }
+  out.quality = grid::evaluate_solution(net, out.solution);
+  return out;
+}
+
+}  // namespace gridadmm::scenario

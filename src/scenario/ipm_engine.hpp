@@ -1,0 +1,58 @@
+// MiniIPM as a per-scenario engine — the escalation ladder's last rung.
+//
+// The batch ADMM path (BatchAdmmSolver, the serve dispatcher) is fast but
+// trades robustness for speed: rate-tight contingencies and stressed load
+// profiles can stall below tolerance at any iteration budget. This wrapper
+// turns src/ipm/ into a drop-in second engine for exactly those scenarios:
+// it rebuilds the scenario's topology (N-1 outage) and loads as an
+// AcopfNlp, optionally warm-starts the primal from an ADMM iterate's
+// solution (admm::to_solution), bounds the solve with a wall-clock budget,
+// and converts non-optimal IpmStatus values into typed errors so callers
+// never mistake a stalled fallback for a served answer.
+//
+// Used by the serve router (SolveService engine_fallback) and directly from
+// the scenario/tracking path, where a period that defeats ADMM can be
+// re-solved by the IPM while keeping the warm-start chain intact.
+#pragma once
+
+#include "grid/network.hpp"
+#include "grid/solution.hpp"
+#include "ipm/ipm_solver.hpp"
+#include "scenario/scenario.hpp"
+
+namespace gridadmm::scenario {
+
+struct IpmEngineOptions {
+  IpmEngineOptions() { ipm.max_iterations = 500; }
+
+  /// Underlying solver options. Defaults match IpmOptions except
+  /// max_iterations, raised to 500: a fallback seeded from a *failed* ADMM
+  /// iterate routinely needs more Newton steps than a cold solve.
+  ipm::IpmOptions ipm;
+
+  /// Wall-clock budget in seconds (0 = unlimited). Combined with any
+  /// ipm.max_wall_seconds by taking the tighter of the two. The serve
+  /// router sizes this from the request deadline.
+  double wall_budget_seconds = 0.0;
+};
+
+struct IpmEngineResult {
+  grid::OpfSolution solution;      ///< converged scenario solution
+  ipm::IpmResult ipm;              ///< raw solver result (status kOptimal)
+  grid::SolutionQuality quality;   ///< evaluated on the scenario's network
+};
+
+/// Solves one scenario with the MiniIPM engine. `base` is the full-topology
+/// network the scenario indexes into; the outage branch (if any) is removed
+/// and the scenario's loads applied before the NLP is built. `warm` seeds
+/// the primal (the duals start cold — an ADMM iterate carries no usable
+/// multipliers); pass nullptr for a cold start.
+///
+/// Returns only on IpmStatus::kOptimal. Every other status throws
+/// ConvergenceError carrying the status name and final diagnostics;
+/// NumericalError (non-finite iterate) propagates from the solver.
+IpmEngineResult solve_scenario_ipm(const grid::Network& base, const Scenario& sc,
+                                   const IpmEngineOptions& options = {},
+                                   const grid::OpfSolution* warm = nullptr);
+
+}  // namespace gridadmm::scenario

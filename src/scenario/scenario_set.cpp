@@ -157,6 +157,45 @@ int ScenarioSet::add_n1_contingencies(int max_count) {
   return appended;
 }
 
+int ScenarioSet::add_stress_corpus(const StressCorpusOptions& options) {
+  validate(std::isfinite(options.load_scale) && options.load_scale > 0.0,
+           "add_stress_corpus: load_scale must be positive and finite");
+  validate(options.max_outages >= 0, "add_stress_corpus: max_outages must be >= 0");
+  validate(options.base_inner_budget > 0 && options.outage_inner_budget > 0 &&
+               options.outer_budget > 0,
+           "add_stress_corpus: iteration budgets must be positive");
+  int appended = 0;
+  {
+    Scenario sc;
+    sc.name = net_.name + "/stress-base";
+    sc.kind = ScenarioKind::kLoadScale;
+    sc.load_scale = options.load_scale;
+    scaled_loads(options.load_scale, sc.pd, sc.qd);
+    sc.controls.max_inner_iterations = options.base_inner_budget;
+    sc.controls.max_outer_iterations = options.outer_budget;
+    append(std::move(sc));
+    ++appended;
+  }
+  const auto bridges = grid::bridge_branches(net_);
+  int outages = 0;
+  for (int l = 0; l < net_.num_branches() && outages < options.max_outages; ++l) {
+    if (!net_.branches[static_cast<std::size_t>(l)].on) continue;
+    if (bridges[static_cast<std::size_t>(l)]) continue;
+    Scenario sc;
+    sc.name = net_.name + "/stress-n1-branch-" + std::to_string(l);
+    sc.kind = ScenarioKind::kContingency;
+    sc.outage_branch = l;
+    sc.load_scale = options.load_scale;
+    scaled_loads(options.load_scale, sc.pd, sc.qd);
+    sc.controls.max_inner_iterations = options.outage_inner_budget;
+    sc.controls.max_outer_iterations = options.outer_budget;
+    append(std::move(sc));
+    ++appended;
+    ++outages;
+  }
+  return appended;
+}
+
 int ScenarioSet::add_tracking_sequence(const grid::LoadProfileSpec& spec, double ramp_fraction) {
   validate(spec.periods > 0, "add_tracking_sequence: periods must be positive");
   validate(std::isfinite(ramp_fraction) && ramp_fraction >= 0.0,

@@ -18,6 +18,21 @@
 
 namespace gridadmm::scenario {
 
+/// Knobs for the hard-scenario stress corpus (add_stress_corpus). The
+/// defaults are calibrated on case30, whose native line ratings bind at a
+/// 3% uniform load increase: the resulting scenarios stall below tolerance
+/// on the batch ADMM path at their attached budgets — and at 4x those
+/// budgets on the boosted solo retry — yet the warm-started MiniIPM engine
+/// solves them to optimality in well under 500 iterations. They exist to
+/// exercise the full escalation ladder end-to-end.
+struct StressCorpusOptions {
+  double load_scale = 1.03;  ///< uniform load stress on every entry
+  int max_outages = 2;       ///< rate-tight N-1 entries (non-bridge branches)
+  int base_inner_budget = 150;   ///< ADMM inner-iteration cap, base entry
+  int outage_inner_budget = 200; ///< ADMM inner-iteration cap, N-1 entries
+  int outer_budget = 2;          ///< ADMM outer-iteration cap, all entries
+};
+
 class ScenarioSet {
  public:
   /// Copies the (finalized) base network. Generators append scenarios.
@@ -54,6 +69,12 @@ class ScenarioSet {
   /// Appends one N-1 contingency per in-service, non-bridge branch (at most
   /// `max_count` when >= 0). Returns the number appended.
   int add_n1_contingencies(int max_count = -1);
+
+  /// Appends the hard-scenario corpus: one stressed-load base entry plus
+  /// rate-tight N-1 contingencies under the same load stress, each carrying
+  /// the iteration budgets that demonstrably defeat ADMM (see
+  /// StressCorpusOptions). Returns the number appended.
+  int add_stress_corpus(const StressCorpusOptions& options = {});
 
   /// Appends one time-coupled tracking sequence: one scenario per period of
   /// the load profile, each chained to the previous period with generator

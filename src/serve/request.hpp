@@ -48,6 +48,28 @@ struct SolveRequest {
   double deadline = 0.0;
 };
 
+/// Which rung of the engine escalation ladder produced a result's final
+/// solution (DESIGN.md §13). The ladder is ordered: every request starts on
+/// the fused batch ADMM; a stall-flagged non-converged slot gets one
+/// boosted-budget solo ADMM retry; anything still non-converged is handed
+/// to the warm-started MiniIPM fallback when the router is enabled.
+enum class SolveEngine {
+  kAdmm = 0,           ///< fused batch ADMM (first rung)
+  kEscalatedAdmm = 1,  ///< boosted-budget solo ADMM retry (second rung)
+  kIpm = 2,            ///< warm-started MiniIPM fallback (last rung)
+};
+
+/// Stable engine label ("admm", "escalated_admm", "ipm") for metric names,
+/// bench fields, and logs.
+inline const char* engine_name(SolveEngine engine) {
+  switch (engine) {
+    case SolveEngine::kAdmm: return "admm";
+    case SolveEngine::kEscalatedAdmm: return "escalated_admm";
+    case SolveEngine::kIpm: return "ipm";
+  }
+  return "unknown";
+}
+
 struct SolveResult {
   grid::OpfSolution solution;
   admm::AdmmStats stats;      ///< full per-request solver stats
@@ -64,10 +86,14 @@ struct SolveResult {
   /// took (1 = clean first try; more after transient retries / poison
   /// bisection — see DESIGN.md §12).
   int solve_attempts = 1;
-  /// True when the degraded-mode rung re-solved this request solo with a
-  /// boosted iteration budget after should_escalate flagged its first,
-  /// non-converged attempt (ServiceOptions::escalation_retry).
+  /// True when any escalation rung re-solved this request after its fused
+  /// batch attempt came back non-converged — the boosted solo ADMM retry
+  /// (ServiceOptions::escalation_retry) or the MiniIPM fallback
+  /// (ServiceOptions::engine_fallback). Equivalent to engine != kAdmm.
   bool escalated = false;
+  /// Which escalation-ladder rung produced `solution` (kAdmm when the
+  /// fused batch attempt was the final answer).
+  SolveEngine engine = SolveEngine::kAdmm;
   double wait_seconds = 0.0;    ///< submit -> dispatch (injected clock)
   double total_seconds = 0.0;   ///< submit -> future fulfilled (injected clock)
   /// Per-request stage timeline on the trace clock (admit -> queue ->

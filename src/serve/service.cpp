@@ -18,7 +18,9 @@
 #include "grid/solution.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "admm/warm_start.hpp"
 #include "scenario/batch_solver.hpp"
+#include "scenario/ipm_engine.hpp"
 #include "scenario/scenario_set.hpp"
 
 namespace gridadmm::serve {
@@ -68,6 +70,12 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
   require(std::isfinite(options_.escalation_budget_boost) &&
               options_.escalation_budget_boost >= 1.0,
           "SolveService: escalation_budget_boost must be >= 1");
+  require(std::isfinite(options_.ipm_budget_seconds) && options_.ipm_budget_seconds >= 0.0,
+          "SolveService: ipm_budget_seconds must be finite and non-negative");
+  require(std::isfinite(options_.ipm_tolerance) && options_.ipm_tolerance > 0.0,
+          "SolveService: ipm_tolerance must be positive and finite");
+  require(options_.ipm_max_iterations > 0,
+          "SolveService: ipm_max_iterations must be positive");
   // Aliasing shared_ptr: requests that carry no network reference the
   // service's own copy without another Network allocation.
   base_shared_ = std::shared_ptr<const grid::Network>(std::shared_ptr<void>(), &base_);
@@ -109,6 +117,20 @@ SolveService::SolveService(grid::Network base, admm::AdmmParams params, ServiceO
                                      "Request failures during batch formation");
   m_failed_solve_ = &metrics_.counter("serve_failures_by_stage_solve_total",
                                       "Request failures during or after the fused solve");
+  // Engine-router attribution (DESIGN.md §13): completions split by the
+  // escalation-ladder rung that produced them, plus per-engine latency.
+  for (int e = 0; e < 3; ++e) {
+    const char* name = engine_name(static_cast<SolveEngine>(e));
+    m_engine_completed_[e] =
+        &metrics_.counter(std::string("serve_engine_") + name + "_completed_total",
+                          "Completions whose final solution this engine produced");
+    m_engine_latency_[e] =
+        &metrics_.histogram(std::string("serve_latency_") + name + "_seconds",
+                            "Submit-to-fulfilled latency by final engine");
+  }
+  m_ipm_failures_ = &metrics_.counter(
+      "serve_engine_ipm_failures_total",
+      "MiniIPM fallback re-solves that ended in a typed error on the future");
   pool_ = std::make_unique<device::DevicePool>(options_.num_devices, options_.device_workers);
   live_.batch_occupancy.assign(static_cast<std::size_t>(options_.max_batch_size), 0);
   live_.per_shard.assign(static_cast<std::size_t>(options_.num_devices), ShardServiceStats{});
@@ -625,6 +647,15 @@ SolveService::BatchOutcome SolveService::process_batch(Batch work, int shard) {
       ctx.accepted >= ctx.failed_form ? ctx.accepted - ctx.failed_form : 0;
   live_.completed += ctx.completed;
   if (ctx.completed > 0) m_completed_->inc(ctx.completed);
+  live_.completed_admm += ctx.completed_admm;
+  live_.completed_escalated_admm += ctx.completed_escalated_admm;
+  live_.completed_ipm += ctx.completed_ipm;
+  if (ctx.completed_admm > 0) m_engine_completed_[0]->inc(ctx.completed_admm);
+  if (ctx.completed_escalated_admm > 0) m_engine_completed_[1]->inc(ctx.completed_escalated_admm);
+  if (ctx.completed_ipm > 0) m_engine_completed_[2]->inc(ctx.completed_ipm);
+  live_.ipm_attempts += ctx.ipm_attempts;
+  live_.ipm_failures += ctx.ipm_failures;
+  if (ctx.ipm_failures > 0) m_ipm_failures_->inc(ctx.ipm_failures);
   const std::size_t failed = ctx.failed_form + ctx.failed_solve;
   live_.failed += failed;
   if (failed > 0) m_failed_->inc(failed);
@@ -766,6 +797,8 @@ void SolveService::attempt_members(std::vector<Pending>& batch,
   scenario::ScenarioReport report;
   std::vector<grid::OpfSolution> solutions;
   std::vector<char> escalated(members.size(), 0);
+  std::vector<char> engine(members.size(), static_cast<char>(SolveEngine::kAdmm));
+  std::vector<char> resolved(members.size(), 0);  ///< future set by the ladder
   std::uint64_t stage_ns = 0;
   std::uint64_t solve_ns = 0;
   std::uint64_t extract_ns = 0;
@@ -808,73 +841,164 @@ void SolveService::attempt_members(std::vector<Pending>& batch,
       obs::span_between("serve.extract", solve_ns, extract_ns, "batch", ctx.batch_id);
     }
 
-    // ---- Degraded-mode rung: boosted solo retry of flagged slots ----
-    // A non-converged slot whose sampled trajectory shows no residual
-    // progress gets one solo re-solve, warm-started from its own failed
-    // iterate with a multiplied iteration budget — the escalation step the
-    // engine router (ROADMAP item 5) will eventually hand to a more robust
-    // engine. Best-effort: any failure keeps the original result.
-    if (options_.escalation_retry && options_.convergence_sample_interval > 0 &&
-        !report.convergence.empty()) {
+    // ---- Engine escalation ladder (DESIGN.md §13) ----
+    // Rung 2: a non-converged slot whose sampled trajectory shows no
+    // residual progress gets one solo ADMM re-solve, warm-started from its
+    // own failed iterate with a multiplied iteration budget. Best-effort:
+    // any rescue failure keeps the original result.
+    // Rung 3 (engine_fallback): anything still non-converged is handed to
+    // the warm-started MiniIPM fallback, seeded from the latest failed
+    // iterate. Unlike rung 2 this rung is decisive: success replaces the
+    // result (engine = kIpm), a typed failure fails the future — the
+    // request is never fulfilled with a silently non-converged answer.
+    // Both rungs honor the request deadline at pickup: an expired request
+    // is shed as a deadline miss, not rescued late.
+    const bool rung2_enabled = options_.escalation_retry &&
+                               options_.convergence_sample_interval > 0 &&
+                               !report.convergence.empty();
+    if (rung2_enabled || options_.engine_fallback) {
+      // Sheds one slot whose deadline passed at escalation pickup — the
+      // same accounting as the dispatch-pickup shed, with the stage stamps
+      // the slot earned inside this batch.
+      const auto shed_deadline = [&](std::size_t s) {
+        Pending& p = batch[members[s]];
+        if (ctx.timeline_on) {
+          p.timeline.dispatch_ns = ctx.dispatch_ns;
+          p.timeline.form_ns = ctx.form_ns;
+          p.timeline.stage_ns = stage_ns;
+          p.timeline.solve_ns = solve_ns;
+          p.timeline.extract_ns = extract_ns;
+          p.timeline.fulfill_ns = obs::now_ns();
+        }
+        if (slo_ != nullptr) {
+          for (int st = 0; st < RequestTimeline::kStageCount; ++st) {
+            m_stage_[st]->observe(p.timeline.stage_seconds(st));
+          }
+          slo_->record_deadline_shed(clock_->now());
+        }
+        obs::instant("serve.deadline_shed", "req", p.id, "batch", ctx.batch_id);
+        ++ctx.deadline_shed;
+        resolved[s] = 1;
+        p.promise.set_exception(std::make_exception_ptr(DeadlineError(
+            "SolveService: request deadline expired at escalation pickup")));
+      };
       for (std::size_t s = 0; s < members.size(); ++s) {
         if (report.records[s].converged) continue;
-        if (!obs::should_escalate(report.convergence[s])) continue;
         Pending& p = batch[members[s]];
-        ++ctx.escalations;
-        obs::instant("serve.retry", "req", p.id, "escalation", 1);
+        const bool flagged = rung2_enabled && obs::should_escalate(report.convergence[s]);
+        if (!flagged && !options_.engine_fallback) continue;
+        if (p.request.deadline > 0.0 && clock_->now() >= p.request.deadline) {
+          shed_deadline(s);
+          continue;
+        }
+        // The latest failed iterate seeds whichever rung runs next.
+        admm::WarmStartIterate iterate = solver.export_iterate(static_cast<int>(s));
+        if (flagged) {
+          ++ctx.escalations;
+          obs::instant("serve.retry", "req", p.id, "escalation", 1);
+          try {
+            scenario::ScenarioSet solo(*p.request.network);
+            scenario::Scenario sc;
+            sc.name = "serve/escalate-" + std::to_string(ctx.batch_id) + "-req-" +
+                      std::to_string(members[s]);
+            sc.kind = p.request.outage_branch >= 0 ? scenario::ScenarioKind::kContingency
+                                                   : scenario::ScenarioKind::kBase;
+            sc.pd = p.request.pd;
+            sc.qd = p.request.qd;
+            sc.outage_branch = p.request.outage_branch;
+            sc.controls = p.request.controls;
+            const admm::AdmmParams effective =
+                scenario::effective_params(params_, p.request.controls);
+            sc.controls.max_inner_iterations = static_cast<int>(std::min(
+                static_cast<double>(effective.max_inner_iterations) *
+                    options_.escalation_budget_boost,
+                1e9));
+            sc.controls.max_outer_iterations = static_cast<int>(std::min(
+                static_cast<double>(effective.max_outer_iterations) *
+                    options_.escalation_budget_boost,
+                1e9));
+            solo.add(std::move(sc));
+            scenario::BatchAdmmSolver rescue(solo, params_, &device);
+            scenario::BatchSolveOptions rescue_options;
+            rescue_options.layout = options_.layout;
+            rescue_options.branch_pack = options_.branch_pack;
+            rescue_options.convergence_sample_interval = options_.convergence_sample_interval;
+            rescue_options.initial_iterates.assign(1, &iterate);
+            device::LaunchStats rescue_launches;
+            scenario::ScenarioReport rescue_report;
+            {
+              device::LaunchStatsScope scope(device, rescue_launches);
+              rescue_report = rescue.solve(rescue_options);
+            }
+            ctx.launches += rescue_launches;
+            if (rescue_report.records[0].converged) {
+              ++ctx.escalations_recovered;
+              solutions[s] = rescue.solutions()[0];
+              report.stats[s] = rescue_report.stats[0];
+              report.records[s] = rescue_report.records[0];
+              if (!rescue_report.convergence.empty()) {
+                report.convergence[s] = std::move(rescue_report.convergence[0]);
+              }
+              escalated[s] = 1;
+              engine[s] = static_cast<char>(SolveEngine::kEscalatedAdmm);
+              if (use_cache && !p.request.bypass_cache) {
+                cache_.insert(
+                    p.fingerprint, p.request.pd, p.request.qd,
+                    std::make_shared<admm::WarmStartIterate>(rescue.export_iterate(0)));
+              }
+            } else {
+              // The boosted retry made progress even though it missed
+              // tolerance: hand its iterate (not rung 1's) to the IPM.
+              iterate = rescue.export_iterate(0);
+            }
+          } catch (...) {
+            // Keep the original non-converged result (and rung 1's
+            // iterate); the solo retry never turns a served answer into a
+            // failure.
+          }
+        }
+        if (!options_.engine_fallback || report.records[s].converged) continue;
+        // ---- Rung 3: warm-started MiniIPM re-solve ----
+        if (p.request.deadline > 0.0 && clock_->now() >= p.request.deadline) {
+          shed_deadline(s);
+          continue;
+        }
+        double budget = options_.ipm_budget_seconds;
+        if (p.request.deadline > 0.0) {
+          const double remaining = p.request.deadline - clock_->now();
+          budget = budget > 0.0 ? std::min(budget, remaining) : remaining;
+        }
+        ++ctx.ipm_attempts;
+        obs::instant("serve.ipm_rescue", "req", p.id, "batch", ctx.batch_id);
         try {
-          admm::WarmStartIterate iterate = solver.export_iterate(static_cast<int>(s));
-          scenario::ScenarioSet solo(*p.request.network);
           scenario::Scenario sc;
-          sc.name = "serve/escalate-" + std::to_string(ctx.batch_id) + "-req-" +
+          sc.name = "serve/ipm-" + std::to_string(ctx.batch_id) + "-req-" +
                     std::to_string(members[s]);
           sc.kind = p.request.outage_branch >= 0 ? scenario::ScenarioKind::kContingency
                                                  : scenario::ScenarioKind::kBase;
           sc.pd = p.request.pd;
           sc.qd = p.request.qd;
           sc.outage_branch = p.request.outage_branch;
-          sc.controls = p.request.controls;
-          const admm::AdmmParams effective =
-              scenario::effective_params(params_, p.request.controls);
-          sc.controls.max_inner_iterations = static_cast<int>(std::min(
-              static_cast<double>(effective.max_inner_iterations) *
-                  options_.escalation_budget_boost,
-              1e9));
-          sc.controls.max_outer_iterations = static_cast<int>(std::min(
-              static_cast<double>(effective.max_outer_iterations) *
-                  options_.escalation_budget_boost,
-              1e9));
-          solo.add(std::move(sc));
-          scenario::BatchAdmmSolver rescue(solo, params_, &device);
-          scenario::BatchSolveOptions rescue_options;
-          rescue_options.layout = options_.layout;
-          rescue_options.branch_pack = options_.branch_pack;
-          rescue_options.convergence_sample_interval = options_.convergence_sample_interval;
-          rescue_options.initial_iterates.assign(1, &iterate);
-          device::LaunchStats rescue_launches;
-          scenario::ScenarioReport rescue_report;
-          {
-            device::LaunchStatsScope scope(device, rescue_launches);
-            rescue_report = rescue.solve(rescue_options);
-          }
-          ctx.launches += rescue_launches;
-          if (rescue_report.records[0].converged) {
-            ++ctx.escalations_recovered;
-            solutions[s] = rescue.solutions()[0];
-            report.stats[s] = rescue_report.stats[0];
-            report.records[s] = rescue_report.records[0];
-            if (!rescue_report.convergence.empty()) {
-              report.convergence[s] = std::move(rescue_report.convergence[0]);
-            }
-            escalated[s] = 1;
-            if (use_cache && !p.request.bypass_cache) {
-              cache_.insert(p.fingerprint, p.request.pd, p.request.qd,
-                            std::make_shared<admm::WarmStartIterate>(rescue.export_iterate(0)));
-            }
-          }
+          scenario::IpmEngineOptions ipm_options;
+          ipm_options.ipm.tolerance = options_.ipm_tolerance;
+          ipm_options.ipm.max_iterations = options_.ipm_max_iterations;
+          ipm_options.wall_budget_seconds = budget;
+          const grid::OpfSolution warm = admm::to_solution(iterate, *p.request.network);
+          scenario::IpmEngineResult rescue =
+              scenario::solve_scenario_ipm(*p.request.network, sc, ipm_options, &warm);
+          solutions[s] = std::move(rescue.solution);
+          report.records[s].converged = true;
+          report.records[s].objective = rescue.quality.objective;
+          report.records[s].max_violation = rescue.quality.max_violation;
+          escalated[s] = 1;
+          engine[s] = static_cast<char>(SolveEngine::kIpm);
         } catch (...) {
-          // Keep the original non-converged result; the rescue never turns
-          // a served answer into a failure.
+          // Decisive failure: the future carries the typed error
+          // (ConvergenceError, NumericalError, ...) instead of a silently
+          // non-converged result.
+          ++ctx.ipm_failures;
+          fail_request(p, std::current_exception(), /*reached_solve=*/true, ctx);
+          resolved[s] = 1;
         }
       }
     }
@@ -891,6 +1015,9 @@ void SolveService::attempt_members(std::vector<Pending>& batch,
   const double completion_time = clock_->now();
   std::uint64_t last_fulfill_ns = extract_ns;
   for (std::size_t s = 0; s < members.size(); ++s) {
+    // Slots the escalation ladder already settled (deadline shed at rung
+    // pickup, typed IPM failure) carry no future to fulfill here.
+    if (resolved[s]) continue;
     Pending& p = batch[members[s]];
     SolveResult result;
     result.solution = std::move(solutions[s]);
@@ -904,6 +1031,7 @@ void SolveService::attempt_members(std::vector<Pending>& batch,
     result.cache_distance = p.seed.distance;
     result.solve_attempts = ctx.attempts;
     result.escalated = escalated[s] != 0;
+    result.engine = static_cast<SolveEngine>(engine[s]);
     result.wait_seconds = ctx.dispatch_time - p.submit_time;
     result.total_seconds = completion_time - p.submit_time;
     if (!report.convergence.empty()) result.trajectory = std::move(report.convergence[s]);
@@ -927,8 +1055,14 @@ void SolveService::attempt_members(std::vector<Pending>& batch,
     }
     ctx.latencies.push_back(result.total_seconds);
     m_latency_->observe(result.total_seconds);
+    m_engine_latency_[static_cast<int>(engine[s])]->observe(result.total_seconds);
     obs::instant("serve.fulfill.req", "req", p.id, "batch", ctx.batch_id);
     ++ctx.completed;
+    switch (static_cast<SolveEngine>(engine[s])) {
+      case SolveEngine::kAdmm: ++ctx.completed_admm; break;
+      case SolveEngine::kEscalatedAdmm: ++ctx.completed_escalated_admm; break;
+      case SolveEngine::kIpm: ++ctx.completed_ipm; break;
+    }
     p.promise.set_value(std::move(result));
   }
   if (ctx.timeline_on) {

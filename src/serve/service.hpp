@@ -135,6 +135,28 @@ struct ServiceOptions {
   bool escalation_retry = false;
   double escalation_budget_boost = 4.0;
 
+  // ---- Engine router (DESIGN.md §13, ROADMAP item 5) ----
+  /// Last rung of the escalation ladder: a request still non-converged
+  /// after the fused batch solve and (when stall-flagged) the boosted solo
+  /// retry is re-solved by the warm-started MiniIPM fallback engine
+  /// (scenario::solve_scenario_ipm), seeded from its latest failed ADMM
+  /// iterate. Success fulfills the future converged with
+  /// SolveResult::engine == SolveEngine::kIpm; a fallback failure surfaces
+  /// as a typed ConvergenceError (or NumericalError) on the future instead
+  /// of a silently non-converged result. Off by default: with the router
+  /// disabled, results are bit-identical to the pure-ADMM path and the
+  /// fallback engine is never constructed.
+  bool engine_fallback = false;
+  /// Wall-clock budget per IPM re-solve in seconds (0 = unlimited). A
+  /// deadline-carrying request is additionally clamped to its remaining
+  /// time, so an escalation never blows a deadline admission promised to
+  /// enforce; a request whose deadline already passed at escalation pickup
+  /// is shed as a deadline miss instead of rescued late.
+  double ipm_budget_seconds = 0.0;
+  /// Fallback engine convergence knobs (scenario::IpmEngineOptions).
+  double ipm_tolerance = 1e-6;
+  int ipm_max_iterations = 500;
+
   // ---- SLO observability layer (DESIGN.md §11) ----
   /// Enables the SLO layer: per-request stage timelines, per-stage latency
   /// histograms, and the sliding-window burn-rate monitor. When off, the
@@ -267,6 +289,13 @@ class SolveService {
     std::uint64_t bisections = 0;
     std::uint64_t escalations = 0;
     std::uint64_t escalations_recovered = 0;
+    /// Engine split of `completed` (DESIGN.md §13); the three always sum
+    /// to `completed` for this batch.
+    std::size_t completed_admm = 0;
+    std::size_t completed_escalated_admm = 0;
+    std::size_t completed_ipm = 0;
+    std::uint64_t ipm_attempts = 0;  ///< IPM-rung re-solves started
+    std::uint64_t ipm_failures = 0;  ///< IPM-rung typed failures (in failed_solve too)
     std::vector<double> latencies;
   };
 
@@ -368,6 +397,10 @@ class SolveService {
   obs::Counter* m_failed_form_ = nullptr;   ///< serve_failures_by_stage_form_total
   obs::Counter* m_failed_solve_ = nullptr;  ///< serve_failures_by_stage_solve_total
   std::vector<obs::Gauge*> m_shard_state_;  ///< one per shard
+  // Engine-router instruments (DESIGN.md §13), indexed by SolveEngine.
+  obs::Counter* m_engine_completed_[3] = {};  ///< serve_engine_<name>_completed_total
+  obs::Histogram* m_engine_latency_[3] = {};  ///< serve_latency_<name>_seconds
+  obs::Counter* m_ipm_failures_ = nullptr;    ///< serve_engine_ipm_failures_total
 
   // ---- SLO observability layer (all owned here; null/absent when off) ----
   std::unique_ptr<obs::SloMonitor> slo_;  ///< null unless options_.slo

@@ -57,6 +57,19 @@ struct ServiceStats {
   /// half-open -> ...), summed over all shards.
   std::uint64_t quarantine_transitions = 0;
 
+  // ---- Engine router (DESIGN.md §13) ----
+  /// Engine split of `completed`: which escalation-ladder rung produced
+  /// each fulfilled result. Invariant: completed == completed_admm +
+  /// completed_escalated_admm + completed_ipm, always — a rescue that
+  /// misses its deadline or fails is a shed/failure, never a completion.
+  std::uint64_t completed_admm = 0;
+  std::uint64_t completed_escalated_admm = 0;
+  std::uint64_t completed_ipm = 0;  ///< IPM rescues (a.k.a. ipm_rescues)
+  /// MiniIPM fallback re-solves started, and how many ended in a typed
+  /// ConvergenceError/NumericalError on the future (counted in `failed`).
+  std::uint64_t ipm_attempts = 0;
+  std::uint64_t ipm_failures = 0;
+
   // ---- Batching ----
   std::uint64_t batches = 0;  ///< dispatched micro-batches
   /// batch_occupancy[k] counts batches that coalesced k+1 requests; the

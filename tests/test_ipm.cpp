@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
 
+#include "common/error.hpp"
 #include "grid/cases.hpp"
 #include "grid/solution.hpp"
 #include "grid/synthetic.hpp"
@@ -154,6 +158,122 @@ TEST(Ipm, ReportsFailureOnInfeasibleGrid) {
   IpmSolver solver(nlp);
   IpmResult result = solver.solve();
   EXPECT_NE(result.status, IpmStatus::kOptimal);
+}
+
+TEST(Ipm, ReportsLineSearchFailureOnInfeasibleCase) {
+  // Loads scaled far past feasibility but not absurdly so: the solver makes
+  // progress until the merit line search can no longer decrease, the typed
+  // status the serve router maps to ConvergenceError.
+  auto net = grid::load_embedded_case("case9");
+  for (auto& bus : net.buses) {
+    bus.pd *= 10.0;
+    bus.qd *= 10.0;
+  }
+  AcopfNlp nlp(net);
+  IpmSolver solver(nlp);
+  const auto result = solver.solve();
+  EXPECT_EQ(result.status, IpmStatus::kLineSearchFailure);
+  EXPECT_STREQ(ipm_status_name(result.status), "line-search-failure");
+}
+
+TEST(Ipm, WarmStartFromPrimalIsDeterministic) {
+  // Two independent solvers seeded with the same primal via set_primal must
+  // walk bit-identical iterate sequences: the escalation router's IPM rung
+  // relies on replayable rescues.
+  const auto net = grid::load_embedded_case("case30");
+  std::vector<double> seed;
+  {
+    AcopfNlp nlp(net);
+    seed.resize(static_cast<std::size_t>(nlp.num_vars()));
+    nlp.initial_point(seed);
+    for (std::size_t i = 0; i < seed.size(); ++i) seed[i] += 0.003 * std::sin(1.7 * static_cast<double>(i));
+  }
+  auto run = [&](IpmResult& result, std::vector<double>& primal) {
+    AcopfNlp nlp(net);
+    IpmSolver solver(nlp);
+    solver.set_primal(seed);
+    solver.options().warm_start = true;
+    result = solver.solve();
+    primal.assign(solver.primal().begin(), solver.primal().end());
+  };
+  IpmResult a_result, b_result;
+  std::vector<double> a_primal, b_primal;
+  run(a_result, a_primal);
+  run(b_result, b_primal);
+  ASSERT_EQ(a_result.status, IpmStatus::kOptimal);
+  EXPECT_EQ(a_result.status, b_result.status);
+  EXPECT_EQ(a_result.iterations, b_result.iterations);
+  EXPECT_EQ(a_result.objective, b_result.objective);  // bit-identical, not NEAR
+  EXPECT_EQ(a_result.kkt_error, b_result.kkt_error);
+  ASSERT_EQ(a_primal.size(), b_primal.size());
+  for (std::size_t i = 0; i < a_primal.size(); ++i) {
+    EXPECT_EQ(a_primal[i], b_primal[i]) << "primal diverged at " << i;
+  }
+}
+
+TEST(Ipm, WallBudgetStopsWithTimeBudgetStatus) {
+  const auto net = grid::load_embedded_case("case30");
+  AcopfNlp nlp(net);
+  IpmOptions options;
+  options.max_wall_seconds = 1e-9;  // expires after the first iteration
+  IpmSolver solver(nlp, options);
+  const auto result = solver.solve();
+  EXPECT_EQ(result.status, IpmStatus::kTimeBudget);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_LT(result.iterations, options.max_iterations);
+  EXPECT_STREQ(ipm_status_name(result.status), "time-budget");
+}
+
+namespace {
+
+/// Delegating NLP that poisons the objective gradient with NaN — drives the
+/// KKT error non-finite so the solver's numerical trap must fire.
+class NanGradientNlp final : public Nlp {
+ public:
+  explicit NanGradientNlp(Nlp& inner) : inner_(inner) {}
+  [[nodiscard]] int num_vars() const override { return inner_.num_vars(); }
+  [[nodiscard]] int num_cons() const override { return inner_.num_cons(); }
+  void var_bounds(std::span<double> lower, std::span<double> upper) const override {
+    inner_.var_bounds(lower, upper);
+  }
+  void con_bounds(std::span<double> lower, std::span<double> upper) const override {
+    inner_.con_bounds(lower, upper);
+  }
+  void initial_point(std::span<double> x0) const override { inner_.initial_point(x0); }
+  double eval_objective(std::span<const double> x) override { return inner_.eval_objective(x); }
+  void eval_objective_gradient(std::span<const double> x, std::span<double> grad) override {
+    inner_.eval_objective_gradient(x, grad);
+    grad[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+  void eval_constraints(std::span<const double> x, std::span<double> c) override {
+    inner_.eval_constraints(x, c);
+  }
+  [[nodiscard]] const SparsityPattern& jacobian_pattern() const override {
+    return inner_.jacobian_pattern();
+  }
+  void eval_jacobian(std::span<const double> x, std::span<double> values) override {
+    inner_.eval_jacobian(x, values);
+  }
+  [[nodiscard]] const SparsityPattern& hessian_pattern() const override {
+    return inner_.hessian_pattern();
+  }
+  void eval_hessian(std::span<const double> x, double sigma, std::span<const double> lambda,
+                    std::span<double> values) override {
+    inner_.eval_hessian(x, sigma, lambda, values);
+  }
+
+ private:
+  Nlp& inner_;
+};
+
+}  // namespace
+
+TEST(Ipm, NonFiniteIterateThrowsNumericalError) {
+  const auto net = grid::load_embedded_case("case9");
+  AcopfNlp inner(net);
+  NanGradientNlp nlp(inner);
+  IpmSolver solver(nlp);
+  EXPECT_THROW(solver.solve(), NumericalError);
 }
 
 TEST(Ipm, WarmStartReusesState) {

@@ -3,10 +3,12 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
 #include "grid/cases.hpp"
 #include "grid/network.hpp"
+#include "scenario/ipm_engine.hpp"
 #include "scenario/scenario_set.hpp"
 
 namespace gridadmm::scenario {
@@ -264,6 +266,113 @@ TEST(Scenario, MalformedInputsRaiseValidationError) {
   EXPECT_EQ(set[0].kind, ScenarioKind::kBase);
   EXPECT_THROW(static_cast<void>(set[1]), ValidationError);
   EXPECT_THROW(static_cast<void>(set[-1]), ValidationError);
+}
+
+TEST(Scenario, StressCorpusStructure) {
+  ScenarioSet set(grid::load_embedded_case("case30"));
+  StressCorpusOptions options;
+  const int appended = set.add_stress_corpus(options);
+  ASSERT_EQ(appended, 1 + options.max_outages);
+  ASSERT_EQ(set.size(), appended);
+
+  // Scenario 0: the stressed base case — scaled loads, tight budgets.
+  const Scenario& base = set[0];
+  EXPECT_EQ(base.kind, ScenarioKind::kLoadScale);
+  EXPECT_EQ(base.name, "case30/stress-base");
+  EXPECT_DOUBLE_EQ(base.load_scale, options.load_scale);
+  EXPECT_EQ(base.controls.max_inner_iterations, options.base_inner_budget);
+  EXPECT_EQ(base.controls.max_outer_iterations, options.outer_budget);
+  EXPECT_EQ(base.outage_branch, -1);
+
+  // Remaining scenarios: stressed N-1 outages over non-bridge branches.
+  const auto& net = set.network();
+  for (int s = 1; s < set.size(); ++s) {
+    const Scenario& sc = set[s];
+    EXPECT_EQ(sc.kind, ScenarioKind::kContingency);
+    ASSERT_GE(sc.outage_branch, 0);
+    ASSERT_LT(sc.outage_branch, net.num_branches());
+    EXPECT_TRUE(net.branches[static_cast<std::size_t>(sc.outage_branch)].on);
+    EXPECT_FALSE(grid::is_bridge(net, sc.outage_branch));
+    EXPECT_DOUBLE_EQ(sc.load_scale, options.load_scale);
+    EXPECT_EQ(sc.controls.max_inner_iterations, options.outage_inner_budget);
+    EXPECT_EQ(sc.controls.max_outer_iterations, options.outer_budget);
+    // Loads carry the stress scale, not the base case's values.
+    for (std::size_t b = 0; b < net.buses.size(); ++b) {
+      EXPECT_DOUBLE_EQ(sc.pd[b], net.buses[b].pd * options.load_scale);
+    }
+  }
+
+  // max_outages = 0 appends only the stressed base.
+  ScenarioSet base_only(grid::load_embedded_case("case30"));
+  StressCorpusOptions no_outages;
+  no_outages.max_outages = 0;
+  EXPECT_EQ(base_only.add_stress_corpus(no_outages), 1);
+
+  StressCorpusOptions bad;
+  bad.load_scale = -1.0;
+  EXPECT_THROW(set.add_stress_corpus(bad), ValidationError);
+}
+
+TEST(Scenario, IpmEngineSolvesStressScenarioFromTrackingPath) {
+  // The tracking path can hand a period that defeats ADMM to the IPM engine
+  // directly: solve the stressed base scenario cold and warm, and check the
+  // warm solve lands on the same objective.
+  ScenarioSet set(grid::load_embedded_case("case30"));
+  StressCorpusOptions corpus;
+  corpus.max_outages = 0;
+  set.add_stress_corpus(corpus);
+  const Scenario& sc = set[0];
+
+  const IpmEngineResult cold = solve_scenario_ipm(set.network(), sc);
+  EXPECT_EQ(cold.ipm.status, ipm::IpmStatus::kOptimal);
+  EXPECT_LT(cold.quality.max_violation, 1e-5);
+  EXPECT_GT(cold.quality.objective, 0.0);
+
+  // A primal-only warm start need not be faster (the paper's point about
+  // IPMs and warm starts — the duals restart cold), but it must land on the
+  // same optimum.
+  const IpmEngineResult warm = solve_scenario_ipm(set.network(), sc, {}, &cold.solution);
+  EXPECT_EQ(warm.ipm.status, ipm::IpmStatus::kOptimal);
+  EXPECT_NEAR(warm.quality.objective, cold.quality.objective,
+              1e-4 * std::abs(cold.quality.objective));
+}
+
+TEST(Scenario, IpmEngineThrowsTypedErrorOnInfeasibleScenario) {
+  ScenarioSet set(grid::load_embedded_case("case9"));
+  Scenario sc;
+  sc.name = "case9/hopeless";
+  sc.kind = ScenarioKind::kLoadScale;
+  sc.load_scale = 10.0;
+  set.add(sc);
+  // Populate scaled loads the way add_load_scale would.
+  Scenario stressed = set[0];
+  const auto& net = set.network();
+  stressed.pd.resize(net.buses.size());
+  stressed.qd.resize(net.buses.size());
+  for (std::size_t b = 0; b < net.buses.size(); ++b) {
+    stressed.pd[b] = net.buses[b].pd * 10.0;
+    stressed.qd[b] = net.buses[b].qd * 10.0;
+  }
+  try {
+    solve_scenario_ipm(net, stressed);
+    FAIL() << "expected ConvergenceError";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line-search-failure"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Scenario, IpmEngineHonorsWallBudget) {
+  ScenarioSet set(grid::load_embedded_case("case30"));
+  set.add_base();
+  IpmEngineOptions options;
+  options.wall_budget_seconds = 1e-9;
+  try {
+    solve_scenario_ipm(set.network(), set[0], options);
+    FAIL() << "expected ConvergenceError";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("time-budget"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

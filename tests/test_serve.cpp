@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -22,10 +23,13 @@
 #include "common/error.hpp"
 #include "device/fault.hpp"
 #include "grid/cases.hpp"
+#include "ipm/ipm_solver.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "opf/service.hpp"
+#include "scenario/ipm_engine.hpp"
+#include "scenario/scenario_set.hpp"
 #include "serve/service.hpp"
 #include "serve/solution_cache.hpp"
 #include "serve/stats.hpp"
@@ -1273,6 +1277,282 @@ TEST(SolveService, EscalationRungRecoversStalledRequestSolo) {
   EXPECT_EQ(stats.escalation_retries, 1u);
   EXPECT_EQ(stats.escalation_recovered, 1u);
   EXPECT_EQ(stats.completed, 1u);
+}
+
+/// The case30 stress recipe (scenario::StressCorpusOptions defaults) phrased
+/// as a serve request: uniformly scaled loads plus a per-request iteration
+/// budget tight enough that both ADMM rungs fail, while the warm-started
+/// MiniIPM fallback converges.
+SolveRequest stress_request(const grid::Network& net) {
+  const scenario::StressCorpusOptions corpus;
+  SolveRequest request;
+  for (const auto& bus : net.buses) {
+    request.pd.push_back(bus.pd * corpus.load_scale);
+    request.qd.push_back(bus.qd * corpus.load_scale);
+  }
+  request.controls.max_inner_iterations = corpus.base_inner_budget;
+  request.controls.max_outer_iterations = corpus.outer_budget;
+  return request;
+}
+
+TEST(SolveService, StressRequestDefeatsPureAdmmButIpmRungRescues) {
+  // The tentpole acceptance: a stress request that demonstrably defeats the
+  // pure-ADMM ladder completes converged through the MiniIPM rung, with the
+  // rescue attributed (engine, escalated, stats split) and the objective
+  // agreeing with a direct MiniIPM solve of the same scenario to 1e-4.
+  const auto net = grid::load_embedded_case("case30");
+  const auto params = admm::params_for_case("case30", net.num_buses());
+
+  auto run = [&](bool fallback) {
+    ServiceOptions options;
+    options.max_batch_size = 2;
+    options.batching_window_seconds = 0.01;
+    options.cache.capacity = 0;
+    options.escalation_retry = true;
+    options.convergence_sample_interval = 8;
+    options.engine_fallback = fallback;
+    SolveService service(net, params, options);
+    auto result = service.submit(stress_request(net)).get();
+    service.drain();  // telemetry commits at end-of-batch; don't race it
+    auto stats = service.stats();
+    return std::make_pair(std::move(result), std::move(stats));
+  };
+
+  // Router off: both ADMM rungs exhaust their budgets and the future is
+  // fulfilled with a non-converged result — the gap the router closes.
+  const auto pure = run(false);
+  EXPECT_FALSE(pure.first.converged);
+  EXPECT_EQ(pure.first.engine, SolveEngine::kAdmm);
+  EXPECT_EQ(pure.second.completed, 1u);
+  EXPECT_EQ(pure.second.ipm_attempts, 0u);
+
+  // Router on: same request, rescued by the IPM rung.
+  const auto routed = run(true);
+  EXPECT_TRUE(routed.first.converged);
+  EXPECT_TRUE(routed.first.escalated);
+  EXPECT_EQ(routed.first.engine, SolveEngine::kIpm);
+  EXPECT_LT(routed.first.max_violation, 1e-5);
+  EXPECT_EQ(routed.second.completed, 1u);
+  EXPECT_EQ(routed.second.completed_ipm, 1u);
+  EXPECT_EQ(routed.second.completed_admm, 0u);
+  EXPECT_EQ(routed.second.ipm_attempts, 1u);
+  EXPECT_EQ(routed.second.ipm_failures, 0u);
+  EXPECT_EQ(routed.second.completed_admm + routed.second.completed_escalated_admm +
+                routed.second.completed_ipm,
+            routed.second.completed);
+
+  // Objective agreement with the direct MiniIPM path on the same scenario.
+  scenario::ScenarioSet set(net);
+  scenario::StressCorpusOptions corpus;
+  corpus.max_outages = 0;
+  set.add_stress_corpus(corpus);
+  const auto direct = scenario::solve_scenario_ipm(set.network(), set[0]);
+  EXPECT_NEAR(routed.first.objective, direct.quality.objective,
+              1e-4 * std::abs(direct.quality.objective));
+}
+
+TEST(SolveService, IpmRungFailureSurfacesTypedConvergenceError) {
+  // A request no engine can solve (hopeless loads within the finiteness
+  // envelope plus a starved ADMM budget) must fail the future with the
+  // typed ConvergenceError from the IPM rung — never a silently
+  // non-converged "success".
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  ServiceOptions options;
+  options.max_batch_size = 2;
+  options.batching_window_seconds = 0.01;
+  options.cache.capacity = 0;
+  options.engine_fallback = true;
+  SolveService service(net, params, options);
+
+  SolveRequest hopeless;
+  hopeless.pd = scaled(loads.pd, 10.0);
+  hopeless.qd = scaled(loads.qd, 10.0);
+  hopeless.controls.max_inner_iterations = 20;
+  hopeless.controls.max_outer_iterations = 2;
+  auto future = service.submit(std::move(hopeless));
+  EXPECT_THROW(future.get(), ConvergenceError);
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.ipm_attempts, 1u);
+  EXPECT_EQ(stats.ipm_failures, 1u);
+  // The ledger holds with the failure attributed to the fallback engine.
+  EXPECT_EQ(stats.completed + stats.failed + stats.deadline_shed, stats.submitted);
+}
+
+TEST(SolveService, DeadlineExpiredAtEscalationPickupShedsInsteadOfRescuing) {
+  // Satellite of the router: a request whose deadline passes during the
+  // fused ADMM solve is shed as a deadline miss at escalation pickup — the
+  // rescue must not burn IPM time on an answer nobody can use.
+  const auto net = grid::load_embedded_case("case30");
+  const auto params = admm::params_for_case("case30", net.num_buses());
+  auto clock = std::make_shared<SteadyClock>();
+
+  ServiceOptions options;
+  options.max_batch_size = 2;
+  options.batching_window_seconds = 0.001;
+  options.cache.capacity = 0;
+  options.engine_fallback = true;
+  options.clock = clock;
+  SolveService service(net, params, options);
+
+  // The stressed rung-1 solve takes well over 40 ms; admission and dispatch
+  // pickup happen within a few ms. The deadline lands in between.
+  SolveRequest request = stress_request(net);
+  request.deadline = clock->now() + 0.04;
+  auto future = service.submit(std::move(request));
+  try {
+    future.get();
+    FAIL() << "expected DeadlineError";
+  } catch (const DeadlineError& e) {
+    EXPECT_NE(std::string(e.what()).find("escalation pickup"), std::string::npos) << e.what();
+  }
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.ipm_attempts, 0u);  // the rescue never started
+  EXPECT_EQ(stats.completed + stats.failed + stats.deadline_shed, stats.submitted);
+}
+
+TEST(SolveService, EngineSplitSumsUnderConcurrentSubmittersWithFaultsOn) {
+  // Four concurrent submitters, faults armed, full ladder enabled, and a
+  // mix of healthy and starved requests: the ledger balances and the
+  // per-engine completion split sums exactly to completed — counted both
+  // from the service stats and independently from the results themselves.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+
+  device::FaultPlan plan;
+  plan.seed = 11;
+  plan.launch_fail_probability = 0.002;
+  plan.cooldown = 50;
+  FaultScope faults(plan);
+
+  ServiceOptions options;
+  options.max_batch_size = 4;
+  options.batching_window_seconds = 0.001;
+  options.cache.capacity = 0;
+  options.max_retries = 1;
+  options.retry_backoff_seconds = 0.0;
+  options.escalation_retry = true;
+  options.escalation_budget_boost = 1000.0;
+  options.convergence_sample_interval = 1;
+  options.engine_fallback = true;
+  SolveService service(net, params, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5;
+  std::atomic<int> completed{0}, failed{0};
+  std::atomic<int> by_engine[3] = {{0}, {0}, {0}};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SolveRequest request;
+        const double f = 0.9 + 0.01 * static_cast<double>(t * kPerThread + i);
+        request.pd = scaled(loads.pd, f);
+        request.qd = scaled(loads.qd, f);
+        if (i % 2 == 1) {
+          // Starved budget: stalls in the fused batch, flagged by
+          // should_escalate, recovered by the boosted solo rung.
+          request.controls.max_inner_iterations = 1;
+          request.controls.max_outer_iterations = 1;
+        }
+        try {
+          const auto result = service.submit(std::move(request)).get();
+          ++completed;
+          ++by_engine[static_cast<int>(result.engine)];
+          EXPECT_EQ(result.escalated, result.engine != SolveEngine::kAdmm);
+        } catch (const GridError&) {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(completed + failed, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed));
+  EXPECT_EQ(stats.completed + stats.failed + stats.deadline_shed, stats.submitted);
+  // Engine split: stats agree with the per-result attribution, and sum
+  // exactly to completed.
+  EXPECT_EQ(stats.completed_admm, static_cast<std::uint64_t>(by_engine[0].load()));
+  EXPECT_EQ(stats.completed_escalated_admm, static_cast<std::uint64_t>(by_engine[1].load()));
+  EXPECT_EQ(stats.completed_ipm, static_cast<std::uint64_t>(by_engine[2].load()));
+  EXPECT_EQ(stats.completed_admm + stats.completed_escalated_admm + stats.completed_ipm,
+            stats.completed);
+  EXPECT_GE(stats.ipm_attempts, stats.completed_ipm + stats.ipm_failures);
+  // The starved half really exercised the ladder.
+  EXPECT_GT(stats.completed_escalated_admm + stats.completed_ipm, 0u);
+}
+
+TEST(SolveService, DisabledRouterIsBitIdenticalAndBuildsNoFallbackEngine) {
+  // engine_fallback=false must leave the serving path untouched: results
+  // bit-identical to a router-enabled service on healthy load (the router
+  // only ever runs on non-converged slots), and the fallback engine is
+  // never even constructed — the IpmSolver construction counter stays flat
+  // across the whole service lifecycle.
+  const auto net = grid::load_embedded_case("case9");
+  const auto params = admm::params_for_case("case9", net.num_buses());
+  const auto loads = base_loads(net);
+  const std::vector<double> factors = {0.95, 1.0, 1.06};
+
+  auto run = [&](bool fallback) {
+    ServiceOptions options;
+    options.max_batch_size = static_cast<int>(factors.size());
+    options.batching_window_seconds = 0.25;
+    options.cache.capacity = 0;
+    options.engine_fallback = fallback;
+    SolveService service(net, params, options);
+    std::vector<std::future<SolveResult>> futures;
+    for (const double f : factors) {
+      SolveRequest request;
+      request.pd = scaled(loads.pd, f);
+      request.qd = scaled(loads.qd, f);
+      futures.push_back(service.submit(std::move(request)));
+    }
+    std::vector<SolveResult> results;
+    for (auto& future : futures) results.push_back(future.get());
+    service.drain();
+    const auto stats = service.stats();
+    return std::make_pair(std::move(results), stats);
+  };
+
+  const auto with_router = run(true);
+  const auto before = ipm::IpmSolver::allocations();
+  const auto without_router = run(false);
+  EXPECT_EQ(ipm::IpmSolver::allocations(), before);  // no engine built
+
+  ASSERT_EQ(with_router.first.size(), without_router.first.size());
+  for (std::size_t i = 0; i < with_router.first.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    EXPECT_TRUE(without_router.first[i].converged);
+    EXPECT_EQ(without_router.first[i].engine, SolveEngine::kAdmm);
+    EXPECT_FALSE(without_router.first[i].escalated);
+    EXPECT_EQ(with_router.first[i].solution.vm, without_router.first[i].solution.vm);
+    EXPECT_EQ(with_router.first[i].solution.va, without_router.first[i].solution.va);
+    EXPECT_EQ(with_router.first[i].solution.pg, without_router.first[i].solution.pg);
+    EXPECT_EQ(with_router.first[i].solution.qg, without_router.first[i].solution.qg);
+    EXPECT_EQ(with_router.first[i].objective, without_router.first[i].objective);
+    EXPECT_EQ(with_router.first[i].stats.inner_iterations,
+              without_router.first[i].stats.inner_iterations);
+  }
+  EXPECT_EQ(without_router.second.completed_admm, without_router.second.completed);
+  EXPECT_EQ(without_router.second.ipm_attempts, 0u);
+  EXPECT_EQ(without_router.second.completed_escalated_admm, 0u);
+  EXPECT_EQ(without_router.second.completed_ipm, 0u);
 }
 
 TEST(SolveService, FaultsOffPathHasNoRetryTelemetry) {
